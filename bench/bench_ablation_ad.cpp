@@ -1,0 +1,123 @@
+// Ablation (Sect. 6.2): "adjusting the parameters only trades one risk for
+// another — a large AD allows an attacker to keep the blockchain forked for
+// longer periods of time, whereas a small AD lowers the attacker's effort
+// to trigger all sticky gates".
+//
+// We sweep the acceptance depth AD and report, for a fixed power split:
+//   * u1 — the compliant attacker's unfair relative revenue,
+//   * u3 — compliant blocks orphaned per attacker block (fork damage),
+//   * the gate-trigger rate — how often Chain 2 takeovers occur per block
+//     under the u1-optimal policy (proxy for "effort to trigger gates"),
+//     measured on chain semantics.
+#include <cstdio>
+
+#include "bu/attack_analysis.hpp"
+#include "sim/attack_scenario.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace bvc;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double alpha = args.get_double("alpha", 0.25);
+  const double beta = args.get_double("beta", 0.30);
+  const double gamma = args.get_double("gamma", 0.45);
+
+  std::printf(
+      "Ablation — acceptance depth AD (alpha=%.2f, beta=%.2f, gamma=%.2f,\n"
+      "setting 1)\n\n",
+      alpha, beta, gamma);
+
+  TextTable table({"AD", "u1 (rel. revenue)", "u3 (orphaned/blk)",
+                   "Chain-2 takeovers per 1k blocks", "max fork len"});
+
+  for (const unsigned ad : {2u, 3u, 4u, 6u, 8u, 10u, 12u}) {
+    bu::AttackParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    params.gamma = gamma;
+    params.ad = ad;
+    params.setting = bu::Setting::kNoStickyGate;
+
+    const bu::AttackModel u1_model =
+        bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+    const bu::AnalysisResult u1 = bu::analyze(u1_model);
+
+    bu::AttackParams orphan_params = params;
+    orphan_params.alpha = 0.01;
+    const double scale = (1.0 - 0.01) / (beta + gamma);
+    orphan_params.beta = beta * scale;
+    orphan_params.gamma = gamma * scale;
+    const double u3 = bu::analyze(
+        bu::build_attack_model(orphan_params, bu::Utility::kOrphaning))
+        .utility_value;
+
+    sim::ScenarioOptions options;
+    sim::AttackScenarioSim simulator(u1_model, options);
+    Rng rng(ad);
+    const sim::ScenarioResult sim_result =
+        simulator.run(u1.policy, 300'000, rng);
+
+    table.add_row(
+        {std::to_string(ad), format_percent(u1.utility_value),
+         format_fixed(u3, 3),
+         format_fixed(1000.0 *
+                          static_cast<double>(sim_result.chain2_wins) /
+                          static_cast<double>(sim_result.steps),
+                      2),
+         std::to_string(ad)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: u3 grows with AD (longer forks, more damage) while the\n"
+      "takeover rate falls — a small AD instead lets an attacker open\n"
+      "sticky gates cheaply and embed giant blocks. No AD value removes\n"
+      "the attack: parameters only trade risks (Sect. 6.2).\n\n");
+
+  // ---- heterogeneous ADs, as actually deployed (Sect. 2.2) ---------------
+  std::printf(
+      "Heterogeneous acceptance depths (April 2017: most mining power\n"
+      "signaled AD=6, public nodes AD=12, BitClub AD=20 — Sect. 2.2).\n"
+      "Setting 2 with a 24-block gate keeps the sweep tractable;\n"
+      "alpha=%.2f, beta=%.2f, gamma=%.2f:\n",
+      alpha, beta, gamma);
+  TextTable hetero({"AD Bob / AD Carol", "u1 (rel. revenue)",
+                    "u3 (orphaned/blk, a=1%)"});
+  const unsigned pairs[][2] = {{6, 6}, {6, 12}, {12, 6}};
+  for (const auto& pair : pairs) {
+    bu::AttackParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    params.gamma = gamma;
+    params.ad = pair[0];
+    params.ad_carol = pair[1];
+    params.gate_period = 24;
+    params.setting = bu::Setting::kStickyGate;
+    const double u1 =
+        bu::analyze(params, bu::Utility::kRelativeRevenue).utility_value;
+    bu::AttackParams orphan = params;
+    orphan.alpha = 0.01;
+    const double scale = 0.99 / (beta + gamma);
+    orphan.beta = beta * scale;
+    orphan.gamma = gamma * scale;
+    const double u3 =
+        bu::analyze(orphan, bu::Utility::kOrphaning).utility_value;
+    hetero.add_row({std::to_string(pair[0]) + " / " +
+                        std::to_string(pair[1]),
+                    format_percent(u1), format_fixed(u3, 3)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s\n", hetero.to_string().c_str());
+  std::printf(
+      "Reading: a deeper Carol-side AD (public nodes at 12, BitClub at 20)\n"
+      "lengthens phase-2 forks and increases the damage — parameter\n"
+      "diversity itself is an attack surface (Sect. 2.3, van Wirdum).\n");
+  return 0;
+}

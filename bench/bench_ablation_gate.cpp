@@ -1,0 +1,71 @@
+// Ablation (Sect. 6.2): the sticky-gate period. "A longer sticky gate
+// period gives the attacker more time to mine giant blocks, whereas a
+// shorter period allows the attacker to split the network more frequently."
+//
+// We sweep the gate period in setting 2 and report the u1-optimal value and
+// phase composition under the optimal policy (fraction of time the gate is
+// open = exposure to giant blocks; fork starts per 1k blocks = splitting
+// frequency).
+#include <cstdio>
+
+#include "bu/attack_analysis.hpp"
+#include "sim/attack_scenario.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace bvc;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double alpha = args.get_double("alpha", 0.25);
+  const double beta = args.get_double("beta", 0.30);
+  const double gamma = args.get_double("gamma", 0.45);
+
+  std::printf(
+      "Ablation — sticky-gate period (setting 2; alpha=%.2f, beta=%.2f,\n"
+      "gamma=%.2f, AD=6; the BU release uses 144)\n\n",
+      alpha, beta, gamma);
+
+  TextTable table({"gate period", "u1 (rel. revenue)",
+                   "forks per 1k blocks", "gate openings per 1k blocks"});
+
+  for (const unsigned period : {6u, 18u, 36u, 72u, 144u, 288u}) {
+    bu::AttackParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    params.gamma = gamma;
+    params.setting = bu::Setting::kStickyGate;
+    params.gate_period = period;
+
+    const bu::AttackModel model =
+        bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+    const bu::AnalysisResult analysis = bu::analyze(model);
+
+    sim::ScenarioOptions options;
+    sim::AttackScenarioSim simulator(model, options);
+    Rng rng(period);
+    const sim::ScenarioResult sim_result =
+        simulator.run(analysis.policy, 300'000, rng);
+    const double per_k =
+        1000.0 / static_cast<double>(sim_result.steps);
+
+    table.add_row(
+        {std::to_string(period), format_percent(analysis.utility_value),
+         format_fixed(static_cast<double>(sim_result.forks_started) * per_k,
+                      2),
+         format_fixed(static_cast<double>(sim_result.gate_openings) * per_k,
+                      3)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: longer periods keep the network in phase 2 (gate open —\n"
+      "exposure to 32 MB blocks) for longer; shorter periods return the\n"
+      "system to phase 1 quickly, where the attacker splits the network\n"
+      "again. Tuning the period trades one vulnerability for the other.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Small shared helpers for the bench report generators.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace bvc::bench {
+
+/// Optional machine-readable output: when `--csv <path>` is passed, returns
+/// an open stream + writer pair; callers emit one row per measured cell.
+struct CsvSink {
+  std::ofstream file;
+  std::unique_ptr<CsvWriter> writer;
+
+  [[nodiscard]] bool enabled() const noexcept { return writer != nullptr; }
+  void row(const std::vector<std::string>& cells) {
+    if (writer) {
+      writer->write_row(cells);
+    }
+  }
+};
+
+inline CsvSink open_csv(const CliArgs& args,
+                        const std::vector<std::string>& header) {
+  CsvSink sink;
+  const auto path = args.value("csv");
+  if (!path) {
+    return sink;
+  }
+  sink.file.open(*path);
+  if (!sink.file) {
+    throw std::invalid_argument("cannot open CSV output file: " + *path);
+  }
+  sink.writer = std::make_unique<CsvWriter>(sink.file);
+  sink.row(header);
+  return sink;
+}
+
+}  // namespace bvc::bench

@@ -1,0 +1,86 @@
+// Exercises the Sect. 6.3 countermeasure: miners vote for/against a block
+// size increase inside their blocks; per 2016-block period the limit moves
+// by a fixed step when the vote clears an approval threshold and stays
+// under a veto threshold, activating only 200 blocks into the next period.
+//
+// Scenarios:
+//  1. A supermajority that wants bigger blocks grows the limit gradually.
+//  2. A >10% minority that cannot handle bigger blocks vetoes the change
+//     (unlike BU's block size increasing game, small miners keep a voice).
+//  3. An adversarial cohort biases votes but can never split validity: two
+//     independent replayers agree on the limit at every height.
+#include <cstdio>
+
+#include "counter/dynamic_limit.hpp"
+#include "counter/voting_simulation.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace bvc;
+using namespace bvc::counter;
+}  // namespace
+
+int main() {
+  VoteRuleConfig rule;  // paper-scale: 2016-block epochs, 200-block delay
+  rule.epoch_length = 2016;
+  rule.adjust_threshold = 0.75;
+  rule.veto_threshold = 0.10;
+  rule.activation_delay = 200;
+  rule.step = 100'000;
+  rule.initial_limit = 1'000'000;
+  rule.max_limit = 8'000'000;
+
+  std::printf(
+      "Countermeasure (Sect. 6.3): dynamically adjustable limit with a\n"
+      "prescribed BVC (epoch 2016, approve >= 75%%, veto > 10%%, "
+      "activation +200)\n\n");
+
+  TextTable table({"scenario", "epochs", "final limit", "increases",
+                   "decreases"});
+  Rng rng(63);
+
+  const auto run = [&](const char* name, std::vector<VoterCohort> cohorts,
+                       std::size_t epochs) {
+    VotingSimConfig config;
+    config.rule = rule;
+    config.cohorts = std::move(cohorts);
+    const VotingSimResult result =
+        run_voting_simulation(config, epochs, rng);
+    table.add_row({name, std::to_string(epochs),
+                   format_fixed(static_cast<double>(result.final_limit) / 1e6,
+                                1) +
+                       " MB",
+                   std::to_string(result.increases),
+                   std::to_string(result.decreases)});
+    return result;
+  };
+
+  run("1. 90% want 4 MB, 10% happy at 1 MB",
+      {{0.90, 4'000'000, false}, {0.10, 1'000'000, false}}, 40);
+  run("2. 80% want 4 MB, 20% veto",
+      {{0.80, 4'000'000, false}, {0.20, 1'000'000, false}}, 40);
+  run("3. 85% want 2 MB, 15% adversarial",
+      {{0.85, 2'000'000, false}, {0.15, 2'000'000, true}}, 40);
+  run("4. consensus shrinks back to 0.5 MB",
+      {{1.0, 500'000, false}}, 20);
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  // BVC preservation: two independent nodes replaying the same votes agree
+  // at every height — by construction the limit is a pure function of the
+  // chain, so a prescribed BVC holds while the rules adjust.
+  DynamicLimitTracker node_a(rule);
+  DynamicLimitTracker node_b(rule);
+  Rng vote_rng(7);
+  bool agree = true;
+  for (int i = 0; i < 50 * 2016; ++i) {
+    const auto vote = static_cast<Vote>(vote_rng.next_below(3));
+    agree = agree && node_a.on_block(vote) == node_b.on_block(vote);
+  }
+  std::printf(
+      "BVC check: two replayers across 50 epochs of random votes agree at\n"
+      "every height: %s (adjustments applied: %zu)\n",
+      agree ? "YES" : "NO", node_a.adjustments().size());
+  return 0;
+}

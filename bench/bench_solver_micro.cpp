@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks of the numerical core: model builds,
+// relative value iteration, ratio (Dinkelbach) solves, and simulator
+// throughput. These guard the performance assumptions behind the table
+// benches (a setting-2 Dinkelbach solve must stay ~1 s or the full grids
+// become impractical).
+#include <benchmark/benchmark.h>
+
+#include "bu/attack_analysis.hpp"
+#include "btc/selfish_mining.hpp"
+#include "mdp/average_reward.hpp"
+#include "sim/attack_scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+
+bu::AttackParams grid_params(bu::Setting setting) {
+  bu::AttackParams params;
+  params.alpha = 0.25;
+  params.beta = 0.30;
+  params.gamma = 0.45;
+  params.setting = setting;
+  return params;
+}
+
+void BM_BuildAttackModelSetting1(benchmark::State& state) {
+  const bu::AttackParams params = grid_params(bu::Setting::kNoStickyGate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bu::build_attack_model(params, bu::Utility::kRelativeRevenue));
+  }
+}
+BENCHMARK(BM_BuildAttackModelSetting1);
+
+void BM_BuildAttackModelSetting2(benchmark::State& state) {
+  const bu::AttackParams params = grid_params(bu::Setting::kStickyGate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bu::build_attack_model(params, bu::Utility::kRelativeRevenue));
+  }
+}
+BENCHMARK(BM_BuildAttackModelSetting2);
+
+void BM_RviSweepSetting2(benchmark::State& state) {
+  const bu::AttackModel model = bu::build_attack_model(
+      grid_params(bu::Setting::kStickyGate), bu::Utility::kRelativeRevenue);
+  mdp::AverageRewardOptions options;
+  options.max_sweeps = static_cast<int>(state.range(0));
+  options.tolerance = 1e-30;  // force exactly max_sweeps sweeps
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mdp::maximize_average_reward(model.model, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          model.model.num_states());
+}
+BENCHMARK(BM_RviSweepSetting2)->Arg(10);
+
+void BM_SolveRelativeRevenueSetting1(benchmark::State& state) {
+  const bu::AttackParams params = grid_params(bu::Setting::kNoStickyGate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bu::analyze(params, bu::Utility::kRelativeRevenue));
+  }
+}
+BENCHMARK(BM_SolveRelativeRevenueSetting1);
+
+void BM_SolveRelativeRevenueSetting2(benchmark::State& state) {
+  const bu::AttackParams params = grid_params(bu::Setting::kStickyGate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bu::analyze(params, bu::Utility::kRelativeRevenue));
+  }
+}
+BENCHMARK(BM_SolveRelativeRevenueSetting2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_SolveSelfishMining(benchmark::State& state) {
+  btc::SmParams params;
+  params.alpha = 0.35;
+  params.gamma_tie = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        btc::analyze_sm(params, bu::Utility::kRelativeRevenue));
+  }
+}
+BENCHMARK(BM_SolveSelfishMining);
+
+void BM_ScenarioSimThroughput(benchmark::State& state) {
+  const bu::AttackModel model = bu::build_attack_model(
+      grid_params(bu::Setting::kNoStickyGate), bu::Utility::kRelativeRevenue);
+  const bu::AnalysisResult analysis = bu::analyze(model);
+  sim::AttackScenarioSim simulator(model, sim::ScenarioOptions{});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulator.run(analysis.policy, 100'000, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_ScenarioSimThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_PolicyRollout(benchmark::State& state) {
+  const bu::AttackModel model = bu::build_attack_model(
+      grid_params(bu::Setting::kNoStickyGate), bu::Utility::kRelativeRevenue);
+  const bu::AnalysisResult analysis = bu::analyze(model);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bu::rollout_policy(model, analysis.policy, 100'000, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_PolicyRollout)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#include "btc/honest.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bvc::btc {
+
+double honest_relative_revenue(double alpha) noexcept { return alpha; }
+
+double honest_absolute_reward(double alpha) noexcept { return alpha; }
+
+double bitcoin_orphaning_bound() noexcept { return 1.0; }
+
+double catch_up_probability(double alpha, unsigned deficit) {
+  BVC_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  if (alpha >= 0.5) {
+    return 1.0;
+  }
+  // Gambler's-ruin: probability of ever gaining `deficit` net blocks when
+  // each step wins with probability alpha: (alpha / (1 - alpha))^deficit.
+  return std::pow(alpha / (1.0 - alpha), static_cast<double>(deficit));
+}
+
+}  // namespace bvc::btc

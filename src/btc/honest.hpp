@@ -1,0 +1,27 @@
+// Closed-form baselines for Bitcoin with a prescribed BVC and fully
+// compliant miners (Sect. 2.1 and Sect. 3 of the paper).
+#pragma once
+
+namespace bvc::btc {
+
+/// Relative revenue of a compliant miner with power `alpha` when every miner
+/// complies and propagation delay is negligible: Bitcoin is incentive
+/// compatible, so u1 = alpha.
+[[nodiscard]] double honest_relative_revenue(double alpha) noexcept;
+
+/// Expected absolute reward per network block of a compliant miner: also
+/// alpha (one block reward per block, no double-spending).
+[[nodiscard]] double honest_absolute_reward(double alpha) noexcept;
+
+/// Upper bound on u3 for Bitcoin attackers: each attacker block orphans at
+/// most one compliant block (51% attack achieves exactly 1; selfish mining
+/// reaches 1 only with instant propagation advantage). The paper uses this
+/// bound as the comparison line for Table 4.
+[[nodiscard]] double bitcoin_orphaning_bound() noexcept;
+
+/// Success probability of a classic double-spend race (Nakamoto/Rosenfeld
+/// style): the attacker with power `alpha` tries to catch up from `deficit`
+/// blocks behind. Used for sanity checks against the MDP results.
+[[nodiscard]] double catch_up_probability(double alpha, unsigned deficit);
+
+}  // namespace bvc::btc

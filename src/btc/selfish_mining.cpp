@@ -1,0 +1,287 @@
+#include "btc/selfish_mining.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace bvc::btc {
+
+namespace {
+
+double ds_revenue(const SmParams& params, unsigned orphaned) {
+  if (params.confirmations == 0 || orphaned + 1 <= params.confirmations) {
+    return 0.0;
+  }
+  return static_cast<double>(orphaned - (params.confirmations - 1)) *
+         params.rds;
+}
+
+}  // namespace
+
+std::string_view to_string(SmAction action) noexcept {
+  switch (action) {
+    case SmAction::kAdopt:
+      return "Adopt";
+    case SmAction::kOverride:
+      return "Override";
+    case SmAction::kMatch:
+      return "Match";
+    case SmAction::kWait:
+      return "Wait";
+  }
+  return "?";
+}
+
+void SmParams::validate() const {
+  BVC_REQUIRE(alpha > 0.0 && alpha < 0.5,
+              "attacker power must be in (0, 1/2)");
+  BVC_REQUIRE(gamma_tie >= 0.0 && gamma_tie <= 1.0,
+              "gamma_tie must be in [0, 1]");
+  BVC_REQUIRE(max_len >= 4, "max_len below 4 is too coarse to be meaningful");
+  BVC_REQUIRE(max_len <= 512, "max_len above 512 is not supported");
+  BVC_REQUIRE(rds >= 0.0, "double-spend value must be non-negative");
+}
+
+SmStateSpace::SmStateSpace(unsigned max_len) : max_len_(max_len) {}
+
+mdp::StateId SmStateSpace::size() const noexcept {
+  const auto dim = static_cast<mdp::StateId>(max_len_ + 1);
+  return dim * dim * 3;
+}
+
+mdp::StateId SmStateSpace::index(const SmState& state) const {
+  BVC_REQUIRE(state.a <= max_len_ && state.h <= max_len_,
+              "selfish-mining state out of range");
+  const auto dim = static_cast<mdp::StateId>(max_len_ + 1);
+  return (static_cast<mdp::StateId>(state.a) * dim + state.h) * 3 +
+         static_cast<mdp::StateId>(state.fork);
+}
+
+SmState SmStateSpace::state(mdp::StateId id) const {
+  BVC_REQUIRE(id < size(), "state id out of range");
+  const auto dim = static_cast<mdp::StateId>(max_len_ + 1);
+  SmState s;
+  s.fork = static_cast<Fork>(id % 3);
+  const mdp::StateId rest = id / 3;
+  s.h = static_cast<std::uint16_t>(rest % dim);
+  s.a = static_cast<std::uint16_t>(rest / dim);
+  return s;
+}
+
+SmModel build_sm_model(const SmParams& params, bu::Utility utility) {
+  params.validate();
+  SmStateSpace space(params.max_len);
+  mdp::ModelBuilder builder(space.size());
+
+  const double alpha = params.alpha;
+  const double gamma = params.gamma_tie;
+  const unsigned cap = params.max_len;
+
+  const auto emit = [&](mdp::ModelBuilder& b, const SmState& next, double p,
+                        const bu::Deltas& deltas) {
+    const auto [num, den] = bu::utility_increments(utility, deltas);
+    b.add_outcome(space.index(next), p, num, den);
+  };
+
+  for (mdp::StateId id = 0; id < space.size(); ++id) {
+    const SmState s = space.state(id);
+
+    // States (a < h, active) are unreachable (a match needs a >= h); keep
+    // them well-formed with adopt only, so no outcome underflows a - h.
+    const bool corrupt_active = s.fork == Fork::kActive && s.a < s.h;
+    const bool can_adopt = s.h >= 1;
+    const bool can_override = s.a >= s.h + 1u;
+    const bool can_match = s.fork == Fork::kRelevant && s.a >= s.h &&
+                           s.h >= 1 && s.a < cap;
+    const bool can_wait = s.a < cap && s.h < cap && !corrupt_active;
+
+    if (can_adopt) {
+      builder.begin_action(id, static_cast<mdp::ActionLabel>(SmAction::kAdopt));
+      bu::Deltas d;
+      d.others_locked = s.h;
+      d.alice_orphaned = s.a;
+      emit(builder, SmState{1, 0, Fork::kIrrelevant}, alpha, d);
+      emit(builder, SmState{0, 1, Fork::kRelevant}, 1.0 - alpha, d);
+    }
+    if (can_override) {
+      builder.begin_action(id,
+                           static_cast<mdp::ActionLabel>(SmAction::kOverride));
+      bu::Deltas d;
+      d.alice_locked = s.h + 1.0;
+      d.others_orphaned = s.h;
+      d.double_spend = ds_revenue(params, s.h);
+      const auto rest = static_cast<std::uint16_t>(s.a - s.h - 1);
+      emit(builder,
+           SmState{static_cast<std::uint16_t>(rest + 1), 0,
+                   Fork::kIrrelevant},
+           alpha, d);
+      emit(builder, SmState{rest, 1, Fork::kRelevant}, 1.0 - alpha, d);
+    }
+    if (can_match) {
+      builder.begin_action(id,
+                           static_cast<mdp::ActionLabel>(SmAction::kMatch));
+      // Attacker publishes h blocks matching the public height; the network
+      // splits. The new block decides who profits.
+      emit(builder,
+           SmState{static_cast<std::uint16_t>(s.a + 1), s.h, Fork::kActive},
+           alpha, bu::Deltas{});
+      if (gamma > 0.0) {
+        bu::Deltas d;
+        // The published attacker prefix wins and locks; the honest block
+        // mined on top of it stays in flight as the successor state's
+        // h = 1 (crediting it here too would double-count it).
+        d.alice_locked = s.h;
+        d.others_orphaned = s.h;
+        d.double_spend = ds_revenue(params, s.h);
+        emit(builder,
+             SmState{static_cast<std::uint16_t>(s.a - s.h), 1,
+                     Fork::kRelevant},
+             gamma * (1.0 - alpha), d);
+      }
+      if (gamma < 1.0) {
+        emit(builder,
+             SmState{s.a, static_cast<std::uint16_t>(s.h + 1),
+                     Fork::kRelevant},
+             (1.0 - gamma) * (1.0 - alpha), bu::Deltas{});
+      }
+    }
+    if (can_wait) {
+      builder.begin_action(id,
+                           static_cast<mdp::ActionLabel>(SmAction::kWait));
+      if (s.fork == Fork::kActive) {
+        emit(builder,
+             SmState{static_cast<std::uint16_t>(s.a + 1), s.h, Fork::kActive},
+             alpha, bu::Deltas{});
+        if (gamma > 0.0) {
+          bu::Deltas d;
+          d.alice_locked = s.h;  // new honest block stays in flight (h = 1)
+          d.others_orphaned = s.h;
+          d.double_spend = ds_revenue(params, s.h);
+          emit(builder,
+               SmState{static_cast<std::uint16_t>(s.a - s.h), 1,
+                       Fork::kRelevant},
+               gamma * (1.0 - alpha), d);
+        }
+        if (gamma < 1.0) {
+          emit(builder,
+               SmState{s.a, static_cast<std::uint16_t>(s.h + 1),
+                       Fork::kRelevant},
+               (1.0 - gamma) * (1.0 - alpha), bu::Deltas{});
+        }
+      } else {
+        emit(builder,
+             SmState{static_cast<std::uint16_t>(s.a + 1), s.h,
+                     Fork::kIrrelevant},
+             alpha, bu::Deltas{});
+        emit(builder,
+             SmState{s.a, static_cast<std::uint16_t>(s.h + 1),
+                     Fork::kRelevant},
+             1.0 - alpha, bu::Deltas{});
+      }
+    }
+
+    if (!can_adopt && !can_override && !can_match && !can_wait) {
+      // Unreachable corner of the truncated grid (e.g. a == h == cap with
+      // h == 0 impossible); give it a self-loop adopt-like action so the
+      // model stays well-formed.
+      builder.begin_action(id, static_cast<mdp::ActionLabel>(SmAction::kAdopt));
+      builder.add_outcome(space.index(SmState{0, 1, Fork::kRelevant}),
+                          1.0 - alpha, 0.0, 0.0);
+      builder.add_outcome(space.index(SmState{1, 0, Fork::kIrrelevant}),
+                          alpha, 0.0, 0.0);
+    }
+  }
+
+  return SmModel{space, builder.build(), params, utility};
+}
+
+SmAction policy_action(const SmModel& model, const mdp::Policy& policy,
+                       const SmState& state) {
+  const mdp::StateId id = model.space.index(state);
+  BVC_REQUIRE(id < policy.action.size(),
+              "policy does not cover this state space");
+  return static_cast<SmAction>(
+      model.model.action_label(id, policy.action[id]));
+}
+
+std::string describe_sm_policy(const SmModel& model,
+                               const mdp::Policy& policy, unsigned limit) {
+  const unsigned cap =
+      std::min(limit, model.params.max_len);
+  std::string out;
+  const char* const fork_names[] = {"irrelevant", "relevant", "active"};
+  for (const Fork fork : {Fork::kIrrelevant, Fork::kRelevant,
+                          Fork::kActive}) {
+    out += "fork = ";
+    out += fork_names[static_cast<int>(fork)];
+    out += " (rows a = attacker lead, cols h = honest lead)\n   ";
+    for (unsigned h = 0; h <= cap; ++h) {
+      out += ' ';
+      out += static_cast<char>('0' + h % 10);
+    }
+    out += '\n';
+    for (unsigned a = 0; a <= cap; ++a) {
+      out += ' ';
+      out += static_cast<char>('0' + a % 10);
+      out += " ";
+      for (unsigned h = 0; h <= cap; ++h) {
+        const SmState state{static_cast<std::uint16_t>(a),
+                            static_cast<std::uint16_t>(h), fork};
+        // Some (a, h, fork) corners are unreachable; print their action
+        // anyway (the policy is total).
+        const SmAction action = policy_action(model, policy, state);
+        const char glyph[] = {'a', 'o', 'm', 'w'};
+        out += ' ';
+        out += glyph[static_cast<int>(action)];
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+SmResult analyze_sm(const SmParams& params, bu::Utility utility,
+                    double tolerance) {
+  const SmModel model = build_sm_model(params, utility);
+
+  mdp::RatioOptions options;
+  options.tolerance = tolerance;
+  options.lower_bound = 0.0;
+  switch (utility) {
+    case bu::Utility::kRelativeRevenue:
+      options.upper_bound = 1.0;
+      break;
+    case bu::Utility::kAbsoluteReward:
+      options.upper_bound = 1.0 + params.rds;
+      break;
+    case bu::Utility::kOrphaning:
+      options.upper_bound = static_cast<double>(params.max_len);
+      break;
+  }
+
+  const mdp::RatioResult ratio = mdp::maximize_ratio(model.model, options);
+  SmResult result;
+  result.utility_value = ratio.ratio;
+  result.policy = ratio.policy;
+  result.converged = ratio.converged;
+  result.solver_iterations = ratio.iterations;
+  return result;
+}
+
+double max_sm_double_spend_reward(double alpha, double gamma_tie) {
+  SmParams params;
+  params.alpha = alpha;
+  params.gamma_tie = gamma_tie;
+  return analyze_sm(params, bu::Utility::kAbsoluteReward).utility_value;
+}
+
+double max_selfish_mining_revenue(double alpha, double gamma_tie) {
+  SmParams params;
+  params.alpha = alpha;
+  params.gamma_tie = gamma_tie;
+  return analyze_sm(params, bu::Utility::kRelativeRevenue).utility_value;
+}
+
+}  // namespace bvc::btc

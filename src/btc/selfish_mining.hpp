@@ -1,0 +1,121 @@
+// Optimal selfish mining on Bitcoin, optionally combined with
+// double-spending — the paper's comparison baseline for Table 3 (bottom
+// block), following Sapirshtein et al. (FC'16) and the modified
+// Sompolinsky–Zohar setting of Sect. 4.3: a merchant transaction in every
+// compliant block, four confirmations, R_DS = 10 block rewards, no penalty
+// for failed attempts.
+//
+// State (a, h, fork): `a` secret attacker blocks and `h` public honest
+// blocks since the last common ancestor;
+//   fork = kIrrelevant — the last block was the attacker's (match illegal);
+//   fork = kRelevant   — the last block was honest (match possible);
+//   fork = kActive     — the attacker has matched and the network is split:
+//                        a fraction `gamma_tie` of honest power mines on the
+//                        attacker's branch.
+// Actions: Adopt, Override, Match, Wait. Chain lengths are truncated at
+// `max_len` (adopt/override forced at the boundary), the standard
+// finite-state approximation; max_len = 24 puts the truncation error well
+// below the reported precision for alpha <= 0.25.
+#pragma once
+
+#include <string_view>
+
+#include "bu/attack_model.hpp"  // Utility, Deltas, utility_increments
+#include "mdp/model.hpp"
+#include "mdp/ratio.hpp"
+
+namespace bvc::btc {
+
+enum class Fork : std::uint8_t { kIrrelevant = 0, kRelevant = 1, kActive = 2 };
+
+enum class SmAction : mdp::ActionLabel {
+  kAdopt = 0,
+  kOverride = 1,
+  kMatch = 2,
+  kWait = 3,
+};
+
+[[nodiscard]] std::string_view to_string(SmAction action) noexcept;
+
+struct SmState {
+  std::uint16_t a = 0;
+  std::uint16_t h = 0;
+  Fork fork = Fork::kIrrelevant;
+
+  [[nodiscard]] bool operator==(const SmState&) const = default;
+};
+
+struct SmParams {
+  double alpha = 0.25;      ///< attacker mining power
+  double gamma_tie = 0.5;   ///< honest power mining on the attacker's branch
+                            ///< during an active tie ("P(win a tie)")
+  unsigned max_len = 24;    ///< chain-length truncation
+  /// Double-spending setting (only used for Utility::kAbsoluteReward).
+  unsigned confirmations = 4;
+  double rds = 10.0;
+
+  void validate() const;
+};
+
+/// Dense state indexing for (a, h, fork).
+class SmStateSpace {
+ public:
+  explicit SmStateSpace(unsigned max_len);
+
+  [[nodiscard]] mdp::StateId size() const noexcept;
+  [[nodiscard]] mdp::StateId index(const SmState& state) const;
+  [[nodiscard]] SmState state(mdp::StateId id) const;
+
+ private:
+  unsigned max_len_;
+};
+
+/// The model plus its space, mirroring bu::AttackModel.
+struct SmModel {
+  SmStateSpace space;
+  mdp::Model model;
+  SmParams params;
+  bu::Utility utility;
+};
+
+/// Builds the selfish-mining(+double-spending) MDP. Reward streams follow
+/// bu::utility_increments:
+///   kRelativeRevenue — classic optimal selfish mining (Sapirshtein et al.);
+///   kAbsoluteReward  — selfish mining + double-spending (Table 3 baseline);
+///   kOrphaning       — honest blocks orphaned per attacker block.
+[[nodiscard]] SmModel build_sm_model(const SmParams& params,
+                                     bu::Utility utility);
+
+struct SmResult {
+  double utility_value = 0.0;
+  mdp::Policy policy;
+  bool converged = false;
+  int solver_iterations = 0;
+};
+
+/// The action a policy takes in `state`.
+[[nodiscard]] SmAction policy_action(const SmModel& model,
+                                     const mdp::Policy& policy,
+                                     const SmState& state);
+
+/// Renders the policy as Sapirshtein-style action grids (one per fork
+/// label) for a, h <= min(max_len, limit): rows a, columns h, cells
+/// a(dopt)/o(verride)/m(atch)/w(ait).
+[[nodiscard]] std::string describe_sm_policy(const SmModel& model,
+                                             const mdp::Policy& policy,
+                                             unsigned limit = 8);
+
+/// Solves the model to `tolerance` on the utility value.
+[[nodiscard]] SmResult analyze_sm(const SmParams& params, bu::Utility utility,
+                                  double tolerance = 1e-5);
+
+/// Convenience: Table 3's "Selfish Mining + Double-Spending on Bitcoin" cell.
+[[nodiscard]] double max_sm_double_spend_reward(double alpha,
+                                                double gamma_tie);
+
+/// Convenience: optimal selfish-mining relative revenue (for validation
+/// against published values).
+[[nodiscard]] double max_selfish_mining_revenue(double alpha,
+                                                double gamma_tie);
+
+}  // namespace bvc::btc

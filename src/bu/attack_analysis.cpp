@@ -1,0 +1,159 @@
+#include "bu/attack_analysis.hpp"
+
+#include <sstream>
+
+#include "mdp/average_reward.hpp"
+#include "util/check.hpp"
+
+namespace bvc::bu {
+
+namespace {
+
+/// A safe upper bound on the utility value, needed by the ratio solver's
+/// bisection fallback.
+double utility_upper_bound(const AttackModel& model) {
+  switch (model.utility) {
+    case Utility::kRelativeRevenue:
+      return 1.0;
+    case Utility::kAbsoluteReward:
+      // Per step at most one block reward plus (loosely) one settled
+      // double-spend per orphaned block of a chain shorter than AD.
+      return 1.0 +
+             model.params.rds * static_cast<double>(model.params.max_ad());
+    case Utility::kOrphaning:
+      // Each fork orphans fewer than AD blocks of the losing chain.
+      return 3.0 * static_cast<double>(model.params.max_ad());
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+AnalysisResult analyze(const AttackModel& model,
+                       const AnalysisOptions& options) {
+  mdp::RatioOptions ratio_options;
+  ratio_options.inner = options.inner;
+  ratio_options.tolerance = options.tolerance;
+  ratio_options.lower_bound = 0.0;
+  ratio_options.upper_bound = utility_upper_bound(model);
+
+  const mdp::RatioResult ratio = mdp::maximize_ratio(model.model,
+                                                     ratio_options);
+
+  AnalysisResult result;
+  result.utility_value = ratio.ratio;
+  result.policy = ratio.policy;
+  result.reward_rate = ratio.reward_rate;
+  result.weight_rate = ratio.weight_rate;
+  result.solver_iterations = ratio.iterations;
+  result.converged = ratio.converged;
+  result.honest_baseline =
+      model.utility == Utility::kOrphaning ? 0.0 : model.params.alpha;
+  result.attack_beats_honest =
+      result.utility_value >
+      result.honest_baseline + 10.0 * options.tolerance;
+  return result;
+}
+
+AnalysisResult analyze(const AttackParams& params, Utility utility,
+                       const AnalysisOptions& options) {
+  return analyze(build_attack_model(params, utility), options);
+}
+
+namespace {
+AttackParams make_params(double alpha, double beta, double gamma,
+                         Setting setting, unsigned ad) {
+  AttackParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  params.gamma = gamma;
+  params.setting = setting;
+  params.ad = ad;
+  return params;
+}
+}  // namespace
+
+double max_relative_revenue(double alpha, double beta, double gamma,
+                            Setting setting, unsigned ad) {
+  return analyze(make_params(alpha, beta, gamma, setting, ad),
+                 Utility::kRelativeRevenue)
+      .utility_value;
+}
+
+double max_absolute_reward(double alpha, double beta, double gamma,
+                           Setting setting, unsigned ad) {
+  return analyze(make_params(alpha, beta, gamma, setting, ad),
+                 Utility::kAbsoluteReward)
+      .utility_value;
+}
+
+double max_orphaning(double alpha, double beta, double gamma, Setting setting,
+                     unsigned ad) {
+  return analyze(make_params(alpha, beta, gamma, setting, ad),
+                 Utility::kOrphaning)
+      .utility_value;
+}
+
+Action policy_action(const AttackModel& model, const mdp::Policy& policy,
+                     const AttackState& state) {
+  const mdp::StateId id = model.space.index(state);
+  BVC_REQUIRE(id < policy.action.size(),
+              "policy does not cover this state space");
+  const std::uint32_t local = policy.action[id];
+  return static_cast<Action>(model.model.action_label(id, local));
+}
+
+std::string describe_policy(const AttackModel& model,
+                            const mdp::Policy& policy) {
+  std::ostringstream out;
+  const AttackState base{};
+  out << "base " << to_string(base) << " -> "
+      << to_string(policy_action(model, policy, base)) << '\n';
+  for (std::uint16_t l2 = 1; l2 + 1u <= model.params.max_ad(); ++l2) {
+    for (std::uint16_t l1 = 0; l1 <= l2; ++l1) {
+      for (std::uint16_t a1 = 0; a1 <= l1; ++a1) {
+        for (std::uint16_t a2 = 1; a2 <= l2; ++a2) {
+          const AttackState state{l1, l2, a1, a2, 0};
+          out << to_string(state) << " -> "
+              << to_string(policy_action(model, policy, state)) << '\n';
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+RolloutResult rollout_policy(const AttackModel& model,
+                             const mdp::Policy& policy, std::uint64_t steps,
+                             Rng& rng) {
+  BVC_REQUIRE(policy.action.size() == model.space.size(),
+              "policy does not cover this state space");
+  RolloutResult result;
+  AttackState state{};  // base
+  double num = 0.0;
+  double den = 0.0;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const mdp::StateId id = model.space.index(state);
+    const auto action =
+        static_cast<Action>(model.model.action_label(id, policy.action[id]));
+    const std::array<double, 3> probs =
+        event_probabilities(model.params, action);
+    const std::size_t which = rng.next_categorical(probs);
+    const StepResult step = apply_event(model.params, state,
+                                        action, static_cast<Event>(which));
+    const auto [dn, dd] = utility_increments(model.utility, step.deltas);
+    num += dn;
+    den += dd;
+    result.totals.alice_locked += step.deltas.alice_locked;
+    result.totals.others_locked += step.deltas.others_locked;
+    result.totals.alice_orphaned += step.deltas.alice_orphaned;
+    result.totals.others_orphaned += step.deltas.others_orphaned;
+    result.totals.double_spend += step.deltas.double_spend;
+    state = step.next;
+  }
+  result.steps = steps;
+  result.utility_estimate = den > 0.0 ? num / den : 0.0;
+  return result;
+}
+
+}  // namespace bvc::bu

@@ -1,0 +1,82 @@
+// High-level solving and inspection of the fork-attack MDP: one call per
+// cell of the paper's Tables 2–4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bu/attack_model.hpp"
+#include "mdp/ratio.hpp"
+#include "util/rng.hpp"
+
+namespace bvc::bu {
+
+struct AnalysisOptions {
+  /// Accuracy of the reported utility value. The paper solves to 1e-4; we
+  /// default one decade tighter.
+  double tolerance = 1e-5;
+  mdp::AverageRewardOptions inner = {/*tolerance=*/2e-7,
+                                     /*max_sweeps=*/30000,
+                                     /*aperiodicity_tau=*/0.999};
+};
+
+struct AnalysisResult {
+  double utility_value = 0.0;  ///< max u over the strategy space
+  /// The honest reference: u1 = u2 = alpha for a compliant miner in a
+  /// healthy network; u3 has reference 0 (no compliant blocks orphaned).
+  double honest_baseline = 0.0;
+  /// Whether the optimum exceeds the honest baseline beyond tolerance —
+  /// i.e. whether deviating from "always mine on Chain 1" pays.
+  bool attack_beats_honest = false;
+  mdp::Policy policy;          ///< optimal policy (local action indices)
+  double reward_rate = 0.0;    ///< numerator rate of the optimal policy
+  double weight_rate = 0.0;    ///< denominator rate of the optimal policy
+  int solver_iterations = 0;
+  bool converged = false;
+};
+
+/// Solves for Alice's optimal utility within the strategy space.
+[[nodiscard]] AnalysisResult analyze(const AttackParams& params,
+                                     Utility utility,
+                                     const AnalysisOptions& options = {});
+
+/// As analyze(), but reuses an already-built model (the ratio solver does
+/// several average-reward solves; building once helps sweeps).
+[[nodiscard]] AnalysisResult analyze(const AttackModel& model,
+                                     const AnalysisOptions& options = {});
+
+/// Convenience wrappers, one per table.
+[[nodiscard]] double max_relative_revenue(double alpha, double beta,
+                                          double gamma, Setting setting,
+                                          unsigned ad = 6);
+[[nodiscard]] double max_absolute_reward(double alpha, double beta,
+                                         double gamma, Setting setting,
+                                         unsigned ad = 6);
+[[nodiscard]] double max_orphaning(double alpha, double beta, double gamma,
+                                   Setting setting, unsigned ad = 6);
+
+/// The action the policy chooses in `state` (resolving local indices).
+[[nodiscard]] Action policy_action(const AttackModel& model,
+                                   const mdp::Policy& policy,
+                                   const AttackState& state);
+
+/// Human-readable policy dump for the phase-1 fork states (and the base
+/// state), e.g. for the quickstart example.
+[[nodiscard]] std::string describe_policy(const AttackModel& model,
+                                          const mdp::Policy& policy);
+
+/// Outcome of rolling the MDP dynamics forward under a fixed policy with
+/// pseudo-random events — a direct Monte-Carlo check of the analytic rates.
+struct RolloutResult {
+  Deltas totals;
+  std::uint64_t steps = 0;
+  /// Utility estimate: accumulated numerator / accumulated denominator.
+  double utility_estimate = 0.0;
+};
+
+/// Simulates `steps` events from the base state under `policy`.
+[[nodiscard]] RolloutResult rollout_policy(const AttackModel& model,
+                                           const mdp::Policy& policy,
+                                           std::uint64_t steps, Rng& rng);
+
+}  // namespace bvc::bu

@@ -1,0 +1,90 @@
+#include "bu/attack_state.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace bvc::bu {
+
+namespace {
+constexpr std::size_t kNoShape = std::numeric_limits<std::size_t>::max();
+}
+
+std::string to_string(const AttackState& state) {
+  std::ostringstream out;
+  out << '(' << state.l1 << ',' << state.l2 << ',' << state.a1 << ','
+      << state.a2 << "|r=" << state.r << ')';
+  return out.str();
+}
+
+StateSpace::StateSpace(unsigned ad, unsigned max_r) : ad_(ad), max_r_(max_r) {
+  BVC_REQUIRE(ad >= 1, "AD must be at least 1");
+  BVC_REQUIRE(ad <= 64, "AD above 64 is not supported");
+  BVC_REQUIRE(max_r <= 4096, "gate period above 4096 is not supported");
+
+  // Enumerate shapes (l1, l2, a1, a2); the base shape first so that the
+  // phase-1 base state gets index 0.
+  std::vector<AttackState> shapes;
+  shapes.push_back(AttackState{});
+  for (std::uint16_t l2 = 1; l2 + 1u <= ad; ++l2) {
+    for (std::uint16_t l1 = 0; l1 <= l2; ++l1) {
+      for (std::uint16_t a1 = 0; a1 <= l1; ++a1) {
+        for (std::uint16_t a2 = 1; a2 <= l2; ++a2) {
+          shapes.push_back(AttackState{l1, l2, a1, a2, 0});
+        }
+      }
+    }
+  }
+  shapes_per_r_ = shapes.size();
+
+  const std::size_t dim = ad + 1;
+  shape_lookup_.assign(dim * dim * dim * dim, kNoShape);
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    shape_lookup_[shape_key(shapes[i])] = i;
+  }
+
+  states_.reserve(shapes_per_r_ * (max_r + 1));
+  for (unsigned r = 0; r <= max_r; ++r) {
+    for (AttackState shape : shapes) {
+      shape.r = static_cast<std::uint16_t>(r);
+      states_.push_back(shape);
+    }
+  }
+}
+
+std::size_t StateSpace::shape_key(const AttackState& state) const {
+  const std::size_t dim = ad_ + 1;
+  return ((static_cast<std::size_t>(state.l1) * dim + state.l2) * dim +
+          state.a1) *
+             dim +
+         state.a2;
+}
+
+bool StateSpace::contains(const AttackState& state) const {
+  if (state.r > max_r_) {
+    return false;
+  }
+  if (state.l1 > ad_ || state.l2 > ad_ || state.a1 > state.l1 ||
+      state.a2 > state.l2) {
+    return false;
+  }
+  return shape_lookup_[shape_key(state)] != kNoShape;
+}
+
+mdp::StateId StateSpace::index(const AttackState& state) const {
+  BVC_REQUIRE(state.r <= max_r_, "state r exceeds the gate period");
+  BVC_REQUIRE(state.l1 <= ad_ && state.l2 <= ad_ && state.a1 <= state.l1 &&
+                  state.a2 <= state.l2,
+              "state outside the reachable shape bounds");
+  const std::size_t ordinal = shape_lookup_[shape_key(state)];
+  BVC_REQUIRE(ordinal != kNoShape, "state shape is not reachable");
+  return static_cast<mdp::StateId>(state.r * shapes_per_r_ + ordinal);
+}
+
+const AttackState& StateSpace::state(mdp::StateId id) const {
+  BVC_REQUIRE(id < states_.size(), "state id out of range");
+  return states_[id];
+}
+
+}  // namespace bvc::bu

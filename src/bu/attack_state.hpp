@@ -1,0 +1,73 @@
+// State space of the fork-attack MDP (Sect. 4.1.2 of the paper).
+//
+// A state is the 5-tuple (l1, l2, a1, a2, r):
+//   l1, l2 — lengths of Chain 1 and Chain 2 since the fork point;
+//   a1, a2 — how many of those blocks Alice mined;
+//   r      — blocks still needed on Bob's chain before his sticky gate
+//            closes: r == 0 means phase 1, 1 <= r <= gate_period phase 2.
+//
+// Reachable shapes: the base state (0,0,0,0) and fork states with
+// 1 <= l2 <= AD-1, 0 <= l1 <= l2, 0 <= a1 <= l1, 1 <= a2 <= l2 (Chain 2
+// always starts with Alice's fork-triggering block). Chain 1 locks the
+// moment l1 would exceed l2, and Chain 2 locks the moment l2 reaches AD, so
+// neither length ever leaves these bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdp/model.hpp"
+
+namespace bvc::bu {
+
+struct AttackState {
+  std::uint16_t l1 = 0;
+  std::uint16_t l2 = 0;
+  std::uint16_t a1 = 0;
+  std::uint16_t a2 = 0;
+  std::uint16_t r = 0;
+
+  [[nodiscard]] bool is_base() const noexcept { return l2 == 0; }
+  [[nodiscard]] bool in_phase2() const noexcept { return r > 0; }
+  [[nodiscard]] bool operator==(const AttackState&) const = default;
+};
+
+/// Renders a state like "(1,3,0,2|r=12)".
+[[nodiscard]] std::string to_string(const AttackState& state);
+
+/// Dense enumeration of reachable states for given AD and gate period.
+/// `max_r` is 0 for setting 1 (sticky gate removed: phase 1 only) and the
+/// gate period for setting 2.
+class StateSpace {
+ public:
+  StateSpace(unsigned ad, unsigned max_r);
+
+  [[nodiscard]] unsigned ad() const noexcept { return ad_; }
+  [[nodiscard]] unsigned max_r() const noexcept { return max_r_; }
+
+  [[nodiscard]] mdp::StateId size() const noexcept {
+    return static_cast<mdp::StateId>(states_.size());
+  }
+
+  /// The base state of phase 1, (0,0,0,0|r=0); always index 0.
+  [[nodiscard]] mdp::StateId base() const noexcept { return 0; }
+
+  [[nodiscard]] mdp::StateId index(const AttackState& state) const;
+  [[nodiscard]] const AttackState& state(mdp::StateId id) const;
+
+  [[nodiscard]] bool contains(const AttackState& state) const;
+
+ private:
+  [[nodiscard]] std::size_t shape_key(const AttackState& state) const;
+
+  unsigned ad_;
+  unsigned max_r_;
+  std::vector<AttackState> states_;
+  // shape lookup: key -> shape ordinal (or npos); full index is
+  // r * shapes_per_r + ordinal.
+  std::vector<std::size_t> shape_lookup_;
+  std::size_t shapes_per_r_ = 0;
+};
+
+}  // namespace bvc::bu

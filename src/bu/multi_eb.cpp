@@ -1,0 +1,74 @@
+#include "bu/multi_eb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bvc::bu {
+
+std::vector<EbGroup> normalize_groups(double alpha,
+                                      std::span<const EbGroup> groups) {
+  BVC_REQUIRE(alpha > 0.0 && alpha < 0.5,
+              "Alice's power must be in (0, 1/2)");
+  BVC_REQUIRE(groups.size() >= 2,
+              "the split attack needs at least two distinct EB groups");
+  double total = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    BVC_REQUIRE(groups[i].power > 0.0, "group power must be positive");
+    BVC_REQUIRE(groups[i].eb > 0, "group EB must be positive");
+    if (i > 0) {
+      BVC_REQUIRE(groups[i].eb > groups[i - 1].eb,
+                  "group EBs must be strictly increasing");
+    }
+    total += groups[i].power;
+  }
+  BVC_REQUIRE(std::abs(total - (1.0 - alpha)) < 1e-6,
+              "group powers must sum to 1 - alpha");
+
+  std::vector<EbGroup> normalized(groups.begin(), groups.end());
+  for (EbGroup& group : normalized) {
+    group.power *= (1.0 - alpha) / total;  // exact renormalization
+  }
+  return normalized;
+}
+
+std::vector<SplitChoice> evaluate_splits(double alpha,
+                                         std::span<const EbGroup> groups,
+                                         Utility utility,
+                                         const AttackParams& base,
+                                         const AnalysisOptions& options) {
+  const std::vector<EbGroup> cohort = normalize_groups(alpha, groups);
+
+  std::vector<SplitChoice> result;
+  result.reserve(cohort.size() - 1);
+  double beta = 0.0;
+  for (std::size_t d = 1; d < cohort.size(); ++d) {
+    beta += cohort[d - 1].power;
+    SplitChoice choice;
+    choice.d = d;
+    choice.trigger = cohort[d].eb;
+    choice.params = base;
+    choice.params.alpha = alpha;
+    choice.params.beta = beta;
+    choice.params.gamma = (1.0 - alpha) - beta;
+    choice.analysis = analyze(choice.params, utility, options);
+    result.push_back(std::move(choice));
+  }
+  return result;
+}
+
+SplitChoice best_split(double alpha, std::span<const EbGroup> groups,
+                       Utility utility, const AttackParams& base,
+                       const AnalysisOptions& options) {
+  std::vector<SplitChoice> splits =
+      evaluate_splits(alpha, groups, utility, base, options);
+  const auto best = std::max_element(
+      splits.begin(), splits.end(),
+      [](const SplitChoice& a, const SplitChoice& b) {
+        return a.analysis.utility_value < b.analysis.utility_value;
+      });
+  return std::move(*best);
+}
+
+}  // namespace bvc::bu

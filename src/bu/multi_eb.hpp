@@ -1,0 +1,62 @@
+// The many-EB generalization of the attack (Sect. 4.1.1, last paragraph).
+//
+// When the network signals k distinct EB values EB_1 < EB_2 < … < EB_k with
+// powers m_1 … m_k, Alice picks any split point 1 <= d < k and runs the
+// two-group attack with
+//     Bob   := groups 1..d        (they reject the trigger block),
+//     Carol := groups d+1..k      (they accept it),
+// by mining phase-1 trigger blocks of size EB_{d+1} and phase-2 triggers
+// larger than EB_k. "Having more EBs in the network only gives Alice more
+// options to split other miners' mining power in her advantage."
+//
+// This module enumerates the splits, solves each reduced two-group model,
+// and reports the best — the quantitative form of the "median EB attack"
+// the paper generalizes (reference [13]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bu/attack_analysis.hpp"
+#include "bu/attack_model.hpp"
+#include "chain/types.hpp"
+
+namespace bvc::bu {
+
+/// One compliant cohort signaling a common EB.
+struct EbGroup {
+  double power = 0.0;       ///< mining power share (Alice excluded)
+  chain::ByteSize eb = 0;   ///< the EB it signals
+};
+
+/// The reduced two-group attack induced by splitting after group `d`
+/// (1-based count of low-EB groups on Bob's side).
+struct SplitChoice {
+  std::size_t d = 0;             ///< groups 1..d reject the trigger
+  chain::ByteSize trigger = 0;   ///< phase-1 trigger block size (EB_{d+1})
+  AttackParams params;           ///< the induced two-group parameters
+  AnalysisResult analysis;       ///< solved optimum for this split
+};
+
+/// Validates and normalizes groups: positive powers summing to 1 - alpha
+/// within tolerance (they are rescaled exactly), strictly increasing EBs.
+/// Throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<EbGroup> normalize_groups(
+    double alpha, std::span<const EbGroup> groups);
+
+/// Solves the attack for every split point, in order d = 1 .. k-1.
+/// `alpha` is Alice's power; `groups` the compliant cohorts (see
+/// normalize_groups). AD/setting/DS parameters are taken from `base`
+/// (its alpha/beta/gamma are overwritten per split).
+[[nodiscard]] std::vector<SplitChoice> evaluate_splits(
+    double alpha, std::span<const EbGroup> groups, Utility utility,
+    const AttackParams& base = {}, const AnalysisOptions& options = {});
+
+/// The split with the highest utility value.
+[[nodiscard]] SplitChoice best_split(double alpha,
+                                     std::span<const EbGroup> groups,
+                                     Utility utility,
+                                     const AttackParams& base = {},
+                                     const AnalysisOptions& options = {});
+
+}  // namespace bvc::bu

@@ -1,0 +1,31 @@
+#include "chain/bitcoin_validity.hpp"
+
+#include "util/check.hpp"
+
+namespace bvc::chain {
+
+BitcoinValidity::BitcoinValidity(ByteSize size_limit)
+    : size_limit_(size_limit) {
+  BVC_REQUIRE(size_limit > 0, "block size limit must be positive");
+}
+
+bool BitcoinValidity::block_valid(const Block& block) const noexcept {
+  // Genesis is valid by definition; other blocks must respect the limit.
+  return block.parent == kNoBlock || block.size <= size_limit_;
+}
+
+bool BitcoinValidity::chain_acceptable(const BlockTree& tree,
+                                       BlockId tip) const {
+  for (BlockId cursor = tip;;) {
+    const Block& b = tree.block(cursor);
+    if (!block_valid(b)) {
+      return false;
+    }
+    if (cursor == tree.genesis()) {
+      return true;
+    }
+    cursor = b.parent;
+  }
+}
+
+}  // namespace bvc::chain

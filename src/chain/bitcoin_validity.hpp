@@ -1,0 +1,29 @@
+// Bitcoin's prescribed block validity consensus: a single size limit that is
+// identical for every participant, so a block is valid or invalid for
+// everyone (Sect. 2.1 of the paper).
+#pragma once
+
+#include "chain/block_tree.hpp"
+#include "chain/types.hpp"
+
+namespace bvc::chain {
+
+class BitcoinValidity {
+ public:
+  explicit BitcoinValidity(ByteSize size_limit = kBitcoinBlockLimit);
+
+  [[nodiscard]] ByteSize size_limit() const noexcept { return size_limit_; }
+
+  /// Whether a single block satisfies the consensus rule.
+  [[nodiscard]] bool block_valid(const Block& block) const noexcept;
+
+  /// Whether every block on the path from genesis to `tip` is valid — the
+  /// "longest chain composed entirely of valid blocks" requirement.
+  [[nodiscard]] bool chain_acceptable(const BlockTree& tree,
+                                      BlockId tip) const;
+
+ private:
+  ByteSize size_limit_;
+};
+
+}  // namespace bvc::chain

@@ -1,0 +1,91 @@
+#include "chain/block_tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bvc::chain {
+
+BlockTree::BlockTree() {
+  blocks_.push_back(Block{0, kNoBlock, 0, 0, kNoMiner});
+  children_.emplace_back();
+}
+
+BlockId BlockTree::add_block(BlockId parent, ByteSize size, MinerId miner) {
+  BVC_REQUIRE(parent < blocks_.size(), "parent block does not exist");
+  const auto id = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(
+      Block{id, parent, blocks_[parent].height + 1, size, miner});
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+const Block& BlockTree::block(BlockId id) const {
+  BVC_REQUIRE(id < blocks_.size(), "block does not exist");
+  return blocks_[id];
+}
+
+std::span<const BlockId> BlockTree::children(BlockId id) const {
+  BVC_REQUIRE(id < blocks_.size(), "block does not exist");
+  return children_[id];
+}
+
+std::vector<BlockId> BlockTree::tips() const {
+  std::vector<BlockId> result;
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    if (children_[id].empty()) {
+      result.push_back(id);
+    }
+  }
+  return result;
+}
+
+BlockId BlockTree::ancestor_at_height(BlockId id, Height height) const {
+  BVC_REQUIRE(id < blocks_.size(), "block does not exist");
+  BVC_REQUIRE(height <= blocks_[id].height,
+              "requested ancestor height above the block");
+  BlockId cursor = id;
+  while (blocks_[cursor].height > height) {
+    cursor = blocks_[cursor].parent;
+  }
+  return cursor;
+}
+
+bool BlockTree::is_ancestor(BlockId ancestor, BlockId descendant) const {
+  BVC_REQUIRE(ancestor < blocks_.size() && descendant < blocks_.size(),
+              "block does not exist");
+  if (blocks_[ancestor].height > blocks_[descendant].height) {
+    return false;
+  }
+  return ancestor_at_height(descendant, blocks_[ancestor].height) == ancestor;
+}
+
+BlockId BlockTree::common_ancestor(BlockId a, BlockId b) const {
+  BVC_REQUIRE(a < blocks_.size() && b < blocks_.size(),
+              "block does not exist");
+  const Height floor = std::min(blocks_[a].height, blocks_[b].height);
+  BlockId ca = ancestor_at_height(a, floor);
+  BlockId cb = ancestor_at_height(b, floor);
+  while (ca != cb) {
+    ca = blocks_[ca].parent;
+    cb = blocks_[cb].parent;
+  }
+  return ca;
+}
+
+std::vector<BlockId> BlockTree::path_from_genesis(BlockId id) const {
+  BVC_REQUIRE(id < blocks_.size(), "block does not exist");
+  std::vector<BlockId> path;
+  path.reserve(blocks_[id].height + 1);
+  for (BlockId cursor = id;; cursor = blocks_[cursor].parent) {
+    path.push_back(cursor);
+    if (cursor == genesis()) {
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace bvc::chain

@@ -1,0 +1,137 @@
+#include "chain/bu_validity.hpp"
+
+#include "util/check.hpp"
+
+namespace bvc::chain {
+
+namespace {
+void validate_params(const BuParams& params) {
+  BVC_REQUIRE(params.eb > 0, "EB must be positive");
+  BVC_REQUIRE(params.mg > 0, "MG must be positive");
+  BVC_REQUIRE(params.ad >= 1, "AD must be at least 1");
+  BVC_REQUIRE(params.gate_period >= 1, "gate period must be at least 1");
+  BVC_REQUIRE(params.message_limit >= params.eb,
+              "message limit must not be below EB");
+}
+}  // namespace
+
+BuNodeRule::BuNodeRule(BuParams params) : params_(params) {
+  validate_params(params_);
+}
+
+ChainStatus BuNodeRule::evaluate(const BlockTree& tree, BlockId tip,
+                                 const GateState& initial) const {
+  ChainStatus status;
+  const Height tip_height = tree.block(tip).height;
+
+  bool gate_open = initial.open && params_.sticky_gate;
+  Height run = initial.run;  // consecutive non-excessive since gate opened
+
+  // Walk genesis -> tip, replaying the node's acceptance decisions in the
+  // order it would have made them.
+  for (const BlockId id : tree.path_from_genesis(tip)) {
+    const Block& b = tree.block(id);
+    if (b.parent == kNoBlock) {
+      continue;  // genesis carries no size semantics
+    }
+    if (b.size > params_.message_limit) {
+      // Too large even to relay: invalid no matter what is mined on top.
+      status.verdict = ChainVerdict::kInvalid;
+      return status;
+    }
+    if (!is_excessive(b)) {
+      if (gate_open) {
+        ++run;
+        if (run >= params_.gate_period) {
+          gate_open = false;
+          run = 0;
+        }
+      }
+      continue;
+    }
+    // Excessive block.
+    if (gate_open) {
+      // Accepted under the open gate; the non-excessive run restarts.
+      run = 0;
+      continue;
+    }
+    // Gate closed: the block needs AD depth (counting itself).
+    const Height depth = tip_height - b.height + 1;
+    if (depth < params_.ad) {
+      status.verdict = ChainVerdict::kPendingDepth;
+      status.pending_block = id;
+      status.pending_blocks_needed = params_.ad - depth;
+      return status;
+    }
+    // Depth reached: the excessive block (and the chain so far) is accepted.
+    if (params_.sticky_gate) {
+      gate_open = true;
+      run = 0;
+    }
+    // Without the sticky gate (BUIP038), acceptance is per-excessive-block:
+    // each later excessive block needs its own AD depth.
+  }
+
+  status.verdict = ChainVerdict::kAcceptable;
+  status.gate_open = gate_open;
+  status.blocks_until_gate_close =
+      gate_open ? params_.gate_period - run : Height{0};
+  status.gate = GateState{gate_open, gate_open ? run : Height{0}};
+  return status;
+}
+
+BuSourceCodeRule::BuSourceCodeRule(BuParams params) : params_(params) {
+  validate_params(params_);
+}
+
+bool BuSourceCodeRule::chain_acceptable(const BlockTree& tree,
+                                        BlockId tip) const {
+  const Block& tip_block = tree.block(tip);
+  const Height h = tip_block.height;
+
+  // Clause (a): the latest AD blocks are all non-excessive.
+  {
+    bool all_ok = true;
+    BlockId cursor = tip;
+    for (Height i = 0; i < params_.ad; ++i) {
+      const Block& b = tree.block(cursor);
+      if (b.parent == kNoBlock) {
+        break;  // chain shorter than AD: remaining "blocks" are vacuous
+      }
+      if (b.size > params_.message_limit || is_excessive(b)) {
+        all_ok = false;
+        break;
+      }
+      cursor = b.parent;
+    }
+    if (all_ok) {
+      return true;
+    }
+  }
+
+  // Clause (b): an excessive block exists at a height in
+  // [h - AD - (gate_period - 1), h - AD + 1].
+  if (h + 1 < params_.ad) {
+    return false;  // window is entirely below genesis
+  }
+  // Window [h - AD - (period - 1), h - AD + 1]: period + 1 heights.
+  const Height window_high = h + 1 - params_.ad;
+  const Height window_low = window_high >= params_.gate_period
+                                ? window_high - params_.gate_period
+                                : Height{0};
+  BlockId cursor = tree.ancestor_at_height(tip, window_high);
+  for (Height height = window_high;; --height) {
+    const Block& b = tree.block(cursor);
+    if (b.parent != kNoBlock && is_excessive(b) &&
+        b.size <= params_.message_limit) {
+      return true;
+    }
+    if (height == window_low || cursor == tree.genesis()) {
+      break;
+    }
+    cursor = b.parent;
+  }
+  return false;
+}
+
+}  // namespace bvc::chain

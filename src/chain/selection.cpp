@@ -1,0 +1,24 @@
+#include "chain/selection.hpp"
+
+namespace bvc::chain {
+
+std::vector<BlockId> rewardable_blocks(const BlockTree& tree, BlockId tip) {
+  std::vector<BlockId> path = tree.path_from_genesis(tip);
+  if (!path.empty()) {
+    path.erase(path.begin());  // drop genesis
+  }
+  return path;
+}
+
+std::size_t count_miner_blocks(const BlockTree& tree, BlockId tip,
+                               MinerId miner) {
+  std::size_t count = 0;
+  for (const BlockId id : rewardable_blocks(tree, tip)) {
+    if (tree.block(id).miner == miner) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace bvc::chain

@@ -1,0 +1,67 @@
+// Chain selection: "the longest (acceptable) chain wins, first-seen breaks
+// ties". Works with any rule type exposing
+//   bool chain_acceptable(const BlockTree&, BlockId) const.
+#pragma once
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "chain/block_tree.hpp"
+#include "chain/types.hpp"
+
+namespace bvc::chain {
+
+template <typename Rule>
+concept ValidityRule = requires(const Rule& rule, const BlockTree& tree,
+                                BlockId id) {
+  { rule.chain_acceptable(tree, id) } -> std::convertible_to<bool>;
+};
+
+/// Picks the best block among `candidates` for a node applying `rule`:
+/// highest block heading an acceptable chain; ties go to the smallest id
+/// (arrival order = first seen). Returns kNoBlock when none is acceptable.
+template <ValidityRule Rule>
+[[nodiscard]] BlockId select_best_block(const BlockTree& tree,
+                                        const Rule& rule,
+                                        std::span<const BlockId> candidates) {
+  BlockId best = kNoBlock;
+  Height best_height = 0;
+  for (const BlockId id : candidates) {
+    if (!rule.chain_acceptable(tree, id)) {
+      continue;
+    }
+    const Height height = tree.block(id).height;
+    if (best == kNoBlock || height > best_height ||
+        (height == best_height && id < best)) {
+      best = id;
+      best_height = height;
+    }
+  }
+  return best;
+}
+
+/// Scans every block in the tree (the node knows the full tree) and returns
+/// the best mining tip under `rule`. Genesis is always acceptable, so this
+/// never returns kNoBlock.
+template <ValidityRule Rule>
+[[nodiscard]] BlockId select_best_block(const BlockTree& tree,
+                                        const Rule& rule) {
+  std::vector<BlockId> all(tree.size());
+  for (BlockId id = 0; id < all.size(); ++id) {
+    all[id] = id;
+  }
+  return select_best_block(tree, rule, all);
+}
+
+/// Blocks on the path from genesis to `tip`, excluding genesis — i.e. the
+/// blocks that would earn rewards if `tip`'s chain becomes the blockchain.
+[[nodiscard]] std::vector<BlockId> rewardable_blocks(const BlockTree& tree,
+                                                     BlockId tip);
+
+/// Blocks mined by `miner` on the path from genesis to `tip` (genesis
+/// excluded).
+[[nodiscard]] std::size_t count_miner_blocks(const BlockTree& tree,
+                                             BlockId tip, MinerId miner);
+
+}  // namespace bvc::chain

@@ -1,0 +1,41 @@
+// Core blockchain value types shared by the validity rules and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bvc::chain {
+
+/// Index of a block inside a BlockTree. Ids are assigned in arrival order,
+/// which doubles as the "first seen" order used for tie-breaking.
+using BlockId = std::uint32_t;
+
+/// Distance from the genesis block (genesis has height 0).
+using Height = std::uint32_t;
+
+/// Block size in bytes.
+using ByteSize = std::uint64_t;
+
+/// Identifier of the miner who produced a block (meaning defined by caller).
+using MinerId = std::int32_t;
+
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+inline constexpr MinerId kNoMiner = -1;
+
+inline constexpr ByteSize kMegabyte = 1'000'000;
+/// Bitcoin's historical block size limit (the 1 MB consensus rule).
+inline constexpr ByteSize kBitcoinBlockLimit = 1 * kMegabyte;
+/// BU's hard ceiling: the maximum size of a network message (32 MB).
+inline constexpr ByteSize kMessageLimit = 32 * kMegabyte;
+/// Number of consecutive non-excessive blocks that closes the sticky gate.
+inline constexpr Height kDefaultGatePeriod = 144;
+
+struct Block {
+  BlockId id = kNoBlock;
+  BlockId parent = kNoBlock;  ///< kNoBlock only for genesis
+  Height height = 0;
+  ByteSize size = 0;
+  MinerId miner = kNoMiner;
+};
+
+}  // namespace bvc::chain

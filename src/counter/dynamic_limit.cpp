@@ -1,0 +1,93 @@
+#include "counter/dynamic_limit.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bvc::counter {
+
+void VoteRuleConfig::validate() const {
+  BVC_REQUIRE(epoch_length >= 1, "epoch length must be positive");
+  BVC_REQUIRE(adjust_threshold > 0.5 && adjust_threshold <= 1.0,
+              "adjust threshold must be in (1/2, 1]");
+  BVC_REQUIRE(veto_threshold >= 0.0 && veto_threshold < 0.5,
+              "veto threshold must be in [0, 1/2)");
+  BVC_REQUIRE(activation_delay < epoch_length,
+              "activation delay must fall inside the next epoch");
+  BVC_REQUIRE(step > 0, "adjustment step must be positive");
+  BVC_REQUIRE(min_limit > 0 && min_limit <= initial_limit &&
+                  initial_limit <= max_limit,
+              "limits must satisfy min <= initial <= max");
+}
+
+DynamicLimitTracker::DynamicLimitTracker(VoteRuleConfig config)
+    : config_(config), current_(config.initial_limit) {
+  config_.validate();
+}
+
+ByteSize DynamicLimitTracker::on_block(Vote vote) {
+  // An armed adjustment fires once enough blocks of the current epoch have
+  // been mined — checked before tallying this block.
+  if (pending_ && epoch_blocks_ >= config_.activation_delay) {
+    current_ = pending_limit_;
+    adjustments_.push_back(
+        Adjustment{height_, pending_limit_, pending_increase_});
+    pending_ = false;
+  }
+
+  const ByteSize applied = current_;
+  limit_history_.push_back(applied);
+  ++height_;
+
+  switch (vote) {
+    case Vote::kIncrease:
+      ++votes_increase_;
+      break;
+    case Vote::kDecrease:
+      ++votes_decrease_;
+      break;
+    case Vote::kAbstain:
+      break;
+  }
+  ++epoch_blocks_;
+  if (epoch_blocks_ == config_.epoch_length) {
+    finish_epoch();
+  }
+  return applied;
+}
+
+void DynamicLimitTracker::finish_epoch() {
+  const auto total = static_cast<double>(config_.epoch_length);
+  const double frac_up = static_cast<double>(votes_increase_) / total;
+  const double frac_down = static_cast<double>(votes_decrease_) / total;
+
+  // At most one direction can clear a > 1/2 threshold, so the two clauses
+  // are mutually exclusive.
+  if (frac_up >= config_.adjust_threshold &&
+      frac_down <= config_.veto_threshold &&
+      current_ < config_.max_limit) {
+    pending_ = true;
+    pending_limit_ = std::min(config_.max_limit, current_ + config_.step);
+    pending_increase_ = true;
+  } else if (frac_down >= config_.adjust_threshold &&
+             frac_up <= config_.veto_threshold &&
+             current_ > config_.min_limit) {
+    pending_ = true;
+    pending_limit_ =
+        current_ >= config_.min_limit + config_.step
+            ? current_ - config_.step
+            : config_.min_limit;
+    pending_increase_ = false;
+  }
+
+  epoch_blocks_ = 0;
+  votes_increase_ = 0;
+  votes_decrease_ = 0;
+}
+
+ByteSize DynamicLimitTracker::limit_at(Height h) const {
+  BVC_REQUIRE(h < limit_history_.size(), "height not yet processed");
+  return limit_history_[h];
+}
+
+}  // namespace bvc::counter

@@ -1,0 +1,90 @@
+// The paper's countermeasure (Sect. 6.3): a dynamically adjustable block
+// size limit that never abandons the prescribed block validity consensus.
+//
+// Miners vote for or against a size increase inside their blocks. Per
+// 2016-block difficulty period: if the fraction of blocks voting *for* an
+// increase is above `increase_threshold` and the fraction voting *against*
+// is below `veto_threshold`, the limit grows by a small fixed step — but
+// only after `activation_delay` blocks of the next period have been mined,
+// so a fork at a period boundary cannot leave nodes disagreeing about
+// whether the thresholds were met. Decreases work symmetrically.
+//
+// Because the limit at any height is a pure function of the (agreed) chain
+// prefix, every node derives the same limit for every height: a BVC holds
+// at all times even though the rules are adjustable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bvc::counter {
+
+using Height = std::uint32_t;
+using ByteSize = std::uint64_t;
+
+enum class Vote : std::uint8_t { kAbstain = 0, kIncrease = 1, kDecrease = 2 };
+
+struct VoteRuleConfig {
+  Height epoch_length = 2016;
+  /// Fraction of epoch blocks that must vote kIncrease (resp. kDecrease).
+  double adjust_threshold = 0.75;
+  /// Fraction of epoch blocks voting the opposite way that vetoes the
+  /// adjustment.
+  double veto_threshold = 0.10;
+  /// Blocks of the *next* period that must be mined before an adjustment
+  /// takes effect ("say two hundred" in the paper).
+  Height activation_delay = 200;
+  ByteSize step = 100'000;  ///< fixed increment/decrement in bytes
+  ByteSize initial_limit = 1'000'000;
+  ByteSize min_limit = 100'000;
+  ByteSize max_limit = 32'000'000;
+
+  void validate() const;
+};
+
+/// Replays votes block by block and exposes the limit in force at every
+/// height. Deterministic: two trackers fed the same vote sequence agree at
+/// every height (see the property tests).
+class DynamicLimitTracker {
+ public:
+  explicit DynamicLimitTracker(VoteRuleConfig config);
+
+  /// Processes the vote carried by the next block. Returns the limit that
+  /// applied *to that block itself*.
+  ByteSize on_block(Vote vote);
+
+  [[nodiscard]] Height height() const noexcept { return height_; }
+  [[nodiscard]] ByteSize current_limit() const noexcept { return current_; }
+
+  /// The limit that applied to the block at `h` (h < height()).
+  [[nodiscard]] ByteSize limit_at(Height h) const;
+
+  struct Adjustment {
+    Height effective_height = 0;  ///< first block mined under the new limit
+    ByteSize new_limit = 0;
+    bool increase = false;
+  };
+  [[nodiscard]] const std::vector<Adjustment>& adjustments() const noexcept {
+    return adjustments_;
+  }
+
+ private:
+  void finish_epoch();
+
+  VoteRuleConfig config_;
+  Height height_ = 0;
+  ByteSize current_ = 0;
+  // Votes tallied in the running epoch.
+  Height epoch_blocks_ = 0;
+  Height votes_increase_ = 0;
+  Height votes_decrease_ = 0;
+  // A pending adjustment decided by the previous epoch, armed to fire
+  // `activation_delay` blocks into the current one.
+  bool pending_ = false;
+  ByteSize pending_limit_ = 0;
+  bool pending_increase_ = false;
+  std::vector<Adjustment> adjustments_;
+  std::vector<ByteSize> limit_history_;  // per block height
+};
+
+}  // namespace bvc::counter

@@ -1,0 +1,52 @@
+#include "counter/dynamic_validity.hpp"
+
+#include "util/check.hpp"
+
+namespace bvc::counter {
+
+DynamicValidity::DynamicValidity(VoteRuleConfig config) : config_(config) {
+  config_.validate();
+}
+
+void DynamicValidity::set_vote(chain::BlockId id, Vote vote) {
+  if (votes_.size() <= id) {
+    votes_.resize(id + 1, Vote::kAbstain);
+  }
+  votes_[id] = vote;
+}
+
+bool DynamicValidity::chain_acceptable(const chain::BlockTree& tree,
+                                       chain::BlockId tip) const {
+  DynamicLimitTracker tracker(config_);
+  for (const chain::BlockId id : tree.path_from_genesis(tip)) {
+    const chain::Block& block = tree.block(id);
+    if (block.parent == chain::kNoBlock) {
+      continue;  // genesis
+    }
+    const Vote vote =
+        id < votes_.size() ? votes_[id] : Vote::kAbstain;
+    const ByteSize limit = tracker.on_block(vote);
+    if (block.size > limit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ByteSize DynamicValidity::next_limit(const chain::BlockTree& tree,
+                                     chain::BlockId tip) const {
+  DynamicLimitTracker tracker(config_);
+  for (const chain::BlockId id : tree.path_from_genesis(tip)) {
+    if (tree.block(id).parent == chain::kNoBlock) {
+      continue;
+    }
+    tracker.on_block(id < votes_.size() ? votes_[id] : Vote::kAbstain);
+  }
+  // The limit for the next block: replay one more abstaining block and see
+  // what it would have been allowed. on_block() applies any due adjustment
+  // before measuring, so peek via a copy.
+  DynamicLimitTracker peek = tracker;
+  return peek.on_block(Vote::kAbstain);
+}
+
+}  // namespace bvc::counter

@@ -1,0 +1,46 @@
+// Chain-level integration of the countermeasure: a validity rule whose
+// block size limit is derived from the votes embedded in the chain itself.
+//
+// This is the constructive half of Sect. 6.3's argument: "having a
+// prescribed BVC does not mean the rules cannot be dynamically adjusted.
+// As long as the protocol guarantees a BVC at any given time, the detailed
+// rules do not need to be prescribed." DynamicValidity gives every node an
+// identical verdict for every block — there are no per-node parameters at
+// all — yet the effective limit moves with the miners' votes.
+#pragma once
+
+#include <vector>
+
+#include "chain/block_tree.hpp"
+#include "chain/types.hpp"
+#include "counter/dynamic_limit.hpp"
+
+namespace bvc::counter {
+
+/// A block's vote is carried out of band in this model; callers register
+/// votes per block id (default kAbstain).
+class DynamicValidity {
+ public:
+  explicit DynamicValidity(VoteRuleConfig config);
+
+  /// Records the vote carried by block `id` (must precede validation of
+  /// any chain containing it).
+  void set_vote(chain::BlockId id, Vote vote);
+
+  /// Whether every block on the path from genesis to `tip` respects the
+  /// limit in force at its height, where the limit is replayed from the
+  /// votes of that same path. Deterministic in the chain alone: every node
+  /// reaches the same verdict (a prescribed BVC).
+  [[nodiscard]] bool chain_acceptable(const chain::BlockTree& tree,
+                                      chain::BlockId tip) const;
+
+  /// The limit a block extending `tip` would have to respect.
+  [[nodiscard]] ByteSize next_limit(const chain::BlockTree& tree,
+                                    chain::BlockId tip) const;
+
+ private:
+  VoteRuleConfig config_;
+  std::vector<Vote> votes_;  // indexed by BlockId
+};
+
+}  // namespace bvc::counter

@@ -1,0 +1,69 @@
+#include "counter/voting_simulation.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bvc::counter {
+
+namespace {
+Vote cohort_vote(const VoterCohort& cohort, ByteSize current_limit) {
+  Vote honest = Vote::kAbstain;
+  if (current_limit < cohort.preferred_limit) {
+    honest = Vote::kIncrease;
+  } else if (current_limit > cohort.preferred_limit) {
+    honest = Vote::kDecrease;
+  }
+  if (!cohort.adversarial) {
+    return honest;
+  }
+  switch (honest) {
+    case Vote::kIncrease:
+      return Vote::kDecrease;
+    case Vote::kDecrease:
+      return Vote::kIncrease;
+    case Vote::kAbstain:
+      return Vote::kIncrease;  // an adversary pushes the limit upward
+  }
+  return Vote::kAbstain;
+}
+}  // namespace
+
+VotingSimResult run_voting_simulation(const VotingSimConfig& config,
+                                      std::size_t epochs, Rng& rng) {
+  BVC_REQUIRE(!config.cohorts.empty(), "the simulation needs voters");
+  std::vector<double> weights;
+  double total = 0.0;
+  for (const VoterCohort& cohort : config.cohorts) {
+    BVC_REQUIRE(cohort.power > 0.0, "cohort power must be positive");
+    weights.push_back(cohort.power);
+    total += cohort.power;
+  }
+  BVC_REQUIRE(std::abs(total - 1.0) < 1e-9, "cohort powers must sum to 1");
+
+  CategoricalSampler sampler(weights);
+  DynamicLimitTracker tracker(config.rule);
+
+  VotingSimResult result;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    result.limit_per_epoch.push_back(tracker.current_limit());
+    for (Height i = 0; i < config.rule.epoch_length; ++i) {
+      const std::size_t who = sampler.sample(rng);
+      const Vote vote =
+          cohort_vote(config.cohorts[who], tracker.current_limit());
+      tracker.on_block(vote);
+      ++result.blocks;
+    }
+  }
+  result.final_limit = tracker.current_limit();
+  for (const auto& adjustment : tracker.adjustments()) {
+    if (adjustment.increase) {
+      ++result.increases;
+    } else {
+      ++result.decreases;
+    }
+  }
+  return result;
+}
+
+}  // namespace bvc::counter

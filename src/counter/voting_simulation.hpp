@@ -1,0 +1,41 @@
+// Monte-Carlo exercise of the countermeasure: miner cohorts with block-size
+// preferences vote honestly or adversarially; we track how the limit evolves
+// and verify that every node derives the same limit at every height.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "counter/dynamic_limit.hpp"
+#include "util/rng.hpp"
+
+namespace bvc::counter {
+
+struct VoterCohort {
+  double power = 0.0;          ///< share of blocks this cohort mines
+  ByteSize preferred_limit = 0;  ///< votes kIncrease below, kDecrease above
+  /// An adversarial cohort votes the *opposite* of its preference, trying to
+  /// push the limit where other participants cannot follow.
+  bool adversarial = false;
+};
+
+struct VotingSimConfig {
+  VoteRuleConfig rule;
+  std::vector<VoterCohort> cohorts;  ///< powers must sum to 1
+};
+
+struct VotingSimResult {
+  std::vector<ByteSize> limit_per_epoch;  ///< limit at each epoch start
+  ByteSize final_limit = 0;
+  std::size_t increases = 0;
+  std::size_t decreases = 0;
+  std::uint64_t blocks = 0;
+};
+
+/// Runs `epochs` full difficulty periods. Each block's miner is drawn by
+/// power; the miner votes according to its cohort policy given the limit in
+/// force when the block is mined.
+[[nodiscard]] VotingSimResult run_voting_simulation(
+    const VotingSimConfig& config, std::size_t epochs, Rng& rng);
+
+}  // namespace bvc::counter

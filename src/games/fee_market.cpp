@@ -1,0 +1,100 @@
+#include "games/fee_market.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bvc::games {
+
+void FeeMarketParams::validate() const {
+  BVC_REQUIRE(block_reward >= 0.0, "block reward must be non-negative");
+  BVC_REQUIRE(fee_depth >= 0.0, "fee depth must be non-negative");
+  BVC_REQUIRE(mempool_scale > 0.0, "mempool scale must be positive");
+  BVC_REQUIRE(block_interval > 0.0, "block interval must be positive");
+  BVC_REQUIRE(bandwidth > 0.0, "bandwidth must be positive");
+  BVC_REQUIRE(latency >= 0.0, "latency must be non-negative");
+  BVC_REQUIRE(power > 0.0 && power < 1.0, "power share must be in (0, 1)");
+}
+
+double fees_collected(const FeeMarketParams& params, double size) {
+  return params.fee_depth * (1.0 - std::exp(-size / params.mempool_scale));
+}
+
+double block_value(const FeeMarketParams& params, double size) {
+  params.validate();
+  BVC_REQUIRE(size >= 0.0, "block size must be non-negative");
+  const double tau = params.latency + size / params.bandwidth;
+  // While the block propagates, rival blocks arrive at rate
+  // (1 - power) / interval; any of them orphans ours (we lose the race to
+  // spread). exp(-) is the survival probability.
+  const double survival =
+      std::exp(-tau * (1.0 - params.power) / params.block_interval);
+  return (params.block_reward + fees_collected(params, size)) * survival;
+}
+
+namespace {
+constexpr double kMaxSize = 1e12;  // 1 TB: far beyond any real block
+}
+
+double optimal_block_size(const FeeMarketParams& params) {
+  params.validate();
+  // V has a unique interior maximum (declining marginal fees against a
+  // constant marginal orphan cost): bracket the peak, then golden-section.
+  double hi = params.mempool_scale;
+  while (hi < kMaxSize &&
+         block_value(params, hi * 2.0) > block_value(params, hi)) {
+    hi *= 2.0;
+  }
+  hi *= 2.0;
+  double lo = 0.0;
+  const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = block_value(params, x1);
+  double f2 = block_value(params, x2);
+  while (hi - lo > 1.0) {  // byte resolution
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = block_value(params, x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = block_value(params, x1);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double maximum_profitable_size(const FeeMarketParams& params) {
+  params.validate();
+  const double floor = block_value(params, 0.0);
+  const double peak_at = optimal_block_size(params);
+  if (block_value(params, peak_at) <= floor + 1e-15) {
+    return 0.0;  // fees never beat the orphan risk: mine empty blocks
+  }
+  // Beyond the peak, V decreases monotonically; bisect for V(Q) == V(0).
+  double lo = peak_at;
+  double hi = peak_at * 2.0 + params.mempool_scale;
+  while (hi < kMaxSize && block_value(params, hi) > floor) {
+    hi *= 2.0;
+  }
+  BVC_ENSURE(hi < kMaxSize,
+             "maximum profitable size exceeds the 1 TB search bracket");
+  while (hi - lo > 1.0) {
+    const double mid = 0.5 * (lo + hi);
+    if (block_value(params, mid) > floor) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bvc::games

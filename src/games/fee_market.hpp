@@ -1,0 +1,52 @@
+// Rizun's fee-market model (Sect. 2.3): "when there is no block size limit,
+// a rational miner's block size is a tradeoff between higher transaction
+// fees and lower orphan rate" — the corollary the paper leans on is that
+// miners have *different* block size preferences according to their mining
+// costs and network capacity, which is what makes the block size increasing
+// game (Sect. 5.2) meaningful.
+//
+// Model: filling a block of size Q collects fees from a mempool with
+// diminishing fee density (the miner takes the best-paying transactions
+// first):
+//     fees(Q) = fee_depth * (1 - exp(-Q / mempool_scale)),
+// while the block takes tau(Q) = latency + Q / bandwidth seconds to reach
+// the network. With Poisson mining at rate 1/T, a rival block appears
+// during propagation with rate (1 - power)/T and orphans ours, so
+//
+//     V(Q) = (block_reward + fees(Q)) * exp(-tau(Q) * (1 - power) / T).
+//
+// The declining marginal fee against the constant marginal orphan cost
+// yields a unique interior profit-maximizing size; the largest Q with
+// V(Q) >= V(0) is the miner's *maximum profitable block size* (MPB) — our
+// quantitative stand-in for the paper's Assumption 2.
+#pragma once
+
+namespace bvc::games {
+
+struct FeeMarketParams {
+  double block_reward = 12.5;     ///< fixed reward (BTC, 2017 era)
+  double fee_depth = 2.0;         ///< total fees claimable (BTC)
+  double mempool_scale = 4e6;     ///< bytes to claim ~63% of the fees
+  double block_interval = 600.0;  ///< mean seconds between blocks
+  double bandwidth = 1e6;         ///< effective upload bytes/second
+  double latency = 2.0;           ///< fixed propagation seconds
+  double power = 0.1;             ///< miner's own hash-rate share
+
+  void validate() const;
+};
+
+/// Fees collected by a block of `size` bytes.
+[[nodiscard]] double fees_collected(const FeeMarketParams& params,
+                                    double size);
+
+/// Expected value of mining a block of `size` bytes under `params`.
+[[nodiscard]] double block_value(const FeeMarketParams& params, double size);
+
+/// The size maximizing block_value (golden-section search; bytes).
+[[nodiscard]] double optimal_block_size(const FeeMarketParams& params);
+
+/// The largest size whose expected value still matches an empty block's —
+/// the miner's maximum profitable block size (bytes).
+[[nodiscard]] double maximum_profitable_size(const FeeMarketParams& params);
+
+}  // namespace bvc::games

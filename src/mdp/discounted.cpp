@@ -1,0 +1,55 @@
+#include "mdp/discounted.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bvc::mdp {
+
+DiscountedResult solve_discounted(const Model& model,
+                                  const DiscountedOptions& options) {
+  BVC_REQUIRE(options.discount > 0.0 && options.discount < 1.0,
+              "discount must be in (0, 1)");
+  BVC_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
+
+  const StateId n = model.num_states();
+  DiscountedResult result;
+  result.value.assign(n, 0.0);
+  result.policy.action.assign(n, 0);
+  std::vector<double> next(n, 0.0);
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      double best = -std::numeric_limits<double>::infinity();
+      std::uint32_t best_action = 0;
+      const std::size_t actions = model.num_actions(s);
+      for (std::size_t a = 0; a < actions; ++a) {
+        const SaIndex sa = model.sa_index(s, a);
+        double q = model.expected_reward(sa);
+        for (const Outcome& o : model.outcomes(sa)) {
+          q += options.discount * o.probability * result.value[o.next];
+        }
+        if (q > best) {
+          best = q;
+          best_action = static_cast<std::uint32_t>(a);
+        }
+      }
+      max_delta = std::max(max_delta, std::abs(best - result.value[s]));
+      next[s] = best;
+      result.policy.action[s] = best_action;
+    }
+    result.value.swap(next);
+    result.sweeps = sweep + 1;
+    // Standard VI error bound: ||V - V*|| <= delta * beta / (1 - beta).
+    if (max_delta * options.discount / (1.0 - options.discount) <
+        options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bvc::mdp

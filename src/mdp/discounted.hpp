@@ -1,0 +1,31 @@
+// Discounted-reward value iteration. Not used by the paper's evaluation
+// (which needs long-run averages), but handy for sanity checks and as a
+// reference implementation when validating the average-reward solver:
+// (1 - beta) * V_beta -> gain as beta -> 1 for unichain MDPs.
+#pragma once
+
+#include <vector>
+
+#include "mdp/average_reward.hpp"
+#include "mdp/model.hpp"
+
+namespace bvc::mdp {
+
+struct DiscountedOptions {
+  double discount = 0.999;  ///< beta in (0, 1)
+  double tolerance = 1e-10;
+  int max_sweeps = 1000000;
+};
+
+struct DiscountedResult {
+  std::vector<double> value;
+  Policy policy;
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Maximizes expected discounted primary-stream reward from every state.
+[[nodiscard]] DiscountedResult solve_discounted(
+    const Model& model, const DiscountedOptions& options = {});
+
+}  // namespace bvc::mdp

@@ -1,0 +1,161 @@
+#include "mdp/policy_iteration.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bvc::mdp {
+
+namespace {
+
+/// Solves the dense system A x = b in place by Gaussian elimination with
+/// partial pivoting. A is row-major n x n.
+void solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(a[row * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    BVC_ENSURE(best > 1e-300,
+               "singular policy-evaluation system: the policy is not "
+               "unichain with state 0 recurrent");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    const double diag = a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back-substitute.
+  for (std::size_t col = n; col-- > 0;) {
+    double sum = b[col];
+    for (std::size_t k = col + 1; k < n; ++k) {
+      sum -= a[col * n + k] * b[k];
+    }
+    b[col] = sum / a[col * n + col];
+  }
+}
+
+}  // namespace
+
+PolicyIterationResult evaluate_policy_exact(
+    const Model& model, const Policy& policy,
+    std::span<const double> sa_rewards,
+    const PolicyIterationOptions& options) {
+  const StateId n = model.num_states();
+  BVC_REQUIRE(n <= options.max_states,
+              "model too large for dense policy evaluation");
+  BVC_REQUIRE(policy.action.size() == n,
+              "policy must assign an action to every state");
+  BVC_REQUIRE(sa_rewards.size() == model.num_state_actions(),
+              "sa_rewards must cover every (state, action) pair");
+
+  // Unknowns x = (g, h(1), ..., h(n-1)); h(0) = 0 by normalization.
+  // Equation for state s:  g + h(s) - sum_s' P(s') h(s') = r(s).
+  const std::size_t dim = n;
+  std::vector<double> a(dim * dim, 0.0);
+  std::vector<double> b(dim, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    const SaIndex sa = model.sa_index(s, policy.action[s]);
+    a[s * dim + 0] = 1.0;  // g
+    if (s != 0) {
+      a[s * dim + s] += 1.0;  // h(s)
+    }
+    for (const Outcome& o : model.outcomes(sa)) {
+      if (o.next != 0) {
+        a[s * dim + o.next] -= o.probability;  // -P h(s')
+      }
+    }
+    b[s] = sa_rewards[sa];
+  }
+  solve_dense(a, b, dim);
+
+  PolicyIterationResult result;
+  result.gain = b[0];
+  result.bias.assign(n, 0.0);
+  for (StateId s = 1; s < n; ++s) {
+    result.bias[s] = b[s];
+  }
+  result.policy = policy;
+  result.converged = true;
+  return result;
+}
+
+PolicyIterationResult policy_iteration(
+    const Model& model, std::span<const double> sa_rewards,
+    const PolicyIterationOptions& options) {
+  const StateId n = model.num_states();
+  Policy policy;
+  policy.action.assign(n, 0);
+
+  PolicyIterationResult evaluated;
+  for (int round = 0; round < options.max_improvements; ++round) {
+    evaluated = evaluate_policy_exact(model, policy, sa_rewards, options);
+    evaluated.improvements = round;
+
+    // Greedy improvement against the exact bias.
+    bool changed = false;
+    for (StateId s = 0; s < n; ++s) {
+      const std::size_t actions = model.num_actions(s);
+      double incumbent_q = -std::numeric_limits<double>::infinity();
+      double best_q = -std::numeric_limits<double>::infinity();
+      std::uint32_t best_action = policy.action[s];
+      for (std::size_t candidate = 0; candidate < actions; ++candidate) {
+        const SaIndex sa = model.sa_index(s, candidate);
+        double q = sa_rewards[sa];
+        for (const Outcome& o : model.outcomes(sa)) {
+          q += o.probability * evaluated.bias[o.next];
+        }
+        if (candidate == policy.action[s]) {
+          incumbent_q = q;
+        }
+        if (q > best_q) {
+          best_q = q;
+          best_action = static_cast<std::uint32_t>(candidate);
+        }
+      }
+      if (best_action != policy.action[s] &&
+          best_q > incumbent_q + options.improvement_tolerance) {
+        policy.action[s] = best_action;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      evaluated.converged = true;
+      return evaluated;
+    }
+  }
+  evaluated.converged = false;
+  return evaluated;
+}
+
+PolicyIterationResult policy_iteration(
+    const Model& model, const PolicyIterationOptions& options) {
+  std::vector<double> rewards(model.num_state_actions());
+  for (SaIndex sa = 0; sa < rewards.size(); ++sa) {
+    rewards[sa] = model.expected_reward(sa);
+  }
+  return policy_iteration(model, rewards, options);
+}
+
+}  // namespace bvc::mdp

@@ -1,0 +1,144 @@
+#include "mdp/ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bvc::mdp {
+
+namespace {
+
+/// Fills `scratch` with the expected linearized reward (num - rho * den) of
+/// every (state, action) pair.
+void linearize(const Model& model, double rho, std::vector<double>& scratch) {
+  scratch.resize(model.num_state_actions());
+  for (SaIndex sa = 0; sa < scratch.size(); ++sa) {
+    scratch[sa] = model.expected_reward(sa) - rho * model.expected_weight(sa);
+  }
+}
+
+}  // namespace
+
+RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
+  BVC_REQUIRE(options.tolerance > 0.0, "ratio tolerance must be positive");
+  BVC_REQUIRE(options.upper_bound > options.lower_bound,
+              "ratio bracket must be non-empty");
+
+  // Treat gains below this as "zero": the linearized problem is solved to
+  // options.inner.tolerance, so anything of that order is noise.
+  const double gain_tol = std::max(10.0 * options.inner.tolerance, 1e-8);
+
+  RatioResult result;
+  double lo = options.lower_bound;  // ratio known to be achievable (or floor)
+  double hi = options.upper_bound;  // ratio known to be unachievable (ceiling)
+  double rho = lo;
+  std::vector<double> linearized;
+  std::vector<double> warm_bias;
+  std::vector<double> eval_reward_bias;
+  std::vector<double> eval_weight_bias;
+
+  const auto record_policy = [&](const Policy& policy, double num_rate,
+                                 double den_rate) {
+    result.policy = policy;
+    result.reward_rate = num_rate;
+    result.weight_rate = den_rate;
+  };
+
+  // Denominator-stream rewards, shared by all policy evaluations.
+  std::vector<double> weight_rewards(model.num_state_actions());
+  for (SaIndex sa = 0; sa < weight_rewards.size(); ++sa) {
+    weight_rewards[sa] = model.expected_weight(sa);
+  }
+
+  // --- Dinkelbach phase -------------------------------------------------
+  for (; result.iterations < options.max_iterations; ++result.iterations) {
+    linearize(model, rho, linearized);
+    const GainResult run = maximize_average_reward(
+        model, linearized, options.inner,
+        warm_bias.empty() ? nullptr : &warm_bias);
+    warm_bias = run.bias;
+
+    if (run.gain <= gain_tol) {
+      // No policy beats ratio `rho` (within tolerance): rho is an upper
+      // bound. If it already meets the achievable bound, we are done.
+      hi = std::min(hi, rho);
+      if (hi - lo <= options.tolerance) {
+        result.ratio = lo;
+        result.converged = true;
+        return result;
+      }
+      break;  // degenerate/stalled: refine by bisection below
+    }
+
+    // One policy evaluation (the denominator stream) suffices: the
+    // optimizer's gain is num_rate - rho * den_rate for its own policy, so
+    // num_rate = gain + rho * den_rate.
+    const GainResult weight_run = evaluate_policy_stream(
+        model, run.policy, weight_rewards, options.inner,
+        eval_weight_bias.empty() ? nullptr : &eval_weight_bias);
+    eval_weight_bias = weight_run.bias;
+    const double den_rate = weight_run.gain;
+    const double num_rate = run.gain + rho * den_rate;
+    if (den_rate <= options.min_weight_rate) {
+      // Positive linearized gain but no denominator mass. With our models
+      // the numerator then must be (numerically) zero too; treat as a stall
+      // and let bisection decide.
+      BVC_ENSURE(num_rate <= gain_tol,
+                 "ratio objective is unbounded: positive numerator rate with "
+                 "zero denominator rate");
+      break;
+    }
+
+    const PolicyGains gains{num_rate, den_rate, weight_run.converged};
+    const double achieved = gains.reward_rate / gains.weight_rate;
+    if (achieved > lo) {
+      lo = achieved;
+      record_policy(run.policy, gains.reward_rate, gains.weight_rate);
+    }
+    if (achieved <= rho + options.tolerance) {
+      // Dinkelbach fixed point: g(rho) ~ 0 at rho = achieved ratio.
+      result.ratio = lo;
+      result.converged = true;
+      return result;
+    }
+    rho = achieved;
+  }
+
+  // --- Bisection fallback -------------------------------------------------
+  result.used_bisection = true;
+  while (hi - lo > options.tolerance &&
+         result.iterations < options.max_iterations) {
+    ++result.iterations;
+    const double mid = 0.5 * (lo + hi);
+    linearize(model, mid, linearized);
+    const GainResult run = maximize_average_reward(
+        model, linearized, options.inner,
+        warm_bias.empty() ? nullptr : &warm_bias);
+    warm_bias = run.bias;
+    if (run.gain > gain_tol) {
+      // Some policy achieves a ratio above mid; try to extract it so the
+      // reported policy matches the reported ratio.
+      const PolicyGains gains =
+          evaluate_policy_average(model, run.policy, options.inner,
+                                  &eval_reward_bias, &eval_weight_bias);
+      if (gains.weight_rate > options.min_weight_rate) {
+        const double achieved = gains.reward_rate / gains.weight_rate;
+        if (achieved > lo) {
+          record_policy(run.policy, gains.reward_rate, gains.weight_rate);
+        }
+        lo = std::max(lo, std::max(mid, achieved));
+      } else {
+        lo = mid;
+      }
+    } else {
+      hi = mid;
+    }
+  }
+
+  result.ratio = lo;
+  result.converged = hi - lo <= options.tolerance * (1.0 + std::abs(lo));
+  return result;
+}
+
+}  // namespace bvc::mdp

@@ -1,0 +1,47 @@
+// Maximization of ratio objectives  max_pi  num_rate(pi) / den_rate(pi)
+// over stationary policies of a unichain MDP, where num/den are the model's
+// two reward streams. This is the form of all three utility functions in the
+// paper (Eq. 1–3); the same construction underlies Sapirshtein et al.'s
+// optimal-selfish-mining solver.
+//
+// Method: Dinkelbach's algorithm — repeatedly maximize the average reward of
+// the linearized stream (num - rho * den) and update rho to the achieved
+// ratio — with a bisection fallback for the degenerate case where a policy
+// with zero denominator rate (e.g. "wait forever") is optimal at the current
+// rho. Both converge because  g(rho) = max_pi (num_rate - rho * den_rate)
+// is convex, non-increasing, and g(rho*) = 0 at the optimal ratio rho*.
+#pragma once
+
+#include "mdp/average_reward.hpp"
+#include "mdp/model.hpp"
+
+namespace bvc::mdp {
+
+struct RatioOptions {
+  AverageRewardOptions inner;
+  /// Convergence tolerance on the ratio value.
+  double tolerance = 1e-6;
+  int max_iterations = 200;
+  /// Bracket for the optimal ratio; `upper_bound` must be a genuine upper
+  /// bound for the bisection fallback to be sound.
+  double lower_bound = 0.0;
+  double upper_bound = 1.0;
+  /// A policy whose denominator rate falls below this is considered
+  /// degenerate (accrues no denominator mass).
+  double min_weight_rate = 1e-9;
+};
+
+struct RatioResult {
+  double ratio = 0.0;     ///< best achieved num/den rate
+  Policy policy;          ///< a policy achieving `ratio` (up to tolerance)
+  double reward_rate = 0.0;  ///< numerator rate of `policy`
+  double weight_rate = 0.0;  ///< denominator rate of `policy`
+  int iterations = 0;     ///< linearized solves performed
+  bool converged = false;
+  bool used_bisection = false;
+};
+
+[[nodiscard]] RatioResult maximize_ratio(const Model& model,
+                                         const RatioOptions& options);
+
+}  // namespace bvc::mdp

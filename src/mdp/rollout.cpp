@@ -1,0 +1,37 @@
+#include "mdp/rollout.hpp"
+
+#include "util/check.hpp"
+
+namespace bvc::mdp {
+
+ModelRolloutResult rollout_model(const Model& model, const Policy& policy,
+                                 StateId start, std::uint64_t steps,
+                                 Rng& rng) {
+  BVC_REQUIRE(policy.action.size() == model.num_states(),
+              "policy must cover every state");
+  BVC_REQUIRE(start < model.num_states(), "start state out of range");
+
+  ModelRolloutResult result;
+  StateId state = start;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const SaIndex sa = model.sa_index(state, policy.action[state]);
+    const auto outcomes = model.outcomes(sa);
+    // Sample a branch by probability mass.
+    double u = rng.next_double();
+    const Outcome* chosen = &outcomes.back();
+    for (const Outcome& o : outcomes) {
+      if (u < o.probability) {
+        chosen = &o;
+        break;
+      }
+      u -= o.probability;
+    }
+    result.reward_total += chosen->reward;
+    result.weight_total += chosen->weight;
+    state = chosen->next;
+  }
+  result.steps = steps;
+  return result;
+}
+
+}  // namespace bvc::mdp

@@ -1,0 +1,37 @@
+// Monte-Carlo rollout of a fixed policy on a sparse Model: samples
+// successor states from the outcome distributions and accumulates both
+// reward streams. An independent check of the analytic gain/ratio solvers
+// (the solvers iterate expectations; the rollout samples trajectories).
+#pragma once
+
+#include <cstdint>
+
+#include "mdp/average_reward.hpp"
+#include "mdp/model.hpp"
+#include "util/rng.hpp"
+
+namespace bvc::mdp {
+
+struct ModelRolloutResult {
+  double reward_total = 0.0;  ///< accumulated numerator stream
+  double weight_total = 0.0;  ///< accumulated denominator stream
+  std::uint64_t steps = 0;
+
+  /// reward_total / weight_total (the ratio-objective estimate), or 0 when
+  /// no denominator mass accrued.
+  [[nodiscard]] double ratio() const noexcept {
+    return weight_total != 0.0 ? reward_total / weight_total : 0.0;
+  }
+  /// reward_total / steps (the average-reward estimate).
+  [[nodiscard]] double reward_rate() const noexcept {
+    return steps != 0 ? reward_total / static_cast<double>(steps) : 0.0;
+  }
+};
+
+/// Simulates `steps` transitions from `start` under `policy`.
+[[nodiscard]] ModelRolloutResult rollout_model(const Model& model,
+                                               const Policy& policy,
+                                               StateId start,
+                                               std::uint64_t steps, Rng& rng);
+
+}  // namespace bvc::mdp

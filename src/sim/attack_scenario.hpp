@@ -1,0 +1,97 @@
+// Monte-Carlo replay of the Sect. 4 attack scenario on a *real* block tree
+// with per-node BU validity rules — not on the abstract MDP state.
+//
+// Three miners share one block tree: Alice follows a (typically
+// MDP-optimal) policy and picks block sizes to split Bob and Carol exactly
+// as the paper describes; Bob and Carol are compliant BU nodes that select
+// tips with chain::BuNodeRule. Every fork, acceptance, sticky-gate opening
+// and resolution therefore emerges from the validity rules themselves.
+//
+// With `check_against_model` enabled, each step additionally recomputes the
+// abstract transition via bu::apply_event and insists the two agree — the
+// library's strongest end-to-end consistency check (MDP semantics vs chain
+// semantics).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bu/attack_analysis.hpp"
+#include "bu/attack_model.hpp"
+#include "chain/block_tree.hpp"
+#include "chain/bu_validity.hpp"
+#include "util/rng.hpp"
+
+namespace bvc::sim {
+
+struct ScenarioOptions {
+  /// EB of the small-EB side (Bob). Compliant blocks are 1 MB.
+  chain::ByteSize eb_bob = chain::kBitcoinBlockLimit;
+  /// EB of the large-EB side (Carol); Alice's phase-1 fork block has exactly
+  /// this size, her phase-2 fork block is one byte larger.
+  chain::ByteSize eb_carol = 8 * chain::kMegabyte;
+  /// Re-root the block tree once the locked prefix exceeds this many blocks.
+  std::uint32_t reroot_threshold = 64;
+  /// Verify every step against bu::apply_event (throws on divergence).
+  bool check_against_model = false;
+};
+
+struct ScenarioResult {
+  bu::Deltas totals;
+  std::uint64_t steps = 0;
+  double utility_estimate = 0.0;  ///< accumulated num / den for the utility
+  std::uint64_t forks_started = 0;
+  std::uint64_t chain1_wins = 0;
+  std::uint64_t chain2_wins = 0;   ///< acceptance-depth takeovers
+  std::uint64_t gate_openings = 0; ///< times Bob's sticky gate opened
+  std::uint64_t double_spend_events = 0;
+};
+
+class AttackScenarioSim {
+ public:
+  /// `model` supplies the attack parameters, the utility and the state
+  /// space used to interpret `policy`.
+  AttackScenarioSim(const bu::AttackModel& model, ScenarioOptions options);
+
+  /// Simulates `steps` block-arrival events under `policy`.
+  [[nodiscard]] ScenarioResult run(const mdp::Policy& policy,
+                                   std::uint64_t steps, Rng& rng);
+
+ private:
+  struct ForkRecord {
+    chain::BlockId base = 0;        ///< last block both sides agreed on
+    chain::BlockId chain1_tip = 0;  ///< chain of the side rejecting the
+                                    ///< trigger block
+    chain::BlockId chain2_tip = 0;  ///< chain starting with Alice's trigger
+    bool phase2 = false;        ///< true when the split uses Bob's open gate
+    std::uint16_t r_at_start = 0;  ///< Bob's gate countdown when the fork
+                                   ///< began (the MDP's r, fixed mid-fork)
+  };
+
+  void reset_tree();
+  [[nodiscard]] bu::AttackState derive_state() const;
+  [[nodiscard]] std::uint16_t derived_r() const;
+  [[nodiscard]] std::size_t count_alice(chain::BlockId from_exclusive,
+                                        chain::BlockId to_inclusive) const;
+  void resolve_fork(chain::BlockId winner_tip, chain::BlockId loser_tip,
+                    ScenarioResult& result);
+  void lock_common_prefix(ScenarioResult& result);
+  void maybe_reroot();
+
+  const bu::AttackModel* model_;
+  ScenarioOptions options_;
+  bu::AttackParams params_;
+
+  chain::BlockTree tree_;
+  chain::BuNodeRule bob_rule_;
+  chain::BuNodeRule carol_rule_;
+  chain::GateState bob_gate_;    // at the tree's current genesis
+  chain::GateState carol_gate_;  // at the tree's current genesis
+  chain::BlockId bob_tip_ = 0;
+  chain::BlockId carol_tip_ = 0;
+  chain::BlockId agreed_base_ = 0;  ///< rewards credited up to here
+  std::optional<ForkRecord> fork_;
+};
+
+}  // namespace bvc::sim

@@ -1,0 +1,159 @@
+#include "sim/fork_simulation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bvc::sim {
+
+namespace {
+
+chain::BlockId select_tip(const chain::BlockTree& tree,
+                          const chain::BuNodeRule& rule,
+                          const chain::GateState& genesis_gate,
+                          chain::BlockId current,
+                          const std::vector<chain::BlockId>& leaves) {
+  chain::BlockId best = chain::kNoBlock;
+  chain::Height best_height = 0;
+  const auto consider = [&](chain::BlockId id) {
+    const chain::Height height = tree.block(id).height;
+    if (best == chain::kNoBlock || height > best_height ||
+        (height == best_height && id == current)) {
+      best = id;
+      best_height = height;
+    }
+  };
+  for (const chain::BlockId leaf : leaves) {
+    const chain::ChainStatus status = rule.evaluate(tree, leaf, genesis_gate);
+    switch (status.verdict) {
+      case chain::ChainVerdict::kAcceptable:
+        consider(leaf);
+        break;
+      case chain::ChainVerdict::kPendingDepth:
+        // The node mines on the deepest block it accepts on this branch:
+        // everything below the first pending excessive block.
+        consider(tree.block(*status.pending_block).parent);
+        break;
+      case chain::ChainVerdict::kInvalid:
+        // Oversized-message chains are not minable for anyone; stay put.
+        break;
+    }
+  }
+  // The node's current tip always remains acceptable (Rizun's rule never
+  // revokes acceptance), so `best` can only be null if every branch is
+  // invalid — fall back to the current tip.
+  return best == chain::kNoBlock ? current : best;
+}
+
+}  // namespace
+
+ForkSimulation::ForkSimulation(ForkSimConfig config)
+    : config_(std::move(config)) {
+  BVC_REQUIRE(!config_.miners.empty(), "the simulation needs miners");
+  std::vector<double> weights;
+  double total = 0.0;
+  for (const SimMiner& miner : config_.miners) {
+    BVC_REQUIRE(miner.power > 0.0, "every miner needs positive power");
+    BVC_REQUIRE(miner.block_size <= miner.rule.mg,
+                "a compliant miner cannot exceed its own MG");
+    rules_.emplace_back(miner.rule);
+    weights.push_back(miner.power);
+    total += miner.power;
+  }
+  BVC_REQUIRE(std::abs(total - 1.0) < 1e-9, "powers must sum to 1");
+  power_sampler_ = CategoricalSampler(weights);
+  gates_.assign(config_.miners.size(), chain::GateState{});
+  reset_tree();
+}
+
+void ForkSimulation::reset_tree() {
+  tree_ = chain::BlockTree();
+  tips_.assign(config_.miners.size(), tree_.genesis());
+  in_fork_ = false;
+}
+
+bool ForkSimulation::all_tips_equal() const {
+  return std::all_of(tips_.begin(), tips_.end(),
+                     [&](chain::BlockId id) { return id == tips_.front(); });
+}
+
+ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng) {
+  ForkSimResult result;
+  result.locked_per_miner.assign(config_.miners.size(), 0);
+  result.orphaned_per_miner.assign(config_.miners.size(), 0);
+
+  chain::BlockId credited_upto = tree_.genesis();
+  chain::BlockId episode_first_block = chain::kNoBlock;
+
+  for (std::uint64_t step = 0; step < blocks; ++step) {
+    const auto who = static_cast<std::size_t>(power_sampler_.sample(rng));
+    const SimMiner& miner = config_.miners[who];
+    const chain::BlockId block =
+        tree_.add_block(tips_[who], miner.block_size,
+                        static_cast<chain::MinerId>(who));
+    ++result.blocks_mined;
+
+    // Every node re-selects among the tree's leaves.
+    const std::vector<chain::BlockId> leaves = tree_.tips();
+    for (std::size_t i = 0; i < tips_.size(); ++i) {
+      tips_[i] = select_tip(tree_, rules_[i], gates_[i], tips_[i], leaves);
+    }
+
+    const bool agreed = all_tips_equal();
+    if (!agreed) {
+      if (!in_fork_) {
+        in_fork_ = true;
+        ++result.fork_episodes;
+        episode_first_block = block;
+      }
+      ++result.steps_disagreeing;
+      // Depth: distance from the deepest common ancestor of all tips.
+      chain::BlockId common = tips_.front();
+      for (const chain::BlockId tip : tips_) {
+        common = tree_.common_ancestor(common, tip);
+      }
+      for (const chain::BlockId tip : tips_) {
+        result.max_fork_depth =
+            std::max(result.max_fork_depth,
+                     tree_.block(tip).height - tree_.block(common).height);
+      }
+      continue;
+    }
+
+    // Agreement: credit the newly locked prefix and, if a fork episode just
+    // ended, count the abandoned branches as orphaned.
+    const chain::BlockId tip = tips_.front();
+    if (in_fork_) {
+      in_fork_ = false;
+      for (chain::BlockId id = episode_first_block; id < tree_.size(); ++id) {
+        if (!tree_.is_ancestor(id, tip)) {
+          ++result.orphaned_blocks;
+          const chain::MinerId who_lost = tree_.block(id).miner;
+          if (who_lost >= 0) {
+            ++result.orphaned_per_miner[static_cast<std::size_t>(who_lost)];
+          }
+        }
+      }
+    }
+    for (chain::BlockId cursor = tip; cursor != credited_upto;
+         cursor = tree_.block(cursor).parent) {
+      BVC_ENSURE(cursor != chain::kNoBlock, "credited cursor fell off");
+      const chain::MinerId who_won = tree_.block(cursor).miner;
+      if (who_won >= 0) {
+        ++result.locked_per_miner[static_cast<std::size_t>(who_won)];
+      }
+    }
+    credited_upto = tip;
+
+    if (tree_.block(tip).height >= config_.reroot_threshold) {
+      for (std::size_t i = 0; i < tips_.size(); ++i) {
+        gates_[i] = rules_[i].evaluate(tree_, tip, gates_[i]).gate;
+      }
+      reset_tree();
+      credited_upto = tree_.genesis();
+    }
+  }
+  return result;
+}
+
+}  // namespace bvc::sim

@@ -1,0 +1,71 @@
+// A general n-node BU network simulation in the style of Andrew Stone's
+// "Emergent Consensus Simulations" (Sect. 2.3): every miner is a compliant
+// BU node with its own EB/AD/MG, mining on the tip its own validity rule
+// selects. The paper's point is that such simulations show few forks only
+// because no participant *adapts* its block size; this simulator reproduces
+// that observation (and, with heterogeneous MGs, the organic fork behaviour)
+// as a baseline against the strategic attacks in sim::AttackScenarioSim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/block_tree.hpp"
+#include "chain/bu_validity.hpp"
+#include "util/rng.hpp"
+
+namespace bvc::sim {
+
+struct SimMiner {
+  std::string name;
+  double power = 0.0;              ///< mining power share
+  chain::BuParams rule;            ///< the node's validity parameters
+  chain::ByteSize block_size = chain::kBitcoinBlockLimit;  ///< MG it uses
+};
+
+struct ForkSimConfig {
+  std::vector<SimMiner> miners;
+  /// Re-root the tree when the fully-agreed prefix exceeds this height.
+  std::uint32_t reroot_threshold = 64;
+};
+
+struct ForkSimResult {
+  std::uint64_t blocks_mined = 0;
+  std::uint64_t fork_episodes = 0;   ///< times the nodes' tips diverged
+  std::uint64_t steps_disagreeing = 0;  ///< steps with divergent tips
+  chain::Height max_fork_depth = 0;  ///< deepest divergence observed
+  std::uint64_t orphaned_blocks = 0;
+  std::vector<std::uint64_t> locked_per_miner;
+  std::vector<std::uint64_t> orphaned_per_miner;
+
+  [[nodiscard]] double orphan_rate() const noexcept {
+    return blocks_mined == 0
+               ? 0.0
+               : static_cast<double>(orphaned_blocks) /
+                     static_cast<double>(blocks_mined);
+  }
+};
+
+class ForkSimulation {
+ public:
+  explicit ForkSimulation(ForkSimConfig config);
+
+  /// Mines `blocks` blocks and returns the aggregate fork statistics.
+  [[nodiscard]] ForkSimResult run(std::uint64_t blocks, Rng& rng);
+
+ private:
+  void reset_tree();
+  [[nodiscard]] bool all_tips_equal() const;
+
+  ForkSimConfig config_;
+  std::vector<chain::BuNodeRule> rules_;
+  CategoricalSampler power_sampler_;
+
+  chain::BlockTree tree_;
+  std::vector<chain::BlockId> tips_;     // per miner
+  std::vector<chain::GateState> gates_;  // per miner, at current genesis
+  bool in_fork_ = false;
+};
+
+}  // namespace bvc::sim

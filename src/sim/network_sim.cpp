@@ -1,0 +1,165 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace bvc::sim {
+
+namespace {
+
+struct Delivery {
+  double time = 0.0;
+  std::size_t node = 0;
+  chain::BlockId block = 0;
+
+  // min-heap on time; break ties by block id so parents (smaller ids from
+  // earlier finds) are delivered before same-instant children.
+  [[nodiscard]] bool operator>(const Delivery& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return block > other.block;
+  }
+};
+
+}  // namespace
+
+NetworkSimulation::NetworkSimulation(NetworkConfig config)
+    : config_(std::move(config)) {
+  BVC_REQUIRE(!config_.miners.empty(), "the network needs miners");
+  BVC_REQUIRE(config_.block_interval > 0.0,
+              "block interval must be positive");
+  double total = 0.0;
+  for (const NetMiner& miner : config_.miners) {
+    BVC_REQUIRE(miner.power > 0.0, "miner power must be positive");
+    BVC_REQUIRE(miner.block_size <= miner.rule.mg,
+                "a compliant miner cannot exceed its own MG");
+    BVC_REQUIRE(miner.bandwidth > 0.0, "bandwidth must be positive");
+    BVC_REQUIRE(miner.latency >= 0.0, "latency must be non-negative");
+    total += miner.power;
+  }
+  BVC_REQUIRE(std::abs(total - 1.0) < 1e-9, "powers must sum to 1");
+}
+
+NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng) {
+  const std::size_t n = config_.miners.size();
+  chain::BlockTree tree;
+  std::vector<BuNodeView> views;
+  views.reserve(n);
+  std::vector<double> weights;
+  for (const NetMiner& miner : config_.miners) {
+    views.emplace_back(tree, miner.rule);
+    weights.push_back(miner.power);
+  }
+  CategoricalSampler by_power(weights);
+
+  std::priority_queue<Delivery, std::vector<Delivery>, std::greater<>>
+      in_flight;
+  // Deliveries whose parent has not reached the node yet (out-of-order
+  // arrival: a small child can overtake its large parent on a slow link).
+  std::vector<std::multimap<chain::BlockId, chain::BlockId>> waiting(n);
+
+  NetworkResult result;
+  result.mined_per_miner.assign(n, 0);
+  result.locked_per_miner.assign(n, 0);
+  result.orphaned_per_miner.assign(n, 0);
+
+  const auto deliver = [&](std::size_t node, chain::BlockId block) {
+    // Deliver `block` and any descendants that were waiting on it.
+    std::vector<chain::BlockId> ready = {block};
+    while (!ready.empty()) {
+      const chain::BlockId id = ready.back();
+      ready.pop_back();
+      if (views[node].knows(id)) {
+        continue;
+      }
+      const chain::BlockId parent = tree.block(id).parent;
+      if (parent != chain::kNoBlock && !views[node].knows(parent)) {
+        waiting[node].emplace(parent, id);
+        continue;
+      }
+      views[node].learn(id);
+      const auto [begin, end] = waiting[node].equal_range(id);
+      for (auto it = begin; it != end; ++it) {
+        ready.push_back(it->second);
+      }
+      waiting[node].erase(begin, end);
+    }
+  };
+
+  double now = 0.0;
+  double next_find = rng.next_exponential(1.0 / config_.block_interval);
+  std::uint64_t found = 0;
+
+  while (found < blocks || !in_flight.empty()) {
+    const bool more_mining = found < blocks;
+    if (more_mining &&
+        (in_flight.empty() || next_find <= in_flight.top().time)) {
+      // --- a block is found ---------------------------------------------
+      now = next_find;
+      next_find = now + rng.next_exponential(1.0 / config_.block_interval);
+      const std::size_t who = by_power.sample(rng);
+      const NetMiner& miner = config_.miners[who];
+      const chain::BlockId block =
+          tree.add_block(views[who].tip(), miner.block_size,
+                         static_cast<chain::MinerId>(who));
+      ++found;
+      ++result.mined_per_miner[who];
+      deliver(who, block);  // the miner knows its own block instantly
+      for (std::size_t peer = 0; peer < n; ++peer) {
+        if (peer == who) {
+          continue;
+        }
+        const NetMiner& receiver = config_.miners[peer];
+        const double delay =
+            receiver.latency +
+            static_cast<double>(miner.block_size) / receiver.bandwidth;
+        in_flight.push(Delivery{now + delay, peer, block});
+      }
+    } else {
+      // --- a block arrives somewhere --------------------------------------
+      const Delivery next = in_flight.top();
+      in_flight.pop();
+      now = next.time;
+      deliver(next.node, next.block);
+    }
+  }
+  result.blocks_mined = found;
+  result.duration = now;
+
+  // --- final accounting ------------------------------------------------
+  // Canonical tip: the tip backed by the most power; deepest on ties.
+  std::map<chain::BlockId, double> support;
+  for (std::size_t i = 0; i < n; ++i) {
+    support[views[i].tip()] += config_.miners[i].power;
+  }
+  chain::BlockId canonical = tree.genesis();
+  double best_power = -1.0;
+  for (const auto& [tip, power] : support) {
+    const bool better =
+        power > best_power + 1e-12 ||
+        (std::abs(power - best_power) <= 1e-12 &&
+         tree.block(tip).height > tree.block(canonical).height);
+    if (better) {
+      canonical = tip;
+      best_power = power;
+    }
+  }
+  result.canonical_length = tree.block(canonical).height;
+  for (chain::BlockId id = 1; id < tree.size(); ++id) {
+    const chain::MinerId miner = tree.block(id).miner;
+    if (tree.is_ancestor(id, canonical)) {
+      ++result.locked_per_miner[static_cast<std::size_t>(miner)];
+    } else {
+      ++result.orphaned_blocks;
+      ++result.orphaned_per_miner[static_cast<std::size_t>(miner)];
+    }
+  }
+  return result;
+}
+
+}  // namespace bvc::sim

@@ -1,0 +1,69 @@
+// An incremental per-node view of a growing block tree under BU validity.
+//
+// chain::BuNodeRule::evaluate() walks a whole chain; for long event-driven
+// simulations that is O(height) per query. BuNodeView instead memoizes a
+// per-block "prefix state" (gate open? run length? pending window?) so each
+// newly learned block costs O(1) amortized (O(AD) when it resolves a
+// pending excessive block). Blocks must be announced parent-before-child;
+// the view tracks the node's mining tip under the longest-acceptable-chain
+// rule with first-seen tie-breaking.
+//
+// The equivalence of this incremental evaluation with the reference
+// implementation is property-tested in tests/node_view_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block_tree.hpp"
+#include "chain/bu_validity.hpp"
+
+namespace bvc::sim {
+
+class BuNodeView {
+ public:
+  /// `tree` must outlive the view; the view only reads blocks it has been
+  /// told about via learn().
+  BuNodeView(const chain::BlockTree& tree, chain::BuParams params);
+
+  [[nodiscard]] const chain::BuParams& params() const noexcept {
+    return rule_.params();
+  }
+
+  /// Announces a block to the node. Its parent must already be known
+  /// (genesis is known from construction). Returns true if the node's
+  /// mining tip changed.
+  bool learn(chain::BlockId id);
+
+  [[nodiscard]] bool knows(chain::BlockId id) const;
+
+  /// Whether the chain ending at `id` is acceptable to this node now
+  /// (id must be known).
+  [[nodiscard]] bool acceptable(chain::BlockId id) const;
+
+  /// The block this node mines on: the first-seen deepest acceptable block.
+  [[nodiscard]] chain::BlockId tip() const noexcept { return tip_; }
+
+ private:
+  struct PrefixState {
+    bool known = false;
+    bool invalid = false;
+    bool gate_open = false;
+    chain::Height run = 0;  ///< consecutive non-excessive since gate opened
+    /// First unresolved excessive block on this chain (kNoBlock if none):
+    /// while set, the chain is pending and the rest of the state describes
+    /// the prefix *before* that block.
+    chain::BlockId pending = chain::kNoBlock;
+  };
+
+  [[nodiscard]] PrefixState compute_state(chain::BlockId id) const;
+  /// Applies one block's gate semantics to a concrete (non-pending) state.
+  void apply_block(PrefixState& state, const chain::Block& block) const;
+
+  const chain::BlockTree* tree_;
+  chain::BuNodeRule rule_;
+  std::vector<PrefixState> states_;  // indexed by BlockId
+  chain::BlockId tip_;
+};
+
+}  // namespace bvc::sim

@@ -1,0 +1,31 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace bvc::detail {
+
+namespace {
+std::string format_failure(std::string_view kind, std::string_view expr,
+                           std::string_view file, int line,
+                           std::string_view message) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  return out.str();
+}
+}  // namespace
+
+void throw_require_failure(std::string_view expr, std::string_view file,
+                           int line, std::string_view message) {
+  throw std::invalid_argument(
+      format_failure("BVC_REQUIRE", expr, file, line, message));
+}
+
+void throw_ensure_failure(std::string_view expr, std::string_view file,
+                          int line, std::string_view message) {
+  throw InternalError(format_failure("BVC_ENSURE", expr, file, line, message));
+}
+
+}  // namespace bvc::detail

@@ -1,0 +1,48 @@
+// Runtime precondition / invariant checking helpers.
+//
+// Library code validates its inputs with BVC_REQUIRE (throws
+// std::invalid_argument: caller error) and internal invariants with
+// BVC_ENSURE (throws bvc::InternalError: a bug in this library).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace bvc {
+
+/// Thrown when an internal invariant of the library is violated.
+/// Seeing this exception always indicates a bug in `bvc`, not in the caller.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(std::string_view expr,
+                                        std::string_view file, int line,
+                                        std::string_view message);
+[[noreturn]] void throw_ensure_failure(std::string_view expr,
+                                       std::string_view file, int line,
+                                       std::string_view message);
+}  // namespace detail
+
+}  // namespace bvc
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define BVC_REQUIRE(expr, message)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bvc::detail::throw_require_failure(#expr, __FILE__, __LINE__,      \
+                                           (message));                     \
+    }                                                                      \
+  } while (false)
+
+/// Validate an internal invariant; throws bvc::InternalError.
+#define BVC_ENSURE(expr, message)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bvc::detail::throw_ensure_failure(#expr, __FILE__, __LINE__,       \
+                                          (message));                      \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,38 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+namespace bvc {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string escaped;
+  escaped.reserve(cell.size() + 2);
+  escaped.push_back('"');
+  for (const char ch : cell) {
+    if (ch == '"') {
+      escaped.push_back('"');
+    }
+    escaped.push_back(ch);
+  }
+  escaped.push_back('"');
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) {
+      *out_ << ',';
+    }
+    first = false;
+    *out_ << escape(cell);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace bvc

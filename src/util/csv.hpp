@@ -1,0 +1,26 @@
+// Minimal CSV emission so bench results can be post-processed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bvc {
+
+/// RFC-4180-style CSV writer: quotes cells containing commas, quotes or
+/// newlines, and doubles embedded quotes.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace bvc

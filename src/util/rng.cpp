@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace bvc {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+  // The all-zero state is the one fixed point of xoshiro; splitmix64 cannot
+  // produce four consecutive zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x1ULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result =
+      std::rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) {
+    return 0;
+  }
+  // Lemire's method: multiply-shift with a rejection zone of size
+  // (2^64 mod bound) to remove bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::next_bernoulli(double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double rate) noexcept {
+  // -log(1 - U) / rate; 1 - U is in (0, 1], so log() is finite.
+  const double u = next_double();
+  double draw = -std::log1p(-u);
+  if (rate > 0.0 && rate != 1.0) {
+    draw /= rate;
+  }
+  return draw;
+}
+
+std::size_t Rng::next_categorical(std::span<const double> weights) {
+  BVC_REQUIRE(!weights.empty(), "categorical draw needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    BVC_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  BVC_REQUIRE(total > 0.0, "categorical weights must not all be zero");
+  const double target = next_double() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+CategoricalSampler::CategoricalSampler(std::span<const double> weights) {
+  BVC_REQUIRE(!weights.empty(), "sampler needs at least one weight");
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    BVC_REQUIRE(w >= 0.0, "sampler weights must be non-negative");
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  BVC_REQUIRE(acc > 0.0, "sampler weights must not all be zero");
+  // Normalize so sampling can use a plain [0,1) draw.
+  for (double& c : cumulative_) {
+    c /= acc;
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t CategoricalSampler::sample(Rng& rng) const {
+  BVC_REQUIRE(!cumulative_.empty(), "sampling from an empty sampler");
+  const double u = rng.next_double();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+}  // namespace bvc

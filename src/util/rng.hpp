@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We ship our own generator (xoshiro256++ seeded via splitmix64) instead of
+// relying on std::mt19937_64 so that simulation streams are reproducible
+// across standard libraries and so that forked sub-streams are cheap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bvc {
+
+/// splitmix64 step; used for seeding and as a standalone mixing function.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ generator. Small, fast, and with well-understood statistical
+/// quality; see Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators" (2019).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xB10C'5123'0000'0001ULL) noexcept;
+
+  /// Next raw 64-bit output.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless rejection method (no modulo bias).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  [[nodiscard]] bool next_bernoulli(double p) noexcept;
+
+  /// Exponentially distributed draw with the given rate (> 0).
+  [[nodiscard]] double next_exponential(double rate) noexcept;
+
+  /// Samples an index from non-negative `weights` proportionally.
+  /// The weights need not sum to one; at least one must be positive.
+  [[nodiscard]] std::size_t next_categorical(std::span<const double> weights);
+
+  /// Creates an independent generator derived from this one's stream.
+  /// Useful to give each simulated miner its own reproducible sub-stream.
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+  [[nodiscard]] result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Cumulative-weight alias for repeated categorical sampling over a fixed
+/// distribution (e.g. picking which miner finds the next block).
+class CategoricalSampler {
+ public:
+  CategoricalSampler() = default;
+
+  /// `weights` must be non-negative with a positive sum.
+  explicit CategoricalSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cumulative_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cumulative_.empty(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace bvc

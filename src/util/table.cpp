@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace bvc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  BVC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  BVC_REQUIRE(row.size() == header_.size(),
+              "row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << " | ";
+      }
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) {
+      out << "-+-";
+    }
+    out << std::string(widths[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const TextTable& table) {
+  return out << table.to_string();
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+std::string format_percent(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value * 100.0 << '%';
+  return out.str();
+}
+
+}  // namespace bvc

@@ -1,0 +1,42 @@
+// Plain-text table rendering, used by benches to print the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bvc {
+
+/// A simple left/right-aligned monospace table.
+///
+/// Example output (TextTable t({"α", "Set. 1", "Set. 2"}); ...):
+///
+///   α     | Set. 1 | Set. 2
+///   ------+--------+-------
+///   10%   | 0.1000 | 0.1000
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders the table, header first, with a separator rule.
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& out, const TextTable& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Formats `value` (in [0,1]) as a percentage like "12.34%".
+[[nodiscard]] std::string format_percent(double value, int digits = 2);
+
+}  // namespace bvc

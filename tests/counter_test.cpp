@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "counter/dynamic_limit.hpp"
+#include "counter/voting_simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc::counter;
+using bvc::Rng;
+
+VoteRuleConfig small_config() {
+  VoteRuleConfig config;
+  config.epoch_length = 100;
+  config.adjust_threshold = 0.75;
+  config.veto_threshold = 0.10;
+  config.activation_delay = 20;
+  config.step = 100'000;
+  config.initial_limit = 1'000'000;
+  config.min_limit = 500'000;
+  config.max_limit = 2'000'000;
+  return config;
+}
+
+/// Feeds one full epoch with the given vote counts (rest abstain).
+void feed_epoch(DynamicLimitTracker& tracker, const VoteRuleConfig& config,
+                Height increase, Height decrease) {
+  for (Height i = 0; i < config.epoch_length; ++i) {
+    Vote vote = Vote::kAbstain;
+    if (i < increase) {
+      vote = Vote::kIncrease;
+    } else if (i < increase + decrease) {
+      vote = Vote::kDecrease;
+    }
+    tracker.on_block(vote);
+  }
+}
+
+TEST(DynamicLimit, StartsAtInitialLimit) {
+  DynamicLimitTracker tracker(small_config());
+  EXPECT_EQ(tracker.current_limit(), 1'000'000u);
+  EXPECT_EQ(tracker.height(), 0u);
+}
+
+TEST(DynamicLimit, IncreaseRequiresThreshold) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  feed_epoch(tracker, config, 74, 0);  // just below 75%
+  feed_epoch(tracker, config, 0, 0);
+  EXPECT_EQ(tracker.current_limit(), config.initial_limit);
+}
+
+TEST(DynamicLimit, IncreaseAppliesAfterActivationDelay) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  feed_epoch(tracker, config, 80, 0);  // clears the threshold
+  // The new limit must NOT apply during the first `activation_delay` blocks
+  // of the next epoch.
+  for (Height i = 0; i < config.activation_delay; ++i) {
+    EXPECT_EQ(tracker.on_block(Vote::kAbstain), config.initial_limit);
+  }
+  EXPECT_EQ(tracker.on_block(Vote::kAbstain),
+            config.initial_limit + config.step);
+  ASSERT_EQ(tracker.adjustments().size(), 1u);
+  EXPECT_TRUE(tracker.adjustments()[0].increase);
+  EXPECT_EQ(tracker.adjustments()[0].effective_height,
+            config.epoch_length + config.activation_delay);
+}
+
+TEST(DynamicLimit, VetoBlocksIncrease) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  feed_epoch(tracker, config, 80, 15);  // 15% vote against > 10% veto
+  feed_epoch(tracker, config, 0, 0);
+  EXPECT_EQ(tracker.current_limit(), config.initial_limit);
+}
+
+TEST(DynamicLimit, DecreaseWorksSymmetrically) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  feed_epoch(tracker, config, 0, 90);
+  feed_epoch(tracker, config, 0, 0);
+  EXPECT_EQ(tracker.current_limit(), config.initial_limit - config.step);
+}
+
+TEST(DynamicLimit, RespectsMaxLimit) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    feed_epoch(tracker, config, 100, 0);
+  }
+  EXPECT_EQ(tracker.current_limit(), config.max_limit);
+}
+
+TEST(DynamicLimit, RespectsMinLimit) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    feed_epoch(tracker, config, 0, 100);
+  }
+  EXPECT_EQ(tracker.current_limit(), config.min_limit);
+}
+
+TEST(DynamicLimit, LimitHistoryIsQueryable) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  feed_epoch(tracker, config, 80, 0);
+  feed_epoch(tracker, config, 0, 0);
+  EXPECT_EQ(tracker.limit_at(0), config.initial_limit);
+  EXPECT_EQ(tracker.limit_at(config.epoch_length + config.activation_delay),
+            config.initial_limit + config.step);
+  EXPECT_THROW((void)tracker.limit_at(tracker.height()),
+               std::invalid_argument);
+}
+
+TEST(DynamicLimit, BvcProperty_TwoNodesAlwaysAgree) {
+  // The whole point of the countermeasure: the limit at every height is a
+  // pure function of the vote sequence, so two independent replayers can
+  // never disagree — a prescribed BVC despite dynamic rules.
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker node_a(config);
+  DynamicLimitTracker node_b(config);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const auto vote = static_cast<Vote>(rng.next_below(3));
+    const ByteSize a = node_a.on_block(vote);
+    const ByteSize b = node_b.on_block(vote);
+    ASSERT_EQ(a, b);
+  }
+  for (Height h = 0; h < node_a.height(); ++h) {
+    ASSERT_EQ(node_a.limit_at(h), node_b.limit_at(h));
+  }
+}
+
+TEST(DynamicLimit, AdjustmentNeverFiresInsideActivationWindow) {
+  const VoteRuleConfig config = small_config();
+  DynamicLimitTracker tracker(config);
+  Rng rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    tracker.on_block(static_cast<Vote>(rng.next_below(3) == 0 ? 1 : 0));
+  }
+  for (const auto& adjustment : tracker.adjustments()) {
+    EXPECT_GE(adjustment.effective_height % config.epoch_length,
+              config.activation_delay);
+  }
+}
+
+TEST(DynamicLimit, ValidatesConfig) {
+  VoteRuleConfig config = small_config();
+  config.adjust_threshold = 0.5;  // must be > 1/2
+  EXPECT_THROW(DynamicLimitTracker{config}, std::invalid_argument);
+  config = small_config();
+  config.activation_delay = config.epoch_length;  // must be inside the epoch
+  EXPECT_THROW(DynamicLimitTracker{config}, std::invalid_argument);
+  config = small_config();
+  config.min_limit = config.max_limit + 1;
+  EXPECT_THROW(DynamicLimitTracker{config}, std::invalid_argument);
+}
+
+// ------------------------------------------------------ voting simulation --
+
+TEST(VotingSim, UnanimousPreferenceRaisesLimitToTarget) {
+  VotingSimConfig config;
+  config.rule = small_config();
+  config.cohorts = {{1.0, 1'500'000, false}};
+  Rng rng(7);
+  const VotingSimResult result = run_voting_simulation(config, 12, rng);
+  EXPECT_EQ(result.final_limit, 1'500'000u);
+  EXPECT_EQ(result.increases, 5u);
+  EXPECT_EQ(result.decreases, 0u);
+}
+
+TEST(VotingSim, SmallMinorityCannotMoveTheLimit) {
+  VotingSimConfig config;
+  config.rule = small_config();
+  config.cohorts = {{0.3, 2'000'000, false},  // wants bigger blocks
+                    {0.7, 1'000'000, false}}; // happy with the status quo
+  Rng rng(8);
+  const VotingSimResult result = run_voting_simulation(config, 10, rng);
+  EXPECT_EQ(result.final_limit, config.rule.initial_limit);
+}
+
+TEST(VotingSim, VetoMinorityBlocksSupermajority) {
+  // 80% want an increase but 20% actively vote it down: with a 10% veto
+  // threshold the limit stays — unlike BU, small miners retain a voice.
+  VotingSimConfig config;
+  config.rule = small_config();
+  config.cohorts = {{0.8, 2'000'000, false}, {0.2, 500'000, false}};
+  Rng rng(9);
+  const VotingSimResult result = run_voting_simulation(config, 10, rng);
+  EXPECT_EQ(result.final_limit, config.rule.initial_limit);
+}
+
+TEST(VotingSim, AdversarialCohortCanVetoButNotFork) {
+  // A 15% adversary votes against the increase the honest 85% want: above
+  // the 10% veto threshold it blocks the raise. Either way the adversary
+  // can only bias votes, never split validity. A long epoch keeps the
+  // binomial sampling noise far from the thresholds.
+  VotingSimConfig config;
+  config.rule = small_config();
+  config.rule.epoch_length = 2016;
+  config.rule.activation_delay = 200;
+  config.cohorts = {{0.85, 1'200'000, false}, {0.15, 1'200'000, true}};
+  Rng rng(10);
+  const VotingSimResult result = run_voting_simulation(config, 10, rng);
+  EXPECT_EQ(result.final_limit, config.rule.initial_limit);
+  EXPECT_EQ(result.increases + result.decreases, 0u);
+}
+
+TEST(VotingSim, RejectsBadCohorts) {
+  VotingSimConfig config;
+  config.rule = small_config();
+  config.cohorts = {{0.5, 1'000'000, false}};  // powers sum to 0.5
+  Rng rng(11);
+  EXPECT_THROW((void)run_voting_simulation(config, 1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

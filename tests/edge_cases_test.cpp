@@ -1,0 +1,181 @@
+// Edge-case suites that cut across modules: degenerate parameters, boundary
+// chains, and adversarial vote patterns.
+#include <gtest/gtest.h>
+
+#include "bu/attack_analysis.hpp"
+#include "chain/bu_validity.hpp"
+#include "counter/dynamic_limit.hpp"
+#include "games/block_size_game.hpp"
+#include "games/eb_choosing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+
+// ------------------------------------------------------------ BU, AD = 1 --
+
+TEST(EdgeCases, AdOneMakesForksUnsustainable) {
+  // With AD = 1 an excessive block is accepted on sight: Alice cannot split
+  // anyone, so every utility collapses to its honest value.
+  bu::AttackParams params;
+  params.alpha = 0.25;
+  params.beta = 0.375;
+  params.gamma = 0.375;
+  params.ad = 1;
+  EXPECT_NEAR(bu::analyze(params, bu::Utility::kRelativeRevenue)
+                  .utility_value,
+              0.25, 1e-4);
+  EXPECT_NEAR(bu::analyze(params, bu::Utility::kOrphaning).utility_value,
+              0.0, 1e-4);
+}
+
+TEST(EdgeCases, AdTwoAlreadyEnablesTheAttack) {
+  bu::AttackParams params;
+  params.alpha = 0.25;
+  params.beta = 0.30;
+  params.gamma = 0.45;
+  params.ad = 2;
+  const double u3 = bu::analyze(params, bu::Utility::kOrphaning)
+                        .utility_value;
+  EXPECT_GT(u3, 0.0);
+}
+
+TEST(EdgeCases, TinyGatePeriodDegeneratesToSetting1) {
+  // gate_period = 1 with the locked-count convention: the gate closes
+  // before any phase-2 fork can begin (r = period - (AD-1) clamps to 0),
+  // so setting 2 equals setting 1.
+  bu::AttackParams params;
+  params.alpha = 0.25;
+  params.beta = 0.30;
+  params.gamma = 0.45;
+  params.gate_period = 1;
+  params.setting = bu::Setting::kStickyGate;
+  const double s2 =
+      bu::analyze(params, bu::Utility::kRelativeRevenue).utility_value;
+  params.setting = bu::Setting::kNoStickyGate;
+  const double s1 =
+      bu::analyze(params, bu::Utility::kRelativeRevenue).utility_value;
+  EXPECT_NEAR(s1, s2, 1e-4);
+}
+
+TEST(EdgeCases, ExtremePowerAsymmetry) {
+  // A 49% Bob against a 2% Carol: Alice (49%) cannot profit from splitting
+  // because Chain 2's coalition still loses every race... but u1 must stay
+  // well-defined and >= alpha.
+  bu::AttackParams params;
+  params.alpha = 0.49;
+  params.beta = 0.49;
+  params.gamma = 0.02;
+  const bu::AnalysisResult result =
+      bu::analyze(params, bu::Utility::kRelativeRevenue);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.utility_value, 0.49 - 1e-4);
+}
+
+// ------------------------------------------------------- chain boundaries --
+
+TEST(EdgeCases, ExactMessageLimitBlockIsRelayable) {
+  chain::BuParams params;
+  params.eb = chain::kMegabyte;
+  params.ad = 2;
+  const chain::BuNodeRule rule(params);
+  chain::BlockTree tree;
+  const auto at_limit =
+      tree.add_block(tree.genesis(), chain::kMessageLimit, 0);
+  // Exactly 32 MB: excessive (pends) but not invalid.
+  EXPECT_EQ(rule.evaluate(tree, at_limit).verdict,
+            chain::ChainVerdict::kPendingDepth);
+  const auto child = tree.add_block(at_limit, chain::kMegabyte, 0);
+  EXPECT_EQ(rule.evaluate(tree, child).verdict,
+            chain::ChainVerdict::kAcceptable);
+}
+
+TEST(EdgeCases, GatePeriodOneClosesImmediately) {
+  chain::BuParams params;
+  params.eb = chain::kMegabyte;
+  params.ad = 2;
+  params.gate_period = 1;
+  const chain::BuNodeRule rule(params);
+  chain::BlockTree tree;
+  auto tip = tree.add_block(tree.genesis(), 2 * chain::kMegabyte, 0);
+  tip = tree.add_block(tip, chain::kMegabyte, 0);  // depth 2: accepted
+  const chain::ChainStatus status = rule.evaluate(tree, tip);
+  EXPECT_EQ(status.verdict, chain::ChainVerdict::kAcceptable);
+  // One non-excessive block already closed the gate.
+  EXPECT_FALSE(status.gate_open);
+}
+
+TEST(EdgeCases, DeepTreeEvaluationStaysLinear) {
+  // A 5000-block chain with periodic excessive blocks evaluates correctly
+  // (regression guard for the gate replay logic at scale).
+  chain::BuParams params;
+  params.eb = chain::kMegabyte;
+  params.ad = 6;
+  params.gate_period = 50;
+  const chain::BuNodeRule rule(params);
+  chain::BlockTree tree;
+  chain::BlockId tip = tree.genesis();
+  for (int i = 1; i <= 5000; ++i) {
+    const chain::ByteSize size =
+        i % 100 == 0 ? 2 * chain::kMegabyte : chain::kMegabyte;
+    tip = tree.add_block(tip, size, 0);
+  }
+  // The last excessive block is at height 5000: depth 1 < 6 -> pending.
+  EXPECT_EQ(rule.evaluate(tree, tip).verdict,
+            chain::ChainVerdict::kPendingDepth);
+}
+
+// ----------------------------------------------------------- games edges --
+
+TEST(EdgeCases, EbGameWithManyValuesStillConverges) {
+  games::EbChoosingGame game({0.26, 0.25, 0.25, 0.24}, 6);
+  Rng rng(5);
+  const auto result = game.best_response_dynamics({0, 1, 2, 3}, rng, 500);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(game.is_nash_equilibrium(result.profile));
+}
+
+TEST(EdgeCases, BlockSizeGameNearTies) {
+  // Power sums that sit exactly on the >= half boundary: with
+  // m = (0.25, 0.25, 0.5), suffix {2,3}: front 0.25 > 0.5? no -> unstable;
+  // suffix {1,2,3}: largest stable subset {3}; front = 0.5 > 0.5 fails
+  // (strict) -> unstable; everyone but the whale is squeezed out.
+  games::BlockSizeIncreasingGame game(
+      {{0.25, 1.0}, {0.25, 2.0}, {0.5, 4.0}});
+  EXPECT_EQ(game.termination_suffix(), 2u);
+}
+
+// ------------------------------------------------------- counter patterns --
+
+TEST(EdgeCases, AlternatingVoteBlocksEveryAdjustment) {
+  counter::VoteRuleConfig config;
+  config.epoch_length = 10;
+  config.activation_delay = 2;
+  counter::DynamicLimitTracker tracker(config);
+  for (int i = 0; i < 400; ++i) {
+    tracker.on_block(i % 2 == 0 ? counter::Vote::kIncrease
+                                : counter::Vote::kDecrease);
+  }
+  EXPECT_TRUE(tracker.adjustments().empty());
+  EXPECT_EQ(tracker.current_limit(), config.initial_limit);
+}
+
+TEST(EdgeCases, BackToBackAdjustmentsRespectEpochCadence) {
+  counter::VoteRuleConfig config;
+  config.epoch_length = 10;
+  config.activation_delay = 2;
+  counter::DynamicLimitTracker tracker(config);
+  for (int i = 0; i < 100; ++i) {
+    tracker.on_block(counter::Vote::kIncrease);
+  }
+  // 10 epochs of unanimous votes: at most one adjustment per epoch, and
+  // the first epoch's adjustment lands in epoch 2.
+  EXPECT_EQ(tracker.adjustments().size(), 9u);
+  for (std::size_t i = 0; i < tracker.adjustments().size(); ++i) {
+    EXPECT_EQ(tracker.adjustments()[i].effective_height,
+              (i + 1) * config.epoch_length + config.activation_delay);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/block_size_game.hpp"
+#include "games/fee_market.hpp"
+
+namespace {
+
+using namespace bvc::games;
+
+FeeMarketParams base_params() {
+  FeeMarketParams params;
+  params.block_reward = 12.5;
+  params.fee_depth = 2.0;
+  params.mempool_scale = 4e6;
+  params.block_interval = 600.0;
+  params.bandwidth = 1e6;
+  params.latency = 2.0;
+  params.power = 0.1;
+  return params;
+}
+
+TEST(FeeMarket, EmptyBlockValueIsDiscountedReward) {
+  const FeeMarketParams params = base_params();
+  const double expected =
+      12.5 * std::exp(-2.0 * 0.9 / 600.0);  // latency-only propagation
+  EXPECT_NEAR(block_value(params, 0.0), expected, 1e-9);
+}
+
+TEST(FeeMarket, ValueIsSinglePeaked) {
+  const FeeMarketParams params = base_params();
+  const double peak = optimal_block_size(params);
+  EXPECT_GT(peak, 0.0);
+  EXPECT_GT(block_value(params, peak), block_value(params, 0.0));
+  EXPECT_GT(block_value(params, peak), block_value(params, peak * 4.0));
+  // Local optimality.
+  EXPECT_GE(block_value(params, peak) + 1e-9,
+            block_value(params, peak * 0.9));
+  EXPECT_GE(block_value(params, peak) + 1e-9,
+            block_value(params, peak * 1.1));
+}
+
+TEST(FeeMarket, MpbExceedsOptimalSize) {
+  const FeeMarketParams params = base_params();
+  const double peak = optimal_block_size(params);
+  const double mpb = maximum_profitable_size(params);
+  EXPECT_GT(mpb, peak);
+  // At the MPB the value equals the empty-block floor.
+  EXPECT_NEAR(block_value(params, mpb), block_value(params, 0.0),
+              1e-6 * block_value(params, 0.0));
+}
+
+TEST(FeeMarket, BetterBandwidthRaisesMpb) {
+  // The paper's corollary: capacities differ => preferences differ.
+  FeeMarketParams slow = base_params();
+  slow.bandwidth = 2e5;
+  FeeMarketParams fast = base_params();
+  fast.bandwidth = 5e6;
+  EXPECT_GT(maximum_profitable_size(fast), maximum_profitable_size(slow));
+  EXPECT_GT(optimal_block_size(fast), optimal_block_size(slow));
+}
+
+TEST(FeeMarket, DeeperMempoolsFavorBiggerBlocks) {
+  FeeMarketParams cheap = base_params();
+  cheap.fee_depth = 0.5;
+  FeeMarketParams rich = base_params();
+  rich.fee_depth = 8.0;
+  EXPECT_GT(optimal_block_size(rich), optimal_block_size(cheap));
+}
+
+TEST(FeeMarket, ZeroFeesMakeEmptyBlocksOptimal) {
+  FeeMarketParams params = base_params();
+  params.fee_depth = 0.0;
+  EXPECT_NEAR(optimal_block_size(params), 0.0, 2.0);
+  EXPECT_NEAR(maximum_profitable_size(params), 0.0, 2.0);
+}
+
+TEST(FeeMarket, ValidatesParams) {
+  FeeMarketParams params = base_params();
+  params.bandwidth = 0.0;
+  EXPECT_THROW((void)block_value(params, 0.0), std::invalid_argument);
+  params = base_params();
+  params.power = 1.0;
+  EXPECT_THROW((void)optimal_block_size(params), std::invalid_argument);
+}
+
+TEST(FeeMarket, DerivedMpbsFeedTheBlockSizeGame) {
+  // End-to-end bridge: derive MPBs from heterogeneous bandwidths, sort
+  // them into the block size increasing game, and observe the squeeze-out.
+  const double bandwidths[] = {1e5, 4e5, 2e6, 1e7};
+  const double powers[] = {0.1, 0.2, 0.3, 0.4};
+  std::vector<MinerGroup> groups;
+  for (int i = 0; i < 4; ++i) {
+    FeeMarketParams params = base_params();
+    params.bandwidth = bandwidths[i];
+    params.power = powers[i];
+    groups.push_back(MinerGroup{powers[i],
+                                maximum_profitable_size(params)});
+  }
+  // Faster pipes => strictly larger MPBs (required by the game).
+  const BlockSizeIncreasingGame game(groups);
+  const auto outcome = game.play();
+  // With this capacity spread the weakest group is squeezed out.
+  EXPECT_GT(outcome.surviving_from, 0u);
+  EXPECT_DOUBLE_EQ(outcome.utilities[0], 0.0);
+}
+
+}  // namespace

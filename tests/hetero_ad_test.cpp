@@ -1,0 +1,134 @@
+// Heterogeneous acceptance depths (Sect. 2.2 documents AD = 6 miners, a
+// 20-block miner and AD = 12 public nodes): Bob's AD governs phase-1
+// Chain-2 wins, Carol's phase-2 wins.
+#include <gtest/gtest.h>
+
+#include "bu/attack_analysis.hpp"
+#include "sim/attack_scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+using namespace bvc::bu;
+
+AttackParams hetero_params() {
+  AttackParams params;
+  params.alpha = 0.2;
+  params.beta = 0.4;
+  params.gamma = 0.4;
+  params.ad = 4;
+  params.ad_carol = 7;
+  params.gate_period = 10;
+  params.setting = Setting::kStickyGate;
+  return params;
+}
+
+TEST(HeteroAd, EffectiveAdSelectsBySide) {
+  const AttackParams params = hetero_params();
+  EXPECT_EQ(params.effective_ad(false), 4u);
+  EXPECT_EQ(params.effective_ad(true), 7u);
+  EXPECT_EQ(params.max_ad(), 7u);
+  AttackParams same = params;
+  same.ad_carol = 0;
+  EXPECT_EQ(same.effective_ad(true), 4u);
+}
+
+TEST(HeteroAd, Phase1WinsAtBobsDepth) {
+  const AttackParams params = hetero_params();
+  const AttackState state{0, 3, 0, 1, 0};  // phase 1, l2 = ad - 1
+  const StepResult step =
+      apply_event(params, state, Action::kOnChain2, Event::kCarolBlock);
+  EXPECT_TRUE(step.next.is_base());
+  EXPECT_GT(step.next.r, 0);  // Bob's gate opened
+}
+
+TEST(HeteroAd, Phase2WinsAtCarolsDeeperDepth) {
+  const AttackParams params = hetero_params();
+  // In phase 2 a depth-4 chain is NOT enough (Carol needs 7)...
+  const AttackState shallow{0, 3, 0, 1, 5};
+  const StepResult not_yet =
+      apply_event(params, shallow, Action::kOnChain2, Event::kBobBlock);
+  EXPECT_FALSE(not_yet.next.is_base());
+  EXPECT_EQ(not_yet.next.l2, 4);
+  // ...but a depth-7 chain is.
+  const AttackState deep{0, 6, 0, 1, 5};
+  const StepResult wins =
+      apply_event(params, deep, Action::kOnChain2, Event::kBobBlock);
+  EXPECT_TRUE(wins.next.is_base());
+  EXPECT_EQ(wins.next.r, 0);  // phase-3 collapse
+}
+
+TEST(HeteroAd, ConservationHoldsAcrossTheWholeSpace) {
+  AttackParams params = hetero_params();
+  params.allow_wait = true;
+  const StateSpace space(params.max_ad(), params.max_r());
+  for (mdp::StateId id = 0; id < space.size(); ++id) {
+    const AttackState& s = space.state(id);
+    for (const Action action : available_actions(params, s)) {
+      for (const Event event :
+           {Event::kAliceBlock, Event::kBobBlock, Event::kCarolBlock}) {
+        if (action == Action::kWait && event == Event::kAliceBlock) {
+          continue;
+        }
+        const StepResult step = apply_event(params, s, action, event);
+        const double settled =
+            step.deltas.total_locked() + step.deltas.total_orphaned();
+        ASSERT_DOUBLE_EQ(s.l1 + s.l2 + 1.0,
+                         step.next.l1 + step.next.l2 + settled)
+            << to_string(s) << ' ' << to_string(action);
+        ASSERT_TRUE(space.contains(step.next));
+      }
+    }
+  }
+}
+
+TEST(HeteroAd, SolvesAndBeatsHonest) {
+  AttackParams params = hetero_params();
+  params.alpha = 0.25;
+  params.beta = 0.30;
+  params.gamma = 0.45;
+  const AnalysisResult result = analyze(params, Utility::kRelativeRevenue);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.utility_value, 0.25 - 1e-4);
+}
+
+TEST(HeteroAd, DeeperCarolAdMakesPhase2ForksLonger) {
+  // A larger Carol AD lets the attacker keep phase-2 forks alive longer:
+  // the non-profit-driven damage increases (Sect. 6.2's "large AD allows
+  // longer forks").
+  AttackParams shallow = hetero_params();
+  shallow.alpha = 0.01;
+  shallow.beta = shallow.gamma = 0.495;
+  shallow.ad_carol = 4;
+  AttackParams deep = shallow;
+  deep.ad_carol = 10;
+  const double u_shallow =
+      analyze(shallow, Utility::kOrphaning).utility_value;
+  const double u_deep = analyze(deep, Utility::kOrphaning).utility_value;
+  EXPECT_GT(u_deep, u_shallow);
+}
+
+TEST(HeteroAd, CrossValidatesOnChainSemantics) {
+  // The chain-level simulator gives Carol her own AD; with step checking
+  // on, 100k events must match the heterogeneous MDP exactly. Powers are
+  // chosen so the optimal policy actually attacks (and opens gates).
+  AttackParams params = hetero_params();
+  params.alpha = 0.25;
+  params.beta = 0.30;
+  params.gamma = 0.45;
+  const AttackModel model =
+      build_attack_model(params, Utility::kRelativeRevenue);
+  const AnalysisResult analysis = analyze(model);
+
+  sim::ScenarioOptions options;
+  options.check_against_model = true;
+  sim::AttackScenarioSim simulator(model, options);
+  Rng rng(2020);
+  const sim::ScenarioResult result =
+      simulator.run(analysis.policy, 100'000, rng);
+  EXPECT_EQ(result.steps, 100'000u);
+  EXPECT_GT(result.gate_openings, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bu/multi_eb.hpp"
+
+namespace {
+
+using namespace bvc;
+using namespace bvc::bu;
+using chain::kMegabyte;
+
+std::vector<EbGroup> three_groups(double alpha) {
+  const double rest = 1.0 - alpha;
+  return {{rest * 0.4, 1 * kMegabyte},
+          {rest * 0.3, 8 * kMegabyte},
+          {rest * 0.3, 16 * kMegabyte}};
+}
+
+TEST(MultiEb, NormalizeValidates) {
+  EXPECT_THROW(
+      (void)normalize_groups(0.2, std::vector<EbGroup>{{0.8, kMegabyte}}),
+      std::invalid_argument);
+  // EBs must increase.
+  const std::vector<EbGroup> unsorted = {{0.4, 8 * kMegabyte},
+                                         {0.4, 1 * kMegabyte}};
+  EXPECT_THROW((void)normalize_groups(0.2, unsorted), std::invalid_argument);
+  // Powers must sum to 1 - alpha.
+  const std::vector<EbGroup> short_sum = {{0.3, kMegabyte},
+                                          {0.3, 8 * kMegabyte}};
+  EXPECT_THROW((void)normalize_groups(0.2, short_sum),
+               std::invalid_argument);
+}
+
+TEST(MultiEb, TwoGroupsReduceToTheBaseModel) {
+  const double alpha = 0.25;
+  const std::vector<EbGroup> groups = {{0.375, kMegabyte},
+                                       {0.375, 8 * kMegabyte}};
+  const SplitChoice split =
+      best_split(alpha, groups, Utility::kRelativeRevenue);
+  EXPECT_EQ(split.d, 1u);
+  EXPECT_EQ(split.trigger, 8 * kMegabyte);
+  // Table 2: 26.24% for 25% / 1:1.
+  EXPECT_NEAR(split.analysis.utility_value, 0.2624, 5e-4);
+}
+
+TEST(MultiEb, EnumeratesEverySplit) {
+  const auto splits = evaluate_splits(0.2, three_groups(0.2),
+                                      Utility::kRelativeRevenue);
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[0].d, 1u);
+  EXPECT_EQ(splits[0].trigger, 8 * kMegabyte);
+  EXPECT_NEAR(splits[0].params.beta, 0.8 * 0.4, 1e-12);
+  EXPECT_EQ(splits[1].d, 2u);
+  EXPECT_EQ(splits[1].trigger, 16 * kMegabyte);
+  EXPECT_NEAR(splits[1].params.beta, 0.8 * 0.7, 1e-12);
+}
+
+TEST(MultiEb, BestSplitIsTheMaximum) {
+  const auto splits = evaluate_splits(0.2, three_groups(0.2),
+                                      Utility::kOrphaning);
+  const SplitChoice best =
+      best_split(0.2, three_groups(0.2), Utility::kOrphaning);
+  for (const SplitChoice& split : splits) {
+    EXPECT_GE(best.analysis.utility_value + 1e-9,
+              split.analysis.utility_value);
+  }
+}
+
+TEST(MultiEb, FinerGroupsNeverHurtAlice) {
+  // "Having more EBs in the network only gives Alice more options": the
+  // best utility over a finer partition is >= the best over any coarsening
+  // (merging two adjacent EB groups removes one split point).
+  const double alpha = 0.15;
+  const double rest = 1.0 - alpha;
+  const std::vector<EbGroup> fine = {{rest * 0.3, 1 * kMegabyte},
+                                     {rest * 0.3, 4 * kMegabyte},
+                                     {rest * 0.4, 16 * kMegabyte}};
+  // Coarsen by merging the two low groups (they now share EB = 1 MB) and
+  // alternatively the two high groups.
+  const std::vector<EbGroup> coarse_low = {{rest * 0.6, 1 * kMegabyte},
+                                           {rest * 0.4, 16 * kMegabyte}};
+  const std::vector<EbGroup> coarse_high = {{rest * 0.3, 1 * kMegabyte},
+                                            {rest * 0.7, 4 * kMegabyte}};
+  for (const Utility utility :
+       {Utility::kRelativeRevenue, Utility::kAbsoluteReward,
+        Utility::kOrphaning}) {
+    const double fine_value =
+        best_split(alpha, fine, utility).analysis.utility_value;
+    EXPECT_GE(fine_value + 1e-6,
+              best_split(alpha, coarse_low, utility).analysis.utility_value)
+        << to_string(utility);
+    EXPECT_GE(fine_value + 1e-6,
+              best_split(alpha, coarse_high, utility).analysis.utility_value)
+        << to_string(utility);
+  }
+}
+
+TEST(MultiEb, RealWorldSignalsFromThePaper) {
+  // Sect. 2.2: most BU mining power signaled EB = 1 MB while public nodes
+  // signaled EB = 16 MB. Model a hypothetical all-BU network with a 60/40
+  // split of those signals and a 10% attacker: every utility shows an
+  // attack strictly better than honest behaviour.
+  const double alpha = 0.10;
+  const std::vector<EbGroup> groups = {{0.9 * 0.6, 1 * kMegabyte},
+                                       {0.9 * 0.4, 16 * kMegabyte}};
+  const SplitChoice u3 = best_split(alpha, groups, Utility::kOrphaning);
+  EXPECT_GT(u3.analysis.utility_value, 1.0);  // beats Bitcoin's bound
+  const SplitChoice u2 =
+      best_split(alpha, groups, Utility::kAbsoluteReward);
+  EXPECT_GT(u2.analysis.utility_value, alpha);
+}
+
+}  // namespace

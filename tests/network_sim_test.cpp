@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "sim/network_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+using namespace bvc::sim;
+using chain::kMegabyte;
+
+NetMiner miner(std::string name, double power, chain::ByteSize size,
+               double bandwidth, double latency = 1.0) {
+  NetMiner m;
+  m.name = std::move(name);
+  m.power = power;
+  m.rule.eb = 32 * kMegabyte;  // validity not the bottleneck by default
+  m.rule.mg = 32 * kMegabyte;
+  m.block_size = size;
+  m.bandwidth = bandwidth;
+  m.latency = latency;
+  return m;
+}
+
+TEST(NetworkSim, ConservesBlocks) {
+  NetworkConfig config;
+  config.miners = {miner("a", 0.5, kMegabyte, 1e6),
+                   miner("b", 0.5, kMegabyte, 1e6)};
+  NetworkSimulation simulation(config);
+  Rng rng(1);
+  const NetworkResult result = simulation.run(2000, rng);
+  EXPECT_EQ(result.blocks_mined, 2000u);
+  std::uint64_t mined = 0;
+  std::uint64_t settled = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    mined += result.mined_per_miner[i];
+    settled += result.locked_per_miner[i] + result.orphaned_per_miner[i];
+  }
+  EXPECT_EQ(mined, 2000u);
+  EXPECT_EQ(settled, 2000u);
+  EXPECT_EQ(result.canonical_length + result.orphaned_blocks, 2000u);
+}
+
+TEST(NetworkSim, MiningFollowsPower) {
+  NetworkConfig config;
+  config.miners = {miner("a", 0.2, kMegabyte, 1e7),
+                   miner("b", 0.8, kMegabyte, 1e7)};
+  NetworkSimulation simulation(config);
+  Rng rng(2);
+  const NetworkResult result = simulation.run(20000, rng);
+  EXPECT_NEAR(
+      static_cast<double>(result.mined_per_miner[0]) / 20000.0, 0.2, 0.01);
+}
+
+TEST(NetworkSim, FastLinksProduceFewOrphans) {
+  // 1 MB blocks over 100 MB/s links with 0.1 s latency: propagation is
+  // ~0.11 s against a 600 s block interval; orphans should be ~0.02%.
+  NetworkConfig config;
+  config.miners = {miner("a", 0.5, kMegabyte, 1e8, 0.1),
+                   miner("b", 0.5, kMegabyte, 1e8, 0.1)};
+  NetworkSimulation simulation(config);
+  Rng rng(3);
+  const NetworkResult result = simulation.run(20000, rng);
+  EXPECT_LT(result.orphan_rate(), 0.005);
+}
+
+TEST(NetworkSim, SlowPropagationCreatesOrphans) {
+  // 8 MB blocks over 100 kB/s links: 80 s propagation vs 600 s interval —
+  // a substantial natural fork rate must appear.
+  NetworkConfig config;
+  config.miners = {miner("a", 0.5, 8 * kMegabyte, 1e5),
+                   miner("b", 0.5, 8 * kMegabyte, 1e5)};
+  NetworkSimulation simulation(config);
+  Rng rng(4);
+  const NetworkResult result = simulation.run(20000, rng);
+  EXPECT_GT(result.orphan_rate(), 0.05);
+}
+
+TEST(NetworkSim, OrphanRateGrowsWithBlockSize) {
+  // The relationship behind Assumption 2 (every miner has an MPB): larger
+  // blocks -> longer propagation -> more orphans.
+  double previous = -1.0;
+  for (const chain::ByteSize size :
+       {kMegabyte, 4 * kMegabyte, 16 * kMegabyte}) {
+    NetworkConfig config;
+    config.miners = {miner("a", 0.5, size, 2e5),
+                     miner("b", 0.5, size, 2e5)};
+    NetworkSimulation simulation(config);
+    Rng rng(5);
+    const NetworkResult result = simulation.run(30000, rng);
+    EXPECT_GT(result.orphan_rate(), previous);
+    previous = result.orphan_rate();
+  }
+}
+
+TEST(NetworkSim, SlowNodeLosesDisproportionately) {
+  // A miner behind a thin pipe hears about blocks late and mines stale
+  // parents: its own blocks get orphaned more often.
+  NetworkConfig config;
+  config.miners = {miner("fast", 0.5, 8 * kMegabyte, 1e7, 0.1),
+                   miner("slow", 0.5, 8 * kMegabyte, 5e4, 2.0)};
+  NetworkSimulation simulation(config);
+  Rng rng(6);
+  const NetworkResult result = simulation.run(20000, rng);
+  EXPECT_GT(result.orphan_rate(1), result.orphan_rate(0));
+}
+
+TEST(NetworkSim, ValidityForksFromEbDisagreement) {
+  // Even with instant links, a small-EB node ignores big blocks until AD —
+  // validity forks replace propagation forks (the paper's point: the
+  // attack surface exists independently of network speed).
+  NetworkConfig config;
+  NetMiner big = miner("big", 0.7, 8 * kMegabyte, 1e9, 0.001);
+  NetMiner small = miner("small", 0.3, kMegabyte, 1e9, 0.001);
+  small.rule.eb = kMegabyte;
+  small.rule.mg = kMegabyte;
+  small.rule.ad = 6;
+  config.miners = {big, small};
+  NetworkSimulation simulation(config);
+  Rng rng(7);
+  const NetworkResult result = simulation.run(20000, rng);
+  EXPECT_GT(result.orphaned_blocks, 0u);
+  // The small-EB miner suffers: most orphans are its blocks.
+  EXPECT_GT(result.orphaned_per_miner[1], result.orphaned_per_miner[0]);
+}
+
+TEST(NetworkSim, ValidatesConfig) {
+  NetworkConfig config;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.miners = {miner("a", 0.5, kMegabyte, 1e6)};
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);  // sum
+  config.miners = {miner("a", 0.5, kMegabyte, 1e6),
+                   miner("b", 0.5, 2 * kMegabyte, 1e6)};
+  config.miners[1].rule.mg = kMegabyte;  // mines above own MG
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+}  // namespace

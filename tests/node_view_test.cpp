@@ -1,0 +1,117 @@
+// BuNodeView (incremental, memoized evaluation) must agree with the
+// reference whole-chain evaluator chain::BuNodeRule on every block of
+// randomly grown trees, for random parameters — including sticky-gate and
+// no-gate modes, small ADs (instant acceptance) and short gate periods.
+#include <gtest/gtest.h>
+
+#include "chain/block_tree.hpp"
+#include "chain/bu_validity.hpp"
+#include "sim/node_view.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+using namespace bvc::chain;
+
+constexpr ByteSize kMB = kMegabyte;
+
+class NodeViewProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NodeViewProperties, MatchesReferenceEvaluatorOnRandomTrees) {
+  Rng rng(GetParam());
+  BuParams params;
+  const ByteSize ebs[] = {kMB, 2 * kMB, 8 * kMB};
+  params.eb = ebs[rng.next_below(3)];
+  params.ad = 1 + static_cast<Height>(rng.next_below(5));
+  params.gate_period = 2 + static_cast<Height>(rng.next_below(8));
+  params.sticky_gate = rng.next_bernoulli(0.7);
+
+  BlockTree tree;
+  const BuNodeRule reference(params);
+  sim::BuNodeView view(tree, params);
+
+  const ByteSize sizes[] = {kMB / 2, kMB,     2 * kMB,
+                            8 * kMB, 20 * kMB, kMessageLimit + 1};
+  for (int i = 0; i < 200; ++i) {
+    const auto parent = static_cast<BlockId>(rng.next_below(tree.size()));
+    const BlockId id =
+        tree.add_block(parent, sizes[rng.next_below(6)], 0);
+    view.learn(id);
+
+    const ChainStatus status = reference.evaluate(tree, id);
+    EXPECT_EQ(view.acceptable(id),
+              status.verdict == ChainVerdict::kAcceptable)
+        << "block " << id << " seed " << GetParam();
+  }
+
+  // The tip is the deepest acceptable block (first-seen on ties).
+  const BlockId tip = view.tip();
+  EXPECT_TRUE(reference.chain_acceptable(tree, tip));
+  for (BlockId id = 0; id < tree.size(); ++id) {
+    if (reference.chain_acceptable(tree, id)) {
+      EXPECT_LE(tree.block(id).height, tree.block(tip).height);
+    }
+  }
+}
+
+TEST_P(NodeViewProperties, OutOfOrderLearningIsRejected) {
+  Rng rng(GetParam() ^ 0xDEAD);
+  BlockTree tree;
+  BuParams params;
+  sim::BuNodeView view(tree, params);
+  const BlockId a = tree.add_block(tree.genesis(), kMB, 0);
+  const BlockId b = tree.add_block(a, kMB, 0);
+  EXPECT_THROW((void)view.learn(b), InternalError);
+  (void)rng;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, NodeViewProperties,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{25}));
+
+TEST(NodeView, TracksTipChanges) {
+  BlockTree tree;
+  BuParams params;
+  params.eb = kMB;
+  params.ad = 3;
+  sim::BuNodeView view(tree, params);
+
+  const BlockId a = tree.add_block(tree.genesis(), kMB, 0);
+  EXPECT_TRUE(view.learn(a));
+  EXPECT_EQ(view.tip(), a);
+
+  // An excessive block pends: the tip stays.
+  const BlockId big = tree.add_block(a, 2 * kMB, 0);
+  EXPECT_FALSE(view.learn(big));
+  EXPECT_EQ(view.tip(), a);
+
+  // Two blocks on top resolve it: the tip jumps to the deepest block.
+  const BlockId c = tree.add_block(big, kMB, 0);
+  EXPECT_FALSE(view.learn(c));
+  const BlockId d = tree.add_block(c, kMB, 0);
+  EXPECT_TRUE(view.learn(d));
+  EXPECT_EQ(view.tip(), d);
+}
+
+TEST(NodeView, FirstSeenWinsTies) {
+  BlockTree tree;
+  BuParams params;
+  sim::BuNodeView view(tree, params);
+  const BlockId first = tree.add_block(tree.genesis(), kMB, 0);
+  const BlockId second = tree.add_block(tree.genesis(), kMB, 1);
+  EXPECT_TRUE(view.learn(first));
+  EXPECT_FALSE(view.learn(second));
+  EXPECT_EQ(view.tip(), first);
+}
+
+TEST(NodeView, LearnIsIdempotent) {
+  BlockTree tree;
+  sim::BuNodeView view(tree, BuParams{});
+  const BlockId a = tree.add_block(tree.genesis(), kMB, 0);
+  EXPECT_TRUE(view.learn(a));
+  EXPECT_FALSE(view.learn(a));
+}
+
+}  // namespace

@@ -1,0 +1,16 @@
+// Build smoke test: every module links and the headline numbers from the
+// paper are in reach. Deeper suites live in the per-module test files.
+#include <gtest/gtest.h>
+
+#include "bu/attack_analysis.hpp"
+
+namespace {
+
+TEST(Smoke, HonestRevenueEqualsAlphaWhenBobDominates) {
+  // Table 2: with beta >= alpha + gamma, Alice cannot gain unfair revenue.
+  const double u = bvc::bu::max_relative_revenue(
+      0.10, 0.72, 0.18, bvc::bu::Setting::kNoStickyGate);
+  EXPECT_NEAR(u, 0.10, 2e-4);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Literal fidelity check against the paper's Table 1: "State transition and
+// reward distribution for compliant and profit-driven Alice, setting 1."
+//
+// For every (state, action) pattern of the table we reconstruct the full
+// outcome distribution from apply_event + event_probabilities and compare
+// the successor states, probabilities, and (R_A, R_others) rewards with the
+// table rows, including the merged-event rows where "the probability is
+// defined as the total probability of these events, and the reward is
+// weighted according to the distribution" (alpha', beta', alpha'', gamma'').
+// The single documented typo (gamma-component of the l1 = l2 = AD-1 onC1
+// row) is asserted in its corrected, conservation-consistent form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "bu/attack_model.hpp"
+
+namespace {
+
+using namespace bvc::bu;
+
+struct OutcomeRow {
+  AttackState next;
+  double probability = 0.0;
+  double reward_alice = 0.0;   // R_A, weighted
+  double reward_others = 0.0;  // R_others, weighted
+};
+
+/// Aggregates apply_event over the three events exactly like the model
+/// builder does, keyed by successor state.
+std::map<std::string, OutcomeRow> outcome_distribution(
+    const AttackParams& params, const AttackState& state, Action action) {
+  std::map<std::string, OutcomeRow> rows;
+  const auto probs = event_probabilities(params, action);
+  for (const Event event :
+       {Event::kAliceBlock, Event::kBobBlock, Event::kCarolBlock}) {
+    const double p = probs[static_cast<std::size_t>(event)];
+    if (p <= 0.0) {
+      continue;
+    }
+    const StepResult step = apply_event(params, state, action, event);
+    OutcomeRow& row = rows[to_string(step.next)];
+    row.next = step.next;
+    // Probability-weighted average of rewards, as in the table's caption.
+    const double total = row.probability + p;
+    row.reward_alice =
+        (row.reward_alice * row.probability +
+         step.deltas.alice_locked * p) / total;
+    row.reward_others =
+        (row.reward_others * row.probability +
+         step.deltas.others_locked * p) / total;
+    row.probability = total;
+  }
+  return rows;
+}
+
+class Table1 : public ::testing::Test {
+ protected:
+  AttackParams params_ = [] {
+    AttackParams params;
+    params.alpha = 0.2;
+    params.beta = 0.35;
+    params.gamma = 0.45;
+    params.ad = 6;
+    params.setting = Setting::kNoStickyGate;
+    return params;
+  }();
+  const double a_ = 0.2;
+  const double b_ = 0.35;
+  const double g_ = 0.45;
+
+  void expect_row(const std::map<std::string, OutcomeRow>& rows,
+                  const AttackState& next, double probability,
+                  double reward_alice, double reward_others) {
+    const auto it = rows.find(to_string(next));
+    ASSERT_NE(it, rows.end()) << "missing successor " << to_string(next);
+    EXPECT_NEAR(it->second.probability, probability, 1e-12);
+    EXPECT_NEAR(it->second.reward_alice, reward_alice, 1e-12);
+    EXPECT_NEAR(it->second.reward_others, reward_others, 1e-12);
+  }
+};
+
+// Row: (0,0,0,0), onC1 -> (0,0,0,0) w.p. 1, reward (alpha, beta + gamma).
+TEST_F(Table1, BaseOnChain1) {
+  const auto rows = outcome_distribution(params_, AttackState{},
+                                         Action::kOnChain1);
+  ASSERT_EQ(rows.size(), 1u);
+  expect_row(rows, AttackState{}, 1.0, a_, b_ + g_);
+}
+
+// Row: (0,0,0,0), onC2 -> (0,0,0,0) w.p. beta+gamma, reward (0, 1);
+//                         (0,1,0,1) w.p. alpha, reward (0, 0).
+TEST_F(Table1, BaseOnChain2) {
+  const auto rows = outcome_distribution(params_, AttackState{},
+                                         Action::kOnChain2);
+  ASSERT_EQ(rows.size(), 2u);
+  expect_row(rows, AttackState{}, b_ + g_, 0.0, 1.0);
+  expect_row(rows, AttackState{0, 1, 0, 1, 0}, a_, 0.0, 0.0);
+}
+
+// Row: l1 < l2 != AD-1, onC1 -> three plain growth branches.
+TEST_F(Table1, GrowthOnChain1) {
+  const AttackState s{1, 3, 0, 2, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain1);
+  ASSERT_EQ(rows.size(), 3u);
+  expect_row(rows, AttackState{2, 3, 1, 2, 0}, a_, 0.0, 0.0);
+  expect_row(rows, AttackState{2, 3, 0, 2, 0}, b_, 0.0, 0.0);
+  expect_row(rows, AttackState{1, 4, 0, 2, 0}, g_, 0.0, 0.0);
+}
+
+// Row: l1 < l2 != AD-1, onC2.
+TEST_F(Table1, GrowthOnChain2) {
+  const AttackState s{1, 3, 0, 2, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain2);
+  ASSERT_EQ(rows.size(), 3u);
+  expect_row(rows, AttackState{1, 4, 0, 3, 0}, a_, 0.0, 0.0);
+  expect_row(rows, AttackState{2, 3, 0, 2, 0}, b_, 0.0, 0.0);
+  expect_row(rows, AttackState{1, 4, 0, 2, 0}, g_, 0.0, 0.0);
+}
+
+// Row: l1 = l2 != AD-1, onC1 -> merged (alpha + beta) Chain-1 win with
+// weighted reward (a'(a1+1) + b'a1, a'(l1-a1) + b'(l1+1-a1)).
+TEST_F(Table1, TieOnChain1MergesWinningEvents) {
+  const AttackState s{2, 2, 1, 1, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain1);
+  ASSERT_EQ(rows.size(), 2u);
+  const double ap = a_ / (a_ + b_);  // alpha'
+  const double bp = b_ / (a_ + b_);  // beta'
+  expect_row(rows, AttackState{}, a_ + b_,
+             ap * (s.a1 + 1.0) + bp * s.a1,
+             ap * (s.l1 - s.a1) + bp * (s.l1 + 1.0 - s.a1));
+  expect_row(rows, AttackState{2, 3, 1, 1, 0}, g_, 0.0, 0.0);
+}
+
+// Row: l1 = l2 != AD-1, onC2 -> Bob alone wins Chain 1.
+TEST_F(Table1, TieOnChain2) {
+  const AttackState s{2, 2, 1, 1, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain2);
+  ASSERT_EQ(rows.size(), 3u);
+  expect_row(rows, AttackState{2, 3, 1, 2, 0}, a_, 0.0, 0.0);
+  expect_row(rows, AttackState{}, b_, s.a1, s.l1 + 1.0 - s.a1);
+  expect_row(rows, AttackState{2, 3, 1, 1, 0}, g_, 0.0, 0.0);
+}
+
+// Row: l1 < l2 = AD-1, onC1 -> Carol completes Chain 2 alone.
+TEST_F(Table1, DepthBoundaryOnChain1) {
+  const AttackState s{2, 5, 1, 3, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain1);
+  ASSERT_EQ(rows.size(), 3u);
+  expect_row(rows, AttackState{3, 5, 2, 3, 0}, a_, 0.0, 0.0);
+  expect_row(rows, AttackState{3, 5, 1, 3, 0}, b_, 0.0, 0.0);
+  expect_row(rows, AttackState{}, g_, s.a2, s.l2 + 1.0 - s.a2);
+}
+
+// Row: l1 < l2 = AD-1, onC2 -> merged (alpha + gamma) Chain-2 win with
+// weighted reward (a''(a2+1) + g''a2, a''(l2-a2) + g''(l2+1-a2)).
+TEST_F(Table1, DepthBoundaryOnChain2MergesWinningEvents) {
+  const AttackState s{2, 5, 1, 3, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain2);
+  ASSERT_EQ(rows.size(), 2u);
+  const double app = a_ / (a_ + g_);  // alpha''
+  const double gpp = g_ / (a_ + g_);  // gamma''
+  expect_row(rows, AttackState{}, a_ + g_,
+             app * (s.a2 + 1.0) + gpp * s.a2,
+             app * (s.l2 - s.a2) + gpp * (s.l2 + 1.0 - s.a2));
+  expect_row(rows, AttackState{3, 5, 1, 3, 0}, b_, 0.0, 0.0);
+}
+
+// Row: l1 = l2 = AD-1, onC1 -> (0,0,0,0) w.p. 1; the paper's printed
+// gamma-component "gamma (l2 - a2)" violates block conservation — the
+// corrected value is gamma (l2 + 1 - a2).
+TEST_F(Table1, DoubleBoundaryOnChain1WithCorrectedTypo) {
+  const AttackState s{5, 5, 2, 1, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain1);
+  ASSERT_EQ(rows.size(), 1u);
+  expect_row(rows, AttackState{}, 1.0,
+             a_ * (s.a1 + 1.0) + b_ * s.a1 + g_ * s.a2,
+             a_ * (s.l1 - s.a1) + b_ * (s.l1 + 1.0 - s.a1) +
+                 g_ * (s.l2 + 1.0 - s.a2));
+}
+
+// Row: l1 = l2 = AD-1, onC2 -> (0,0,0,0) w.p. 1. The paper's printed
+// beta-component "beta (l1 - a1)" drops the winning block like the onC1
+// row's gamma-component does; conservation fixes it to beta (l1 + 1 - a1).
+TEST_F(Table1, DoubleBoundaryOnChain2WithCorrectedTypo) {
+  const AttackState s{5, 5, 2, 1, 0};
+  const auto rows = outcome_distribution(params_, s, Action::kOnChain2);
+  ASSERT_EQ(rows.size(), 1u);
+  expect_row(rows, AttackState{}, 1.0,
+             a_ * (s.a2 + 1.0) + b_ * s.a1 + g_ * s.a2,
+             a_ * (s.l2 - s.a2) + b_ * (s.l1 + 1.0 - s.a1) +
+                 g_ * (s.l2 + 1.0 - s.a2));
+}
+
+}  // namespace
