@@ -10,7 +10,9 @@
 //     under the u1-optimal policy (proxy for "effort to trigger gates"),
 //     measured on chain semantics.
 #include <cstdio>
+#include <string>
 
+#include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "sim/attack_scenario.hpp"
 #include "util/cli.hpp"
@@ -46,15 +48,19 @@ int main(int argc, char** argv) {
     const bu::AttackModel u1_model =
         bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
     const bu::AnalysisResult u1 = bu::analyze(u1_model);
+    bench::require_solved(u1.status, "u1 AD=" + std::to_string(ad),
+                          /*fatal=*/false);
 
     bu::AttackParams orphan_params = params;
     orphan_params.alpha = 0.01;
     const double scale = (1.0 - 0.01) / (beta + gamma);
     orphan_params.beta = beta * scale;
     orphan_params.gamma = gamma * scale;
-    const double u3 = bu::analyze(
-        bu::build_attack_model(orphan_params, bu::Utility::kOrphaning))
-        .utility_value;
+    const bu::AnalysisResult u3_result = bu::analyze(
+        bu::build_attack_model(orphan_params, bu::Utility::kOrphaning));
+    bench::require_solved(u3_result.status, "u3 AD=" + std::to_string(ad),
+                          /*fatal=*/false);
+    const double u3 = u3_result.utility_value;
 
     sim::ScenarioOptions options;
     sim::AttackScenarioSim simulator(u1_model, options);
@@ -99,15 +105,23 @@ int main(int argc, char** argv) {
     params.ad_carol = pair[1];
     params.gate_period = 24;
     params.setting = bu::Setting::kStickyGate;
-    const double u1 =
-        bu::analyze(params, bu::Utility::kRelativeRevenue).utility_value;
+    const std::string label =
+        std::to_string(pair[0]) + "/" + std::to_string(pair[1]);
+    const bu::AnalysisResult u1_result =
+        bu::analyze(params, bu::Utility::kRelativeRevenue);
+    bench::require_solved(u1_result.status, "hetero u1 AD=" + label,
+                          /*fatal=*/false);
+    const double u1 = u1_result.utility_value;
     bu::AttackParams orphan = params;
     orphan.alpha = 0.01;
     const double scale = 0.99 / (beta + gamma);
     orphan.beta = beta * scale;
     orphan.gamma = gamma * scale;
-    const double u3 =
-        bu::analyze(orphan, bu::Utility::kOrphaning).utility_value;
+    const bu::AnalysisResult u3_result =
+        bu::analyze(orphan, bu::Utility::kOrphaning);
+    bench::require_solved(u3_result.status, "hetero u3 AD=" + label,
+                          /*fatal=*/false);
+    const double u3 = u3_result.utility_value;
     hetero.add_row({std::to_string(pair[0]) + " / " +
                         std::to_string(pair[1]),
                     format_percent(u1), format_fixed(u3, 3)});

@@ -3,7 +3,9 @@
 // merchants might wait for more confirmations when forks happen constantly.
 // We sweep both knobs for BU (setting 1) and the Bitcoin SM+DS baseline.
 #include <cstdio>
+#include <string>
 
+#include "bench_common.hpp"
 #include "btc/selfish_mining.hpp"
 #include "bu/attack_analysis.hpp"
 #include "util/cli.hpp"
@@ -30,15 +32,23 @@ int main(int argc, char** argv) {
       params.alpha = alpha;
       params.beta = params.gamma = (1.0 - alpha) / 2.0;
       params.confirmations = conf;
-      const double bu_value =
-          bu::analyze(params, bu::Utility::kAbsoluteReward).utility_value;
+      const bu::AnalysisResult bu_result =
+          bu::analyze(params, bu::Utility::kAbsoluteReward);
+      bench::require_solved(bu_result.status,
+                            "BU u2 conf=" + std::to_string(conf),
+                            /*fatal=*/false);
+      const double bu_value = bu_result.utility_value;
 
       btc::SmParams sm;
       sm.alpha = alpha;
       sm.gamma_tie = 1.0;
       sm.confirmations = conf;
-      const double btc_value =
-          btc::analyze_sm(sm, bu::Utility::kAbsoluteReward).utility_value;
+      const btc::SmResult btc_result =
+          btc::analyze_sm(sm, bu::Utility::kAbsoluteReward);
+      bench::require_solved(btc_result.status,
+                            "btc sm+ds conf=" + std::to_string(conf),
+                            /*fatal=*/false);
+      const double btc_value = btc_result.utility_value;
 
       table.add_row({std::to_string(conf), format_fixed(bu_value, 4),
                      format_fixed(btc_value, 4)});
@@ -57,15 +67,23 @@ int main(int argc, char** argv) {
       params.alpha = alpha;
       params.beta = params.gamma = (1.0 - alpha) / 2.0;
       params.rds = rds;
-      const double bu_value =
-          bu::analyze(params, bu::Utility::kAbsoluteReward).utility_value;
+      const bu::AnalysisResult bu_result =
+          bu::analyze(params, bu::Utility::kAbsoluteReward);
+      bench::require_solved(bu_result.status,
+                            "BU u2 rds=" + format_fixed(rds, 0),
+                            /*fatal=*/false);
+      const double bu_value = bu_result.utility_value;
 
       btc::SmParams sm;
       sm.alpha = alpha;
       sm.gamma_tie = 1.0;
       sm.rds = rds;
-      const double btc_value =
-          btc::analyze_sm(sm, bu::Utility::kAbsoluteReward).utility_value;
+      const btc::SmResult btc_result =
+          btc::analyze_sm(sm, bu::Utility::kAbsoluteReward);
+      bench::require_solved(btc_result.status,
+                            "btc sm+ds rds=" + format_fixed(rds, 0),
+                            /*fatal=*/false);
+      const double btc_value = btc_result.utility_value;
 
       table.add_row({format_fixed(rds, 0), format_fixed(bu_value, 4),
                      format_fixed(btc_value, 4)});

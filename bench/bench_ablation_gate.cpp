@@ -7,7 +7,9 @@
 // open = exposure to giant blocks; fork starts per 1k blocks = splitting
 // frequency).
 #include <cstdio>
+#include <string>
 
+#include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "sim/attack_scenario.hpp"
 #include "util/cli.hpp"
@@ -43,6 +45,9 @@ int main(int argc, char** argv) {
     const bu::AttackModel model =
         bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
     const bu::AnalysisResult analysis = bu::analyze(model);
+    bench::require_solved(analysis.status,
+                          "u1 gate period=" + std::to_string(period),
+                          /*fatal=*/false);
 
     sim::ScenarioOptions options;
     sim::AttackScenarioSim simulator(model, options);

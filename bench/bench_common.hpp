@@ -1,14 +1,38 @@
 // Small shared helpers for the bench report generators.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
 
+#include "robust/run_control.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 
 namespace bvc::bench {
+
+/// Loud solver-status check for report generators. A non-converged solve
+/// whose value is printed next to the paper's reference is silently wrong —
+/// table-reproduction benches therefore pass fatal=true and abort; the
+/// exploratory benches pass fatal=false, warn on stderr, and continue with
+/// the best-effort value. Returns true when the solve converged.
+inline bool require_solved(robust::RunStatus status, const std::string& context,
+                           bool fatal = true) {
+  if (robust::is_success(status)) {
+    return true;
+  }
+  std::fprintf(stderr,
+               "\n*** WARNING: solve did not converge: %s (status: %s)%s\n",
+               context.c_str(), std::string(robust::to_string(status)).c_str(),
+               fatal ? " — aborting, this table would be wrong"
+                     : "; reported value is a best-effort lower bound");
+  if (fatal) {
+    std::exit(2);
+  }
+  return false;
+}
 
 /// Optional machine-readable output: when `--csv <path>` is passed, returns
 /// an open stream + writer pair; callers emit one row per measured cell.

@@ -4,6 +4,7 @@
 // for all three utilities and both settings.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "sim/attack_scenario.hpp"
 #include "util/rng.hpp"
@@ -46,6 +47,11 @@ int main() {
 
     const bu::AttackModel model = bu::build_attack_model(params, c.utility);
     const bu::AnalysisResult analysis = bu::analyze(model);
+    bench::require_solved(analysis.status,
+                          std::string(bu::to_string(c.utility)) + " setting " +
+                              (c.setting == bu::Setting::kNoStickyGate ? "1"
+                                                                       : "2"),
+                          /*fatal=*/false);
 
     sim::ScenarioOptions options;
     options.check_against_model = true;

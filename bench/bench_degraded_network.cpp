@@ -1,0 +1,144 @@
+// Degraded-network study: how message-level faults translate into consensus
+// damage. The paper's propagation substrate (Sect. 2.3 / 6.4) assumes every
+// block announcement eventually arrives; real networks drop, delay and
+// duplicate messages, nodes crash, and links partition. This bench sweeps a
+// seeded robust::FaultPlan over the continuous-time simulator and reports
+// the orphan rate as a function of the message-drop rate, plus the effect
+// of latency jitter, a node-crash window and a temporary partition.
+//
+// Flags: --blocks N (default 20000), --seed S (fault-plan seed).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "robust/fault_plan.hpp"
+#include "sim/network_sim.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bvc;
+using chain::kMegabyte;
+
+sim::NetworkConfig make_network() {
+  sim::NetworkConfig config;
+  for (int i = 0; i < 5; ++i) {
+    sim::NetMiner miner;
+    miner.name = "m" + std::to_string(i);
+    miner.power = 0.2;
+    miner.rule.eb = 32 * kMegabyte;
+    miner.rule.mg = 32 * kMegabyte;
+    miner.block_size = 8 * kMegabyte;
+    miner.bandwidth = 1e6;
+    miner.latency = 2.0;
+    config.miners.push_back(std::move(miner));
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const long blocks_arg = args.get_long("blocks", 20'000);
+  if (blocks_arg <= 0) {
+    std::fprintf(stderr, "error: --blocks must be positive (got %ld)\n",
+                 blocks_arg);
+    return 1;
+  }
+  const auto blocks = static_cast<std::uint64_t>(blocks_arg);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(args.get_long("seed", 20170406));
+
+  std::printf(
+      "Degraded-network study — orphan rate vs message-drop rate\n"
+      "(5 equal miners, 8 MB blocks, 1 MB/s, 2 s latency, 600 s interval,\n"
+      "%llu blocks per cell; deterministic fault seed %llu)\n\n",
+      static_cast<unsigned long long>(blocks),
+      static_cast<unsigned long long>(fault_seed));
+
+  bench::CsvSink csv = bench::open_csv(
+      args, {"drop_rate", "jitter_s", "orphan_rate", "dropped", "duplicated",
+             "deferred", "wasted_finds"});
+
+  const std::vector<double> drop_rates = {0.0, 0.01, 0.05, 0.10, 0.20, 0.40};
+  TextTable table({"drop rate", "orphan rate", "orphan rate (+5s jitter)",
+                   "messages dropped"});
+  for (const double drop : drop_rates) {
+    std::vector<std::string> row = {format_percent(drop, 0)};
+    std::uint64_t dropped = 0;
+    for (const double jitter : {0.0, 5.0}) {
+      sim::NetworkConfig config = make_network();
+      config.faults.seed = fault_seed;
+      config.faults.link.drop_probability = drop;
+      config.faults.link.jitter_seconds = jitter;
+      sim::NetworkSimulation simulation(config);
+      Rng rng(42);  // identical mining stream in every cell
+      const sim::NetworkResult result = simulation.run(blocks, rng);
+      bench::require_solved(result.status,
+                            "degraded sim drop=" + format_percent(drop, 0),
+                            /*fatal=*/false);
+      row.push_back(format_percent(result.orphan_rate()));
+      dropped = result.dropped_messages;
+      csv.row({format_fixed(drop, 3), format_fixed(jitter, 1),
+               format_fixed(result.orphan_rate(), 6),
+               std::to_string(result.dropped_messages),
+               std::to_string(result.duplicated_messages),
+               std::to_string(result.deferred_deliveries),
+               std::to_string(result.wasted_finds)});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    row.push_back(std::to_string(dropped));
+    table.add_row(std::move(row));
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  // ---- Crash window and partition, against the fault-free baseline -------
+  std::printf("Structural faults (same mining stream, seed 42):\n");
+  TextTable structural({"scenario", "orphan rate", "deferred deliveries",
+                        "wasted finds"});
+  const auto run_plan = [&](const char* label, const robust::FaultPlan& plan) {
+    sim::NetworkConfig config = make_network();
+    config.faults = plan;
+    sim::NetworkSimulation simulation(config);
+    Rng rng(42);
+    const sim::NetworkResult result = simulation.run(blocks, rng);
+    structural.add_row({label, format_percent(result.orphan_rate()),
+                        std::to_string(result.deferred_deliveries),
+                        std::to_string(result.wasted_finds)});
+    std::printf(".");
+    std::fflush(stdout);
+  };
+
+  robust::FaultPlan none;
+  run_plan("no faults (baseline)", none);
+
+  robust::FaultPlan crash;
+  crash.seed = fault_seed;
+  // Miner 0 is down for ~1/6 of the run: its finds are wasted and blocks
+  // addressed to it queue up until it restarts.
+  crash.crashes.push_back({0, 0.0, 600.0 * static_cast<double>(blocks) / 6.0});
+  run_plan("miner 0 down for 1/6 of the run", crash);
+
+  robust::FaultPlan split;
+  split.seed = fault_seed;
+  // Miners {0, 1} (40% of the power) are cut off from the rest for ~100
+  // block intervals mid-run: two chains grow independently, then merge.
+  const double mid = 600.0 * static_cast<double>(blocks) / 2.0;
+  split.partitions.push_back({{0, 1}, mid, mid + 600.0 * 100.0});
+  run_plan("40/60 partition for ~100 intervals", split);
+
+  std::printf("\n%s\n", structural.to_string().c_str());
+  std::printf(
+      "Reading: losing block announcements is qualitatively worse than\n"
+      "delaying them — a dropped message permanently forks the receiver\n"
+      "until a later block reconverges it, so the orphan rate climbs\n"
+      "steeply with the drop rate, while even 5 s of jitter only adds a\n"
+      "propagation-delay-sized penalty. Partitions convert the minority\n"
+      "side's entire output into orphans for the window's duration.\n");
+  return 0;
+}

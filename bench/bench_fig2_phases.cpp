@@ -10,6 +10,7 @@
 // show phase transitions occurring end-to-end.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "chain/block_tree.hpp"
 #include "chain/bu_validity.hpp"
@@ -94,6 +95,8 @@ int main() {
   const bu::AttackModel model =
       bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
   const bu::AnalysisResult analysis = bu::analyze(model);
+  bench::require_solved(analysis.status, "u1 phase-replay solve",
+                        /*fatal=*/false);
 
   sim::ScenarioOptions options;
   options.eb_bob = kEbBob;

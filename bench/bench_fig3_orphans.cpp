@@ -7,6 +7,7 @@
 // of the optimal non-profit-driven policy and compare it with the MDP.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "sim/attack_scenario.hpp"
 #include "util/rng.hpp"
@@ -62,6 +63,8 @@ int main() {
   const bu::AttackModel model =
       bu::build_attack_model(opt, bu::Utility::kOrphaning);
   const bu::AnalysisResult analysis = bu::analyze(model);
+  bench::require_solved(analysis.status, "u3 worst-case solve",
+                        /*fatal=*/false);
 
   sim::ScenarioOptions options;
   options.check_against_model = true;

@@ -5,6 +5,7 @@
 // become impractical).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "btc/selfish_mining.hpp"
 #include "mdp/average_reward.hpp"
@@ -92,6 +93,8 @@ void BM_ScenarioSimThroughput(benchmark::State& state) {
   const bu::AttackModel model = bu::build_attack_model(
       grid_params(bu::Setting::kNoStickyGate), bu::Utility::kRelativeRevenue);
   const bu::AnalysisResult analysis = bu::analyze(model);
+  bench::require_solved(analysis.status, "scenario-sim setup solve",
+                        /*fatal=*/false);
   sim::AttackScenarioSim simulator(model, sim::ScenarioOptions{});
   Rng rng(1);
   for (auto _ : state) {
@@ -106,6 +109,8 @@ void BM_PolicyRollout(benchmark::State& state) {
   const bu::AttackModel model = bu::build_attack_model(
       grid_params(bu::Setting::kNoStickyGate), bu::Utility::kRelativeRevenue);
   const bu::AnalysisResult analysis = bu::analyze(model);
+  bench::require_solved(analysis.status, "rollout setup solve",
+                        /*fatal=*/false);
   Rng rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -110,8 +110,20 @@ int main(int argc, char** argv) {
           row.push_back("-");  // outside the paper's alpha <= min(beta,gamma)
           continue;
         }
-        const double value =
-            bu::max_relative_revenue(alpha, beta, gamma, setting, ad);
+        bu::AttackParams params;
+        params.alpha = alpha;
+        params.beta = beta;
+        params.gamma = gamma;
+        params.setting = setting;
+        params.ad = ad;
+        const bu::AnalysisResult analysis =
+            bu::analyze(params, bu::Utility::kRelativeRevenue);
+        bench::require_solved(
+            analysis.status, "u1 " + ratio.label() + " alpha=" +
+                                 format_percent(alpha, 0) + " setting " +
+                                 (setting == bu::Setting::kNoStickyGate ? "1"
+                                                                        : "2"));
+        const double value = analysis.utility_value;
         const auto paper = paper_value(ratio.label(), alpha, setting);
         std::string cell = format_percent(value);
         if (paper) {

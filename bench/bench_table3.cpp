@@ -99,8 +99,18 @@ int main(int argc, char** argv) {
           row.push_back("-");
           continue;
         }
-        const double value =
-            bu::max_absolute_reward(alpha, beta, gamma, setting);
+        bu::AttackParams params;
+        params.alpha = alpha;
+        params.beta = beta;
+        params.gamma = gamma;
+        params.setting = setting;
+        const bu::AnalysisResult analysis =
+            bu::analyze(params, bu::Utility::kAbsoluteReward);
+        bench::require_solved(analysis.status,
+                              "u2 " + ratio.label() + " alpha=" +
+                                  format_fixed(alpha, 3) + " setting " +
+                                  (s1 ? std::string("1") : std::string("2")));
+        const double value = analysis.utility_value;
         const double paper =
             (s1 ? kPaperSetting1 : kPaperSetting2)[ri][ai];
         std::string cell = format_fixed(value, 3);
@@ -132,8 +142,15 @@ int main(int argc, char** argv) {
   for (const double tie : {0.5, 1.0}) {
     std::vector<std::string> row = {format_percent(tie, 0)};
     for (std::size_t i = 0; i < btc_alphas.size(); ++i) {
-      const double value =
-          btc::max_sm_double_spend_reward(btc_alphas[i], tie);
+      btc::SmParams sm_params;
+      sm_params.alpha = btc_alphas[i];
+      sm_params.gamma_tie = tie;
+      const btc::SmResult sm =
+          btc::analyze_sm(sm_params, bu::Utility::kAbsoluteReward);
+      bench::require_solved(sm.status,
+                            "btc sm+ds alpha=" + format_fixed(btc_alphas[i], 2) +
+                                " tie=" + format_fixed(tie, 2));
+      const double value = sm.utility_value;
       row.push_back(format_fixed(value, 3) + " (" +
                     format_fixed(kPaperBtc[row_index][i], 2) + ")");
       csv.row({"bitcoin-sm-ds", format_fixed(tie, 2), "", "",

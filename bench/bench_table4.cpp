@@ -47,8 +47,17 @@ int main(int argc, char** argv) {
     const double rest = 1.0 - alpha;
     const double beta = rest * row.b / (row.b + row.g);
     const double gamma = rest - beta;
-    const double s1 = bu::max_orphaning(alpha, beta, gamma,
-                                        bu::Setting::kNoStickyGate);
+    bu::AttackParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    params.gamma = gamma;
+    params.setting = bu::Setting::kNoStickyGate;
+    const bu::AnalysisResult analysis_s1 =
+        bu::analyze(params, bu::Utility::kOrphaning);
+    bench::require_solved(analysis_s1.status,
+                          "u3 " + std::to_string(row.b) + ":" +
+                              std::to_string(row.g) + " setting 1");
+    const double s1 = analysis_s1.utility_value;
     csv.row({"1", format_fixed(beta, 4), format_fixed(gamma, 4),
              format_fixed(alpha, 4), format_fixed(s1, 6),
              format_fixed(row.paper_s1, 2)});
@@ -56,8 +65,13 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     std::string s2_cell = "(skipped: --quick)";
     if (!quick) {
-      const double s2 = bu::max_orphaning(alpha, beta, gamma,
-                                          bu::Setting::kStickyGate);
+      params.setting = bu::Setting::kStickyGate;
+      const bu::AnalysisResult analysis_s2 =
+          bu::analyze(params, bu::Utility::kOrphaning);
+      bench::require_solved(analysis_s2.status,
+                            "u3 " + std::to_string(row.b) + ":" +
+                                std::to_string(row.g) + " setting 2");
+      const double s2 = analysis_s2.utility_value;
       s2_cell = format_fixed(s2, 3) + " (" + format_fixed(row.paper_s2, 2) +
                 ")";
       csv.row({"2", format_fixed(beta, 4), format_fixed(gamma, 4),

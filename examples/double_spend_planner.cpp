@@ -29,6 +29,16 @@ double parse_split(const std::string& text) {
   return b / (b + g);
 }
 
+/// Warns on stderr when a solve did not converge; the planner still prints
+/// the best-effort value (it is a lower bound on the attacker's revenue).
+double checked(double value, robust::RunStatus status, const char* what) {
+  if (!robust::is_success(status)) {
+    std::fprintf(stderr, "WARNING: %s solve did not converge (status: %s)\n",
+                 what, std::string(robust::to_string(status)).c_str());
+  }
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,21 +70,35 @@ int main(int argc, char** argv) {
   };
 
   params.setting = bu::Setting::kNoStickyGate;
-  add("BU, sticky gate removed (setting 1)",
-      bu::analyze(params, bu::Utility::kAbsoluteReward).utility_value);
+  {
+    const bu::AnalysisResult r =
+        bu::analyze(params, bu::Utility::kAbsoluteReward);
+    add("BU, sticky gate removed (setting 1)",
+        checked(r.utility_value, r.status, "BU setting 1"));
+  }
   params.setting = bu::Setting::kStickyGate;
-  add("BU, sticky gate enabled (setting 2)",
-      bu::analyze(params, bu::Utility::kAbsoluteReward).utility_value);
+  {
+    const bu::AnalysisResult r =
+        bu::analyze(params, bu::Utility::kAbsoluteReward);
+    add("BU, sticky gate enabled (setting 2)",
+        checked(r.utility_value, r.status, "BU setting 2"));
+  }
 
   btc::SmParams sm;
   sm.alpha = alpha;
   sm.rds = rds;
   sm.gamma_tie = 0.5;
-  add("Bitcoin, SM+DS, tie-win 50%",
-      btc::analyze_sm(sm, bu::Utility::kAbsoluteReward).utility_value);
+  {
+    const btc::SmResult r = btc::analyze_sm(sm, bu::Utility::kAbsoluteReward);
+    add("Bitcoin, SM+DS, tie-win 50%",
+        checked(r.utility_value, r.status, "Bitcoin tie-win 50%"));
+  }
   sm.gamma_tie = 1.0;
-  add("Bitcoin, SM+DS, tie-win 100%",
-      btc::analyze_sm(sm, bu::Utility::kAbsoluteReward).utility_value);
+  {
+    const btc::SmResult r = btc::analyze_sm(sm, bu::Utility::kAbsoluteReward);
+    add("Bitcoin, SM+DS, tie-win 100%",
+        checked(r.utility_value, r.status, "Bitcoin tie-win 100%"));
+  }
   add("honest mining (either protocol)", btc::honest_absolute_reward(alpha));
 
   std::printf("%s\n", table.to_string().c_str());
@@ -86,8 +110,11 @@ int main(int argc, char** argv) {
   unsigned conf = 4;
   for (; conf <= params.ad + 1; ++conf) {
     params.confirmations = conf;
-    const double value =
-        bu::analyze(params, bu::Utility::kAbsoluteReward).utility_value;
+    const bu::AnalysisResult r =
+        bu::analyze(params, bu::Utility::kAbsoluteReward);
+    const double value = checked(
+        r.utility_value, r.status,
+        ("confirmation sweep conf=" + std::to_string(conf)).c_str());
     std::printf("  %u confirmations: u2 = %.4f%s\n", conf, value,
                 value <= alpha + 1e-4 ? "  <- attack no longer pays" : "");
     if (value <= alpha + 1e-4) {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-2 check: build the whole tree with ASan+UBSan and run the full test
+# suite under the sanitizers. Slower than the tier-1 build, so it lives in
+# its own build directory (build-sanitize/) and is run on demand:
+#
+#   scripts/sanitize.sh            # configure + build + ctest
+#   scripts/sanitize.sh -R Fault   # forward extra args to ctest
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-sanitize"
+
+cmake -B "$build" -S "$repo" -DBVC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j"$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+export UBSAN_OPTIONS=print_stacktrace=1
+ctest --test-dir "$build" --output-on-failure -j"$(nproc)" "$@"

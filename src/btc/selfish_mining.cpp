@@ -261,12 +261,15 @@ SmResult analyze_sm(const SmParams& params, bu::Utility utility,
       break;
   }
 
-  const mdp::RatioResult ratio = mdp::maximize_ratio(model.model, options);
+  const mdp::RatioResult ratio =
+      mdp::maximize_ratio_with_retry(model.model, options);
   SmResult result;
   result.utility_value = ratio.ratio;
   result.policy = ratio.policy;
+  result.status = ratio.status;
   result.converged = ratio.converged;
   result.solver_iterations = ratio.iterations;
+  result.diagnostics = ratio.diagnostics;
   return result;
 }
 

@@ -89,8 +89,11 @@ struct SmModel {
 struct SmResult {
   double utility_value = 0.0;
   mdp::Policy policy;
+  /// How the ratio solve ended; `converged` mirrors kConverged.
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
   int solver_iterations = 0;
+  robust::SolveDiagnostics diagnostics;
 };
 
 /// The action a policy takes in `state`.

@@ -36,9 +36,11 @@ AnalysisResult analyze(const AttackModel& model,
   ratio_options.tolerance = options.tolerance;
   ratio_options.lower_bound = 0.0;
   ratio_options.upper_bound = utility_upper_bound(model);
+  ratio_options.control = options.control;
 
-  const mdp::RatioResult ratio = mdp::maximize_ratio(model.model,
-                                                     ratio_options);
+  const mdp::RatioResult ratio =
+      mdp::maximize_ratio_with_retry(model.model, ratio_options,
+                                     options.retry);
 
   AnalysisResult result;
   result.utility_value = ratio.ratio;
@@ -46,7 +48,9 @@ AnalysisResult analyze(const AttackModel& model,
   result.reward_rate = ratio.reward_rate;
   result.weight_rate = ratio.weight_rate;
   result.solver_iterations = ratio.iterations;
+  result.status = ratio.status;
   result.converged = ratio.converged;
+  result.diagnostics = ratio.diagnostics;
   result.honest_baseline =
       model.utility == Utility::kOrphaning ? 0.0 : model.params.alpha;
   result.attack_beats_honest =

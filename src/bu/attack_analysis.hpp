@@ -7,6 +7,8 @@
 
 #include "bu/attack_model.hpp"
 #include "mdp/ratio.hpp"
+#include "robust/retry.hpp"
+#include "robust/run_control.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::bu {
@@ -15,9 +17,18 @@ struct AnalysisOptions {
   /// Accuracy of the reported utility value. The paper solves to 1e-4; we
   /// default one decade tighter.
   double tolerance = 1e-5;
-  mdp::AverageRewardOptions inner = {/*tolerance=*/2e-7,
-                                     /*max_sweeps=*/30000,
-                                     /*aperiodicity_tau=*/0.999};
+  mdp::AverageRewardOptions inner = [] {
+    mdp::AverageRewardOptions o;
+    o.tolerance = 2e-7;
+    o.max_sweeps = 30000;
+    o.aperiodicity_tau = 0.999;
+    return o;
+  }();
+  /// Wall-clock/iteration budget and cancellation for the whole analysis
+  /// (all retry attempts included).
+  robust::RunControl control;
+  /// Escalation for stalled solves; set max_retries = 0 to disable.
+  robust::RetryPolicy retry;
 };
 
 struct AnalysisResult {
@@ -32,7 +43,12 @@ struct AnalysisResult {
   double reward_rate = 0.0;    ///< numerator rate of the optimal policy
   double weight_rate = 0.0;    ///< denominator rate of the optimal policy
   int solver_iterations = 0;
+  /// How the ratio solve ended; `converged` mirrors kConverged. Any other
+  /// status means `utility_value` is a best-effort lower bound, not a
+  /// certified optimum — table-reproduction callers must check this.
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
+  robust::SolveDiagnostics diagnostics;
 };
 
 /// Solves for Alice's optimal utility within the strategy space.

@@ -29,6 +29,7 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
   }
 
   const double tau = options.aperiodicity_tau;
+  robust::RunGuard guard(options.control);
   GainResult result;
   if (warm_start_bias != nullptr && warm_start_bias->size() == n) {
     result.bias = *warm_start_bias;
@@ -66,6 +67,12 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
 
   int sweep = 0;
   for (; sweep < options.max_sweeps; ++sweep) {
+    // Budget/cancellation check before the sweep: a pre-cancelled token
+    // stops the solve before any full sweep has run.
+    if (const auto stop_status = guard.tick()) {
+      result.status = *stop_status;
+      break;
+    }
     const double stop = options.tolerance * tau_eff;
     double span_min = std::numeric_limits<double>::infinity();
     double span_max = -std::numeric_limits<double>::infinity();
@@ -107,7 +114,7 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
 
     const double span = span_max - span_min;
     if (span < stop) {
-      result.converged = true;
+      result.status = robust::RunStatus::kConverged;
       ++sweep;
       break;
     }
@@ -117,7 +124,7 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
       // the (conservative) span has not.
       if (std::abs(gain_estimate - last_gain) <
           0.1 * options.tolerance * (1.0 + std::abs(gain_estimate))) {
-        result.converged = true;
+        result.status = robust::RunStatus::kConverged;
         ++sweep;
         break;
       }
@@ -139,6 +146,8 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
 
   result.gain = gain_estimate;
   result.sweeps = sweep;
+  result.converged = robust::is_success(result.status);
+  result.elapsed_seconds = guard.elapsed_seconds();
   return result;
 }
 
@@ -184,6 +193,7 @@ PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
   PolicyGains gains;
   gains.reward_rate = reward_run.gain;
   gains.weight_rate = weight_run.gain;
+  gains.status = std::max(reward_run.status, weight_run.status);
   gains.converged = reward_run.converged && weight_run.converged;
   if (reward_bias != nullptr) {
     *reward_bias = std::move(reward_run.bias);

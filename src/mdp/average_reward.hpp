@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mdp/model.hpp"
+#include "robust/run_control.hpp"
 
 namespace bvc::mdp {
 
@@ -37,6 +38,10 @@ struct AverageRewardOptions {
   /// probability (1 - tau). 1.0 disables the transformation; the default
   /// keeps a sliver of self-loop as insurance at ~0.1% cost.
   double aperiodicity_tau = 0.999;
+  /// Wall-clock/iteration budget and cooperative cancellation. One guard
+  /// tick is one sweep; on exhaustion the solver returns its best bias and
+  /// greedy policy so far with status kBudgetExhausted / kCancelled.
+  robust::RunControl control;
 };
 
 struct GainResult {
@@ -44,7 +49,11 @@ struct GainResult {
   std::vector<double> bias;    ///< relative value vector (bias up to constant)
   Policy policy;               ///< greedy policy at convergence
   int sweeps = 0;
+  /// How the solve ended; `converged` is kept in sync as a convenience
+  /// (`status == kConverged`).
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
+  double elapsed_seconds = 0.0;
 };
 
 /// Maximizes the long-run average of the per-(state,action) rewards
@@ -64,6 +73,8 @@ struct GainResult {
 struct PolicyGains {
   double reward_rate = 0.0;  ///< numerator stream per step
   double weight_rate = 0.0;  ///< denominator stream per step
+  /// Worst status of the two stream evaluations.
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
 };
 

@@ -14,12 +14,17 @@ DiscountedResult solve_discounted(const Model& model,
   BVC_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
 
   const StateId n = model.num_states();
+  robust::RunGuard guard(options.control);
   DiscountedResult result;
   result.value.assign(n, 0.0);
   result.policy.action.assign(n, 0);
   std::vector<double> next(n, 0.0);
 
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (const auto stop_status = guard.tick()) {
+      result.status = *stop_status;
+      break;
+    }
     double max_delta = 0.0;
     for (StateId s = 0; s < n; ++s) {
       double best = -std::numeric_limits<double>::infinity();
@@ -45,10 +50,12 @@ DiscountedResult solve_discounted(const Model& model,
     // Standard VI error bound: ||V - V*|| <= delta * beta / (1 - beta).
     if (max_delta * options.discount / (1.0 - options.discount) <
         options.tolerance) {
-      result.converged = true;
+      result.status = robust::RunStatus::kConverged;
       break;
     }
   }
+  result.converged = robust::is_success(result.status);
+  result.elapsed_seconds = guard.elapsed_seconds();
   return result;
 }
 

@@ -15,13 +15,18 @@ struct DiscountedOptions {
   double discount = 0.999;  ///< beta in (0, 1)
   double tolerance = 1e-10;
   int max_sweeps = 1000000;
+  /// Budget/cancellation; one guard tick per sweep. On exhaustion the
+  /// current value vector and greedy policy are returned as-is.
+  robust::RunControl control;
 };
 
 struct DiscountedResult {
   std::vector<double> value;
   Policy policy;
   int sweeps = 0;
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
+  double elapsed_seconds = 0.0;
 };
 
 /// Maximizes expected discounted primary-stream reward from every state.

@@ -97,6 +97,7 @@ PolicyIterationResult evaluate_policy_exact(
     result.bias[s] = b[s];
   }
   result.policy = policy;
+  result.status = robust::RunStatus::kConverged;
   result.converged = true;
   return result;
 }
@@ -108,8 +109,20 @@ PolicyIterationResult policy_iteration(
   Policy policy;
   policy.action.assign(n, 0);
 
+  robust::RunGuard guard(options.control);
   PolicyIterationResult evaluated;
   for (int round = 0; round < options.max_improvements; ++round) {
+    if (const auto stop_status = guard.tick()) {
+      // Return the last evaluated policy (or the initial one before any
+      // evaluation) as the partial result.
+      if (evaluated.policy.action.empty()) {
+        evaluated.policy = policy;
+      }
+      evaluated.status = *stop_status;
+      evaluated.converged = false;
+      evaluated.elapsed_seconds = guard.elapsed_seconds();
+      return evaluated;
+    }
     evaluated = evaluate_policy_exact(model, policy, sa_rewards, options);
     evaluated.improvements = round;
 
@@ -141,11 +154,15 @@ PolicyIterationResult policy_iteration(
       }
     }
     if (!changed) {
+      evaluated.status = robust::RunStatus::kConverged;
       evaluated.converged = true;
+      evaluated.elapsed_seconds = guard.elapsed_seconds();
       return evaluated;
     }
   }
+  evaluated.status = robust::RunStatus::kToleranceStalled;
   evaluated.converged = false;
+  evaluated.elapsed_seconds = guard.elapsed_seconds();
   return evaluated;
 }
 

@@ -23,6 +23,9 @@ struct PolicyIterationOptions {
   double improvement_tolerance = 1e-10;
   /// Practical size guard: dense evaluation is O(n^3).
   StateId max_states = 5000;
+  /// Budget/cancellation; one guard tick per improvement round. On
+  /// exhaustion the most recently evaluated policy is returned.
+  robust::RunControl control;
 };
 
 struct PolicyIterationResult {
@@ -30,7 +33,9 @@ struct PolicyIterationResult {
   std::vector<double> bias;  ///< h with h[0] = 0
   Policy policy;
   int improvements = 0;
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
+  double elapsed_seconds = 0.0;
 };
 
 /// Exact evaluation of one stationary policy: solves

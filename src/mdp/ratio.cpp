@@ -29,6 +29,7 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
   // options.inner.tolerance, so anything of that order is noise.
   const double gain_tol = std::max(10.0 * options.inner.tolerance, 1e-8);
 
+  robust::RunGuard guard(options.control);
   RatioResult result;
   double lo = options.lower_bound;  // ratio known to be achievable (or floor)
   double hi = options.upper_bound;  // ratio known to be unachievable (ceiling)
@@ -37,12 +38,48 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
   std::vector<double> warm_bias;
   std::vector<double> eval_reward_bias;
   std::vector<double> eval_weight_bias;
+  bool policy_recorded = false;
+  bool degenerate_seen = false;
+  // The most recent inner policy: adopted as the best-effort answer when the
+  // budget expires before any policy's true ratio could be certified.
+  Policy last_inner_policy;
 
   const auto record_policy = [&](const Policy& policy, double num_rate,
                                  double den_rate) {
     result.policy = policy;
     result.reward_rate = num_rate;
     result.weight_rate = den_rate;
+    policy_recorded = true;
+  };
+
+  // Inner solves share the outer cancel token and the *remaining* wall
+  // clock, so the whole ratio solve honors one deadline.
+  const auto inner_options = [&] {
+    AverageRewardOptions inner = options.inner;
+    inner.control.cancel = options.control.cancel;
+    inner.control.budget = guard.remaining();
+    return inner;
+  };
+  const auto note_inner = [&](const GainResult& run) {
+    ++result.diagnostics.inner_solves;
+    result.diagnostics.inner_sweeps += run.sweeps;
+  };
+  const auto note_outer = [&](double rho_now) {
+    ++result.diagnostics.outer_iterations;
+    result.diagnostics.rho_trajectory.push_back(rho_now);
+    result.diagnostics.residual_trajectory.push_back(hi - lo);
+  };
+
+  // Single exit point: fix up status, sync `converged`, and make sure the
+  // policy is usable (covers every state) even on early exits.
+  const auto finalize = [&](robust::RunStatus status) -> RatioResult& {
+    if (!policy_recorded && !last_inner_policy.action.empty()) {
+      result.policy = last_inner_policy;
+    }
+    result.status = status;
+    result.converged = robust::is_success(status);
+    result.diagnostics.elapsed_seconds = guard.elapsed_seconds();
+    return result;
   };
 
   // Denominator-stream rewards, shared by all policy evaluations.
@@ -53,20 +90,32 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
 
   // --- Dinkelbach phase -------------------------------------------------
   for (; result.iterations < options.max_iterations; ++result.iterations) {
+    if (const auto stop_status = guard.tick()) {
+      return finalize(*stop_status);
+    }
     linearize(model, rho, linearized);
     const GainResult run = maximize_average_reward(
-        model, linearized, options.inner,
+        model, linearized, inner_options(),
         warm_bias.empty() ? nullptr : &warm_bias);
     warm_bias = run.bias;
+    last_inner_policy = run.policy;
+    note_inner(run);
+    if (run.status == robust::RunStatus::kCancelled ||
+        run.status == robust::RunStatus::kBudgetExhausted) {
+      note_outer(rho);
+      return finalize(run.status);
+    }
 
     if (run.gain <= gain_tol) {
       // No policy beats ratio `rho` (within tolerance): rho is an upper
       // bound. If it already meets the achievable bound, we are done.
       hi = std::min(hi, rho);
+      note_outer(rho);
       if (hi - lo <= options.tolerance) {
         result.ratio = lo;
-        result.converged = true;
-        return result;
+        return finalize(policy_recorded || !degenerate_seen
+                            ? robust::RunStatus::kConverged
+                            : robust::RunStatus::kDegenerateModel);
       }
       break;  // degenerate/stalled: refine by bisection below
     }
@@ -75,9 +124,15 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
     // optimizer's gain is num_rate - rho * den_rate for its own policy, so
     // num_rate = gain + rho * den_rate.
     const GainResult weight_run = evaluate_policy_stream(
-        model, run.policy, weight_rewards, options.inner,
+        model, run.policy, weight_rewards, inner_options(),
         eval_weight_bias.empty() ? nullptr : &eval_weight_bias);
     eval_weight_bias = weight_run.bias;
+    note_inner(weight_run);
+    if (weight_run.status == robust::RunStatus::kCancelled ||
+        weight_run.status == robust::RunStatus::kBudgetExhausted) {
+      note_outer(rho);
+      return finalize(weight_run.status);
+    }
     const double den_rate = weight_run.gain;
     const double num_rate = run.gain + rho * den_rate;
     if (den_rate <= options.min_weight_rate) {
@@ -87,20 +142,21 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
       BVC_ENSURE(num_rate <= gain_tol,
                  "ratio objective is unbounded: positive numerator rate with "
                  "zero denominator rate");
+      degenerate_seen = true;
+      note_outer(rho);
       break;
     }
 
-    const PolicyGains gains{num_rate, den_rate, weight_run.converged};
-    const double achieved = gains.reward_rate / gains.weight_rate;
+    const double achieved = num_rate / den_rate;
     if (achieved > lo) {
       lo = achieved;
-      record_policy(run.policy, gains.reward_rate, gains.weight_rate);
+      record_policy(run.policy, num_rate, den_rate);
     }
+    note_outer(achieved);
     if (achieved <= rho + options.tolerance) {
       // Dinkelbach fixed point: g(rho) ~ 0 at rho = achieved ratio.
       result.ratio = lo;
-      result.converged = true;
-      return result;
+      return finalize(robust::RunStatus::kConverged);
     }
     rho = achieved;
   }
@@ -109,19 +165,32 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
   result.used_bisection = true;
   while (hi - lo > options.tolerance &&
          result.iterations < options.max_iterations) {
+    if (const auto stop_status = guard.tick()) {
+      result.ratio = lo;
+      return finalize(*stop_status);
+    }
     ++result.iterations;
     const double mid = 0.5 * (lo + hi);
     linearize(model, mid, linearized);
     const GainResult run = maximize_average_reward(
-        model, linearized, options.inner,
+        model, linearized, inner_options(),
         warm_bias.empty() ? nullptr : &warm_bias);
     warm_bias = run.bias;
+    last_inner_policy = run.policy;
+    note_inner(run);
+    if (run.status == robust::RunStatus::kCancelled ||
+        run.status == robust::RunStatus::kBudgetExhausted) {
+      result.ratio = lo;
+      note_outer(mid);
+      return finalize(run.status);
+    }
     if (run.gain > gain_tol) {
       // Some policy achieves a ratio above mid; try to extract it so the
       // reported policy matches the reported ratio.
       const PolicyGains gains =
-          evaluate_policy_average(model, run.policy, options.inner,
+          evaluate_policy_average(model, run.policy, inner_options(),
                                   &eval_reward_bias, &eval_weight_bias);
+      result.diagnostics.inner_solves += 2;
       if (gains.weight_rate > options.min_weight_rate) {
         const double achieved = gains.reward_rate / gains.weight_rate;
         if (achieved > lo) {
@@ -129,16 +198,70 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
         }
         lo = std::max(lo, std::max(mid, achieved));
       } else {
+        degenerate_seen = true;
         lo = mid;
       }
     } else {
       hi = mid;
     }
+    note_outer(mid);
   }
 
   result.ratio = lo;
-  result.converged = hi - lo <= options.tolerance * (1.0 + std::abs(lo));
-  return result;
+  if (hi - lo <= options.tolerance * (1.0 + std::abs(lo))) {
+    return finalize(policy_recorded || !degenerate_seen
+                        ? robust::RunStatus::kConverged
+                        : robust::RunStatus::kDegenerateModel);
+  }
+  return finalize(robust::RunStatus::kToleranceStalled);
+}
+
+RatioResult maximize_ratio_with_retry(const Model& model,
+                                      const RatioOptions& options,
+                                      const robust::RetryPolicy& retry) {
+  robust::RunGuard guard(options.control);
+
+  RatioOptions attempt = options;
+  RatioResult best = maximize_ratio(model, attempt);
+  int inner_solves = best.diagnostics.inner_solves;
+  std::int64_t inner_sweeps = best.diagnostics.inner_sweeps;
+  int outer_iterations = best.diagnostics.outer_iterations;
+
+  int retries = 0;
+  while (best.status == robust::RunStatus::kToleranceStalled &&
+         retries < retry.max_retries) {
+    ++retries;
+    // Escalate: wider bracket (in case upper_bound was not a genuine upper
+    // bound), tighter inner solves (in case the bracket jittered on inner
+    // noise), and more outer iterations. The achieved ratio so far is a
+    // certified lower bound, so start the new bracket there.
+    attempt.lower_bound = std::max(attempt.lower_bound, best.ratio);
+    attempt.upper_bound =
+        attempt.lower_bound + (attempt.upper_bound - attempt.lower_bound) *
+                                  retry.bracket_widen_factor;
+    attempt.inner.tolerance *= retry.inner_tolerance_factor;
+    attempt.max_iterations = static_cast<int>(
+        static_cast<double>(attempt.max_iterations) *
+        retry.iteration_growth_factor);
+    attempt.control.budget = guard.remaining();
+
+    RatioResult next = maximize_ratio(model, attempt);
+    inner_solves += next.diagnostics.inner_solves;
+    inner_sweeps += next.diagnostics.inner_sweeps;
+    outer_iterations += next.diagnostics.outer_iterations;
+    // Keep the better outcome: a converged solve always wins; otherwise the
+    // higher certified ratio does.
+    if (next.converged || next.ratio >= best.ratio) {
+      best = std::move(next);
+    }
+  }
+
+  best.diagnostics.retries = retries;
+  best.diagnostics.inner_solves = inner_solves;
+  best.diagnostics.inner_sweeps = inner_sweeps;
+  best.diagnostics.outer_iterations = outer_iterations;
+  best.diagnostics.elapsed_seconds = guard.elapsed_seconds();
+  return best;
 }
 
 }  // namespace bvc::mdp

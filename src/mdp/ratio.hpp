@@ -14,6 +14,8 @@
 
 #include "mdp/average_reward.hpp"
 #include "mdp/model.hpp"
+#include "robust/retry.hpp"
+#include "robust/run_control.hpp"
 
 namespace bvc::mdp {
 
@@ -29,6 +31,12 @@ struct RatioOptions {
   /// A policy whose denominator rate falls below this is considered
   /// degenerate (accrues no denominator mass).
   double min_weight_rate = 1e-9;
+  /// Budget/cancellation for the whole ratio solve. One guard tick is one
+  /// outer (Dinkelbach or bisection) iteration; the remaining wall-clock
+  /// allowance is forwarded to every inner average-reward solve, so the
+  /// deadline binds the total work, not each piece separately. On
+  /// exhaustion the best policy found so far is returned.
+  robust::RunControl control;
 };
 
 struct RatioResult {
@@ -37,11 +45,23 @@ struct RatioResult {
   double reward_rate = 0.0;  ///< numerator rate of `policy`
   double weight_rate = 0.0;  ///< denominator rate of `policy`
   int iterations = 0;     ///< linearized solves performed
+  /// How the solve ended; `converged` mirrors `status == kConverged`.
+  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
   bool converged = false;
   bool used_bisection = false;
+  robust::SolveDiagnostics diagnostics;
 };
 
 [[nodiscard]] RatioResult maximize_ratio(const Model& model,
                                          const RatioOptions& options);
+
+/// maximize_ratio with bounded retry-with-escalation: a solve that ends
+/// kToleranceStalled is reattempted with a widened bracket, a tighter inner
+/// tolerance, and a larger outer iteration cap (see robust::RetryPolicy).
+/// Budget exhaustion, cancellation and degeneracy are not retried. The
+/// wall-clock budget in `options.control` spans all attempts combined.
+[[nodiscard]] RatioResult maximize_ratio_with_retry(
+    const Model& model, const RatioOptions& options,
+    const robust::RetryPolicy& retry = {});
 
 }  // namespace bvc::mdp

@@ -5,15 +5,21 @@
 namespace bvc::mdp {
 
 ModelRolloutResult rollout_model(const Model& model, const Policy& policy,
-                                 StateId start, std::uint64_t steps,
-                                 Rng& rng) {
+                                 StateId start, std::uint64_t steps, Rng& rng,
+                                 const robust::RunControl& control) {
   BVC_REQUIRE(policy.action.size() == model.num_states(),
               "policy must cover every state");
   BVC_REQUIRE(start < model.num_states(), "start state out of range");
 
+  robust::RunGuard guard(control, /*clock_stride=*/1024);
   ModelRolloutResult result;
   StateId state = start;
   for (std::uint64_t i = 0; i < steps; ++i) {
+    if (const auto stop_status = guard.tick()) {
+      result.status = *stop_status;
+      result.steps = i;
+      return result;
+    }
     const SaIndex sa = model.sa_index(state, policy.action[state]);
     const auto outcomes = model.outcomes(sa);
     // Sample a branch by probability mass.

@@ -8,6 +8,7 @@
 
 #include "mdp/average_reward.hpp"
 #include "mdp/model.hpp"
+#include "robust/run_control.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::mdp {
@@ -15,7 +16,10 @@ namespace bvc::mdp {
 struct ModelRolloutResult {
   double reward_total = 0.0;  ///< accumulated numerator stream
   double weight_total = 0.0;  ///< accumulated denominator stream
-  std::uint64_t steps = 0;
+  std::uint64_t steps = 0;    ///< steps actually simulated
+  /// kConverged when all requested steps ran; kBudgetExhausted/kCancelled
+  /// when the rollout was stopped early (totals cover `steps` steps).
+  robust::RunStatus status = robust::RunStatus::kConverged;
 
   /// reward_total / weight_total (the ratio-objective estimate), or 0 when
   /// no denominator mass accrued.
@@ -28,10 +32,11 @@ struct ModelRolloutResult {
   }
 };
 
-/// Simulates `steps` transitions from `start` under `policy`.
-[[nodiscard]] ModelRolloutResult rollout_model(const Model& model,
-                                               const Policy& policy,
-                                               StateId start,
-                                               std::uint64_t steps, Rng& rng);
+/// Simulates `steps` transitions from `start` under `policy`. One guard
+/// tick per step; the wall clock is only sampled every ~1k steps, so an
+/// unlimited budget costs nothing in this hot loop.
+[[nodiscard]] ModelRolloutResult rollout_model(
+    const Model& model, const Policy& policy, StateId start,
+    std::uint64_t steps, Rng& rng, const robust::RunControl& control = {});
 
 }  // namespace bvc::mdp

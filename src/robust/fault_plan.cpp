@@ -1,0 +1,105 @@
+#include "robust/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bvc::robust {
+
+bool FaultPlan::empty() const noexcept {
+  const bool links_inert =
+      link.inert() &&
+      std::all_of(link_overrides.begin(), link_overrides.end(),
+                  [](const LinkFaultOverride& o) { return o.fault.inert(); });
+  const bool windows_inert =
+      std::all_of(crashes.begin(), crashes.end(),
+                  [](const CrashWindow& w) { return w.begin >= w.end; }) &&
+      std::all_of(partitions.begin(), partitions.end(),
+                  [](const PartitionWindow& w) {
+                    return w.begin >= w.end || w.island.empty();
+                  });
+  return links_inert && windows_inert;
+}
+
+const LinkFault& FaultPlan::link_fault(std::size_t from,
+                                       std::size_t to) const noexcept {
+  const LinkFault* found = &link;
+  for (const LinkFaultOverride& o : link_overrides) {
+    if (o.from == from && o.to == to) {
+      found = &o.fault;
+    }
+  }
+  return *found;
+}
+
+bool FaultPlan::crashed_at(std::size_t node, double t,
+                           double* deliver_at) const noexcept {
+  for (const CrashWindow& w : crashes) {
+    if (w.node == node && t >= w.begin && t < w.end) {
+      if (deliver_at != nullptr) {
+        *deliver_at = w.end;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::partitioned_at(std::size_t a, std::size_t b, double t,
+                               double* heals_at) const noexcept {
+  for (const PartitionWindow& w : partitions) {
+    if (t < w.begin || t >= w.end) {
+      continue;
+    }
+    const bool a_in =
+        std::find(w.island.begin(), w.island.end(), a) != w.island.end();
+    const bool b_in =
+        std::find(w.island.begin(), w.island.end(), b) != w.island.end();
+    if (a_in != b_in) {
+      if (heals_at != nullptr) {
+        *heals_at = w.end;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void validate_link(const LinkFault& fault) {
+  BVC_REQUIRE(fault.drop_probability >= 0.0 && fault.drop_probability <= 1.0,
+              "link drop probability must be in [0, 1]");
+  BVC_REQUIRE(
+      fault.duplicate_probability >= 0.0 && fault.duplicate_probability <= 1.0,
+      "link duplicate probability must be in [0, 1]");
+  BVC_REQUIRE(fault.jitter_seconds >= 0.0,
+              "link jitter must be non-negative");
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t num_nodes) const {
+  validate_link(link);
+  for (const LinkFaultOverride& o : link_overrides) {
+    BVC_REQUIRE(o.from < num_nodes && o.to < num_nodes,
+                "link override endpoints must be valid node indices");
+    BVC_REQUIRE(o.from != o.to, "link overrides apply to distinct nodes");
+    validate_link(o.fault);
+  }
+  for (const CrashWindow& w : crashes) {
+    BVC_REQUIRE(w.node < num_nodes, "crash window node index out of range");
+    BVC_REQUIRE(w.begin >= 0.0 && w.begin <= w.end,
+                "crash window must satisfy 0 <= begin <= end");
+  }
+  for (const PartitionWindow& w : partitions) {
+    BVC_REQUIRE(w.begin >= 0.0 && w.begin <= w.end,
+                "partition window must satisfy 0 <= begin <= end");
+    for (const std::size_t node : w.island) {
+      BVC_REQUIRE(node < num_nodes,
+                  "partition island node index out of range");
+    }
+  }
+}
+
+}  // namespace bvc::robust

@@ -1,0 +1,98 @@
+// Deterministic fault injection for the network simulation.
+//
+// A FaultPlan describes the degraded conditions under which a simulation
+// run should operate: per-link message loss, duplication and latency
+// jitter, node crash/restart windows, and temporary partitions. The plan
+// carries its own RNG seed, so fault decisions are drawn from a dedicated
+// stream — injecting faults never perturbs the mining/propagation stream of
+// the caller's Rng. Two consequences the tests rely on:
+//
+//   * the same seed and plan reproduce bit-identical results, and
+//   * a plan whose probabilities, jitter and windows are all zero/empty is
+//     indistinguishable from running with no plan at all.
+//
+// Fault semantics (see docs/ROBUSTNESS.md for the rationale):
+//   drop        — the message is lost permanently (no retry protocol).
+//   duplicate   — a second copy is delivered with independent jitter.
+//   jitter      — extra delivery latency, uniform in [0, jitter_seconds].
+//   crash       — deliveries that would arrive while the node is down are
+//                 deferred to the end of the window (restart = catch-up);
+//                 a crashed miner's block finds are wasted work.
+//   partition   — messages crossing the cut while the window is active are
+//                 deferred to the healing time plus the normal link delay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bvc::robust {
+
+/// Fault parameters of one directed link (or the all-links default).
+struct LinkFault {
+  double drop_probability = 0.0;       ///< per message, in [0, 1]
+  double duplicate_probability = 0.0;  ///< per message, in [0, 1]
+  double jitter_seconds = 0.0;         ///< max extra latency, >= 0
+
+  [[nodiscard]] bool inert() const noexcept {
+    return drop_probability == 0.0 && duplicate_probability == 0.0 &&
+           jitter_seconds == 0.0;
+  }
+};
+
+/// Override of the default link fault for one directed (from -> to) link.
+struct LinkFaultOverride {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  LinkFault fault;
+};
+
+/// Node `node` is down during [begin, end).
+struct CrashWindow {
+  std::size_t node = 0;
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// The nodes in `island` are cut off from everyone else during [begin, end).
+/// Links within the island (and within the complement) are unaffected.
+struct PartitionWindow {
+  std::vector<std::size_t> island;
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+struct FaultPlan {
+  /// Seed of the dedicated fault stream; independent of the simulation Rng.
+  std::uint64_t seed = 0xFA17'0000'0000'0001ULL;
+  /// Default fault applied to every directed link.
+  LinkFault link;
+  /// Per-link overrides (last matching override wins).
+  std::vector<LinkFaultOverride> link_overrides;
+  std::vector<CrashWindow> crashes;
+  std::vector<PartitionWindow> partitions;
+
+  /// True when the plan can have no observable effect.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// The fault parameters of the directed link from -> to.
+  [[nodiscard]] const LinkFault& link_fault(std::size_t from,
+                                            std::size_t to) const noexcept;
+
+  /// Is `node` inside a crash window at time `t`? Returns the window end
+  /// through `deliver_at` when so.
+  [[nodiscard]] bool crashed_at(std::size_t node, double t,
+                                double* deliver_at = nullptr) const noexcept;
+
+  /// Are `a` and `b` on opposite sides of an active partition at time `t`?
+  /// Returns the healing time through `heals_at` when so.
+  [[nodiscard]] bool partitioned_at(std::size_t a, std::size_t b, double t,
+                                    double* heals_at = nullptr) const noexcept;
+
+  /// BVC_REQUIREs every field is well-formed for a `num_nodes`-node network:
+  /// probabilities in [0, 1], jitter >= 0, windows with begin <= end, and
+  /// node indices in range.
+  void validate(std::size_t num_nodes) const;
+};
+
+}  // namespace bvc::robust

@@ -1,0 +1,64 @@
+#include "robust/run_control.hpp"
+
+#include <algorithm>
+
+namespace bvc::robust {
+
+std::string_view to_string(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kConverged:
+      return "converged";
+    case RunStatus::kToleranceStalled:
+      return "tolerance-stalled";
+    case RunStatus::kBudgetExhausted:
+      return "budget-exhausted";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kDegenerateModel:
+      return "degenerate-model";
+  }
+  return "unknown";
+}
+
+RunGuard::RunGuard(const RunControl& control,
+                   std::int64_t clock_stride) noexcept
+    : budget_(control.budget),
+      cancel_(control.cancel),
+      start_(Clock::now()),
+      clock_stride_(clock_stride > 0 ? clock_stride : 1),
+      has_deadline_(budget_.wall_clock_seconds !=
+                    std::numeric_limits<double>::infinity()) {}
+
+std::optional<RunStatus> RunGuard::tick() noexcept {
+  if (cancel_.cancel_requested()) {
+    return RunStatus::kCancelled;
+  }
+  if (ticks_ >= budget_.max_ticks) {
+    return RunStatus::kBudgetExhausted;
+  }
+  if (expired_) {
+    return RunStatus::kBudgetExhausted;
+  }
+  if (has_deadline_ && ticks_ % clock_stride_ == 0 &&
+      elapsed_seconds() >= budget_.wall_clock_seconds) {
+    expired_ = true;
+    return RunStatus::kBudgetExhausted;
+  }
+  ++ticks_;
+  return std::nullopt;
+}
+
+double RunGuard::elapsed_seconds() const noexcept {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+RunBudget RunGuard::remaining() const noexcept {
+  RunBudget budget;
+  if (has_deadline_) {
+    budget.wall_clock_seconds =
+        std::max(0.0, budget_.wall_clock_seconds - elapsed_seconds());
+  }
+  return budget;
+}
+
+}  // namespace bvc::robust

@@ -77,7 +77,9 @@ bool ForkSimulation::all_tips_equal() const {
                      [&](chain::BlockId id) { return id == tips_.front(); });
 }
 
-ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng) {
+ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
+                                  const robust::RunControl& control) {
+  robust::RunGuard guard(control);
   ForkSimResult result;
   result.locked_per_miner.assign(config_.miners.size(), 0);
   result.orphaned_per_miner.assign(config_.miners.size(), 0);
@@ -86,6 +88,10 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng) {
   chain::BlockId episode_first_block = chain::kNoBlock;
 
   for (std::uint64_t step = 0; step < blocks; ++step) {
+    if (const auto stop_status = guard.tick()) {
+      result.status = *stop_status;
+      break;
+    }
     const auto who = static_cast<std::size_t>(power_sampler_.sample(rng));
     const SimMiner& miner = config_.miners[who];
     const chain::BlockId block =

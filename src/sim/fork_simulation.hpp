@@ -13,6 +13,7 @@
 
 #include "chain/block_tree.hpp"
 #include "chain/bu_validity.hpp"
+#include "robust/run_control.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::sim {
@@ -38,6 +39,9 @@ struct ForkSimResult {
   std::uint64_t orphaned_blocks = 0;
   std::vector<std::uint64_t> locked_per_miner;
   std::vector<std::uint64_t> orphaned_per_miner;
+  /// kConverged when all requested blocks were mined; kBudgetExhausted /
+  /// kCancelled when stopped early (statistics cover the simulated prefix).
+  robust::RunStatus status = robust::RunStatus::kConverged;
 
   [[nodiscard]] double orphan_rate() const noexcept {
     return blocks_mined == 0
@@ -51,8 +55,11 @@ class ForkSimulation {
  public:
   explicit ForkSimulation(ForkSimConfig config);
 
-  /// Mines `blocks` blocks and returns the aggregate fork statistics.
-  [[nodiscard]] ForkSimResult run(std::uint64_t blocks, Rng& rng);
+  /// Mines `blocks` blocks and returns the aggregate fork statistics. One
+  /// guard tick per block; on budget exhaustion / cancellation the partial
+  /// statistics are returned with the status set.
+  [[nodiscard]] ForkSimResult run(std::uint64_t blocks, Rng& rng,
+                                  const robust::RunControl& control = {});
 
  private:
   void reset_tree();

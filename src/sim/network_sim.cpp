@@ -35,7 +35,7 @@ NetworkSimulation::NetworkSimulation(NetworkConfig config)
               "block interval must be positive");
   double total = 0.0;
   for (const NetMiner& miner : config_.miners) {
-    BVC_REQUIRE(miner.power > 0.0, "miner power must be positive");
+    BVC_REQUIRE(miner.power >= 0.0, "miner power must be non-negative");
     BVC_REQUIRE(miner.block_size <= miner.rule.mg,
                 "a compliant miner cannot exceed its own MG");
     BVC_REQUIRE(miner.bandwidth > 0.0, "bandwidth must be positive");
@@ -43,9 +43,11 @@ NetworkSimulation::NetworkSimulation(NetworkConfig config)
     total += miner.power;
   }
   BVC_REQUIRE(std::abs(total - 1.0) < 1e-9, "powers must sum to 1");
+  config_.faults.validate(config_.miners.size());
 }
 
-NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng) {
+NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
+                                     const robust::RunControl& control) {
   const std::size_t n = config_.miners.size();
   chain::BlockTree tree;
   std::vector<BuNodeView> views;
@@ -91,11 +93,47 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng) {
     }
   };
 
+  // Fault decisions come from the plan's own stream: injecting faults never
+  // perturbs the mining/propagation draws taken from the caller's `rng`, so
+  // an all-zero plan reproduces the no-fault baseline bit for bit.
+  const robust::FaultPlan& faults = config_.faults;
+  Rng fault_rng(faults.seed);
+
+  // Schedules one copy of `block` from `from` to `peer`, applying latency
+  // jitter, partition deferral (messages crossing an active cut are held
+  // until it heals, then take the normal link delay), and crash deferral
+  // (arrivals during downtime wait for the restart).
+  const auto schedule_copy = [&](std::size_t from, std::size_t peer,
+                                 chain::BlockId block, double now,
+                                 double delay,
+                                 const robust::LinkFault& fault) {
+    double arrival = now + delay;
+    if (fault.jitter_seconds > 0.0) {
+      arrival += fault.jitter_seconds * fault_rng.next_double();
+    }
+    double heals_at = 0.0;
+    if (faults.partitioned_at(from, peer, now, &heals_at)) {
+      arrival = std::max(arrival, heals_at + delay);
+      ++result.deferred_deliveries;
+    }
+    double up_at = 0.0;
+    while (faults.crashed_at(peer, arrival, &up_at)) {
+      arrival = up_at;
+      ++result.deferred_deliveries;
+    }
+    in_flight.push(Delivery{arrival, peer, block});
+  };
+
+  robust::RunGuard guard(control);
   double now = 0.0;
   double next_find = rng.next_exponential(1.0 / config_.block_interval);
   std::uint64_t found = 0;
 
   while (found < blocks || !in_flight.empty()) {
+    if (const auto stop_status = guard.tick()) {
+      result.status = *stop_status;
+      break;
+    }
     const bool more_mining = found < blocks;
     if (more_mining &&
         (in_flight.empty() || next_find <= in_flight.top().time)) {
@@ -103,6 +141,11 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng) {
       now = next_find;
       next_find = now + rng.next_exponential(1.0 / config_.block_interval);
       const std::size_t who = by_power.sample(rng);
+      if (faults.crashed_at(who, now)) {
+        // A crashed miner burns its hash power without producing a block.
+        ++result.wasted_finds;
+        continue;
+      }
       const NetMiner& miner = config_.miners[who];
       const chain::BlockId block =
           tree.add_block(views[who].tip(), miner.block_size,
@@ -118,7 +161,18 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng) {
         const double delay =
             receiver.latency +
             static_cast<double>(miner.block_size) / receiver.bandwidth;
-        in_flight.push(Delivery{now + delay, peer, block});
+        const robust::LinkFault& fault = faults.link_fault(who, peer);
+        if (fault.drop_probability > 0.0 &&
+            fault_rng.next_bernoulli(fault.drop_probability)) {
+          ++result.dropped_messages;
+          continue;
+        }
+        schedule_copy(who, peer, block, now, delay, fault);
+        if (fault.duplicate_probability > 0.0 &&
+            fault_rng.next_bernoulli(fault.duplicate_probability)) {
+          ++result.duplicated_messages;
+          schedule_copy(who, peer, block, now, delay, fault);
+        }
       }
     } else {
       // --- a block arrives somewhere --------------------------------------

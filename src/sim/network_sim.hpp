@@ -21,6 +21,8 @@
 
 #include "chain/block_tree.hpp"
 #include "chain/bu_validity.hpp"
+#include "robust/fault_plan.hpp"
+#include "robust/run_control.hpp"
 #include "sim/node_view.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +42,12 @@ struct NetMiner {
 struct NetworkConfig {
   std::vector<NetMiner> miners;
   double block_interval = 600.0;  ///< mean seconds between blocks
+  /// Degraded-network conditions (message loss, jitter, crashes,
+  /// partitions). The default plan is empty: no faults, and the simulation
+  /// is bit-identical to one run without any fault machinery. Fault
+  /// decisions are drawn from the plan's own seeded stream, never from the
+  /// caller's Rng. Validated at construction.
+  robust::FaultPlan faults;
 };
 
 struct NetworkResult {
@@ -52,6 +60,18 @@ struct NetworkResult {
   std::vector<std::uint64_t> mined_per_miner;
   std::vector<std::uint64_t> locked_per_miner;
   std::vector<std::uint64_t> orphaned_per_miner;
+  /// kConverged when the requested block count was mined and drained;
+  /// kBudgetExhausted/kCancelled when stopped early (all counters cover the
+  /// simulated prefix).
+  robust::RunStatus status = robust::RunStatus::kConverged;
+  // Fault-injection accounting (all zero under an empty plan).
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t duplicated_messages = 0;
+  std::uint64_t deferred_deliveries = 0;  ///< crash/partition deferrals
+  std::uint64_t wasted_finds = 0;         ///< blocks found by crashed miners
+
+  [[nodiscard]] friend bool operator==(const NetworkResult&,
+                                       const NetworkResult&) = default;
 
   [[nodiscard]] double orphan_rate() const noexcept {
     return blocks_mined == 0
@@ -71,8 +91,11 @@ class NetworkSimulation {
   explicit NetworkSimulation(NetworkConfig config);
 
   /// Simulates until `blocks` blocks have been found, then drains all
-  /// in-flight deliveries and computes the final accounting.
-  [[nodiscard]] NetworkResult run(std::uint64_t blocks, Rng& rng);
+  /// in-flight deliveries and computes the final accounting. One guard tick
+  /// per event (find or delivery); on budget exhaustion / cancellation the
+  /// accounting covers whatever was simulated, with the status set.
+  [[nodiscard]] NetworkResult run(std::uint64_t blocks, Rng& rng,
+                                  const robust::RunControl& control = {});
 
  private:
   NetworkConfig config_;

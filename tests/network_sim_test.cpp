@@ -135,4 +135,61 @@ TEST(NetworkSim, ValidatesConfig) {
   EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
 }
 
+// One test per rejected field, so a regression names the check it broke.
+
+NetworkConfig valid_pair() {
+  NetworkConfig config;
+  config.miners = {miner("a", 0.5, kMegabyte, 1e6),
+                   miner("b", 0.5, kMegabyte, 1e6)};
+  return config;
+}
+
+TEST(NetworkSimValidation, RejectsNegativePower) {
+  NetworkConfig config = valid_pair();
+  config.miners[0].power = -0.1;
+  config.miners[1].power = 1.1;  // keep the sum at 1: the sign must trip
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+TEST(NetworkSimValidation, RejectsPowersNotSummingToOne) {
+  NetworkConfig config = valid_pair();
+  config.miners[0].power = 0.6;  // total 1.1
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+TEST(NetworkSimValidation, AcceptsZeroPowerMiner) {
+  NetworkConfig config = valid_pair();
+  config.miners[0].power = 0.0;
+  config.miners[1].power = 1.0;
+  EXPECT_NO_THROW(NetworkSimulation{config});
+}
+
+TEST(NetworkSimValidation, RejectsNonPositiveBandwidth) {
+  NetworkConfig config = valid_pair();
+  config.miners[1].bandwidth = 0.0;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.miners[1].bandwidth = -1e6;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+TEST(NetworkSimValidation, RejectsNegativeLatency) {
+  NetworkConfig config = valid_pair();
+  config.miners[0].latency = -0.5;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+TEST(NetworkSimValidation, RejectsNonPositiveBlockInterval) {
+  NetworkConfig config = valid_pair();
+  config.block_interval = 0.0;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.block_interval = -600.0;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+TEST(NetworkSimValidation, RejectsInvalidFaultPlan) {
+  NetworkConfig config = valid_pair();
+  config.faults.link.drop_probability = 1.5;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
 }  // namespace

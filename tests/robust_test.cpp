@@ -1,0 +1,514 @@
+// Tests of the run-control subsystem: RunStatus / RunBudget / CancelToken /
+// RunGuard primitives, and the budget/cancellation behaviour threaded
+// through every iterative component (the four MDP solvers, the model
+// rollout, and both simulators).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bu/attack_analysis.hpp"
+#include "mdp/average_reward.hpp"
+#include "mdp/discounted.hpp"
+#include "mdp/model.hpp"
+#include "mdp/policy_iteration.hpp"
+#include "mdp/ratio.hpp"
+#include "mdp/rollout.hpp"
+#include "sim/fork_simulation.hpp"
+#include "sim/network_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+using mdp::Model;
+using mdp::ModelBuilder;
+using robust::CancelToken;
+using robust::RunBudget;
+using robust::RunControl;
+using robust::RunGuard;
+using robust::RunStatus;
+
+// ----------------------------------------------------------- primitives ---
+
+TEST(RunStatus, NamesAreDistinctAndStable) {
+  const RunStatus all[] = {
+      RunStatus::kConverged, RunStatus::kToleranceStalled,
+      RunStatus::kBudgetExhausted, RunStatus::kCancelled,
+      RunStatus::kDegenerateModel};
+  std::set<std::string> names;
+  for (const RunStatus status : all) {
+    names.insert(std::string(robust::to_string(status)));
+  }
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(robust::to_string(RunStatus::kConverged), "converged");
+  EXPECT_EQ(robust::to_string(RunStatus::kBudgetExhausted),
+            "budget-exhausted");
+}
+
+TEST(RunStatus, SuccessAndPartialClassification) {
+  EXPECT_TRUE(robust::is_success(RunStatus::kConverged));
+  EXPECT_FALSE(robust::is_success(RunStatus::kBudgetExhausted));
+  EXPECT_TRUE(robust::is_partial(RunStatus::kToleranceStalled));
+  EXPECT_TRUE(robust::is_partial(RunStatus::kBudgetExhausted));
+  EXPECT_FALSE(robust::is_partial(RunStatus::kConverged));
+  EXPECT_FALSE(robust::is_partial(RunStatus::kCancelled));
+  EXPECT_FALSE(robust::is_partial(RunStatus::kDegenerateModel));
+}
+
+TEST(RunBudget, FactoriesAndUnlimited) {
+  EXPECT_TRUE(RunBudget{}.unlimited());
+  EXPECT_FALSE(RunBudget::deadline(1.0).unlimited());
+  EXPECT_FALSE(RunBudget::ticks(5).unlimited());
+  EXPECT_DOUBLE_EQ(RunBudget::deadline(2.5).wall_clock_seconds, 2.5);
+  EXPECT_EQ(RunBudget::ticks(7).max_ticks, 7);
+}
+
+TEST(CancelToken, DefaultTokenIsInert) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  token.request_cancel();  // no-op, must not crash
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_TRUE(RunControl{}.inert());
+}
+
+TEST(CancelToken, CancellationIsSharedAcrossCopies) {
+  const CancelToken token = CancelToken::make();
+  const CancelToken copy = token;
+  EXPECT_FALSE(copy.cancel_requested());
+  token.request_cancel();
+  EXPECT_TRUE(copy.cancel_requested());
+  RunControl control;
+  control.cancel = copy;
+  EXPECT_FALSE(control.inert());
+}
+
+TEST(RunGuard, UnlimitedBudgetNeverStops) {
+  RunGuard guard(RunControl{});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(guard.tick().has_value());
+  }
+  EXPECT_EQ(guard.ticks(), 10000);
+  EXPECT_GE(guard.elapsed_seconds(), 0.0);
+  EXPECT_TRUE(guard.remaining().unlimited());
+}
+
+TEST(RunGuard, EnforcesTickCap) {
+  RunControl control;
+  control.budget = RunBudget::ticks(3);
+  RunGuard guard(control);
+  EXPECT_FALSE(guard.tick().has_value());
+  EXPECT_FALSE(guard.tick().has_value());
+  EXPECT_FALSE(guard.tick().has_value());
+  ASSERT_TRUE(guard.tick().has_value());
+  EXPECT_EQ(*guard.tick(), RunStatus::kBudgetExhausted);  // and stays stopped
+  EXPECT_EQ(guard.ticks(), 3);
+}
+
+TEST(RunGuard, PreCancelledTokenStopsOnFirstTick) {
+  RunControl control;
+  control.cancel = CancelToken::make();
+  control.cancel.request_cancel();
+  RunGuard guard(control);
+  ASSERT_TRUE(guard.tick().has_value());
+  EXPECT_EQ(*guard.tick(), RunStatus::kCancelled);
+  EXPECT_EQ(guard.ticks(), 0);
+}
+
+TEST(RunGuard, CancellationBeatsBudgetExhaustion) {
+  RunControl control;
+  control.budget = RunBudget::ticks(0);
+  control.cancel = CancelToken::make();
+  control.cancel.request_cancel();
+  RunGuard guard(control);
+  EXPECT_EQ(*guard.tick(), RunStatus::kCancelled);
+}
+
+TEST(RunGuard, ZeroDeadlineExpiresImmediately) {
+  RunControl control;
+  control.budget = RunBudget::deadline(0.0);
+  RunGuard guard(control);
+  EXPECT_EQ(*guard.tick(), RunStatus::kBudgetExhausted);
+  EXPECT_DOUBLE_EQ(guard.remaining().wall_clock_seconds, 0.0);
+}
+
+TEST(RunGuard, RemainingShrinksFromTheDeadline) {
+  RunControl control;
+  control.budget = RunBudget::deadline(100.0);
+  RunGuard guard(control);
+  const RunBudget rest = guard.remaining();
+  EXPECT_LE(rest.wall_clock_seconds, 100.0);
+  EXPECT_GT(rest.wall_clock_seconds, 0.0);
+  // remaining() must not propagate the tick cap to nested solves.
+  EXPECT_EQ(rest.max_ticks, RunBudget{}.max_ticks);
+}
+
+TEST(RunGuard, ClockStrideStillCountsTicks) {
+  RunControl control;
+  control.budget = RunBudget::ticks(10);
+  RunGuard guard(control, /*clock_stride=*/1024);
+  int allowed = 0;
+  while (!guard.tick().has_value()) {
+    ++allowed;
+  }
+  EXPECT_EQ(allowed, 10);  // the tick cap must not be amortized away
+}
+
+// ---------------------------------------------------------- MDP solvers ---
+
+/// Two-state alternator: num stream rates (r0 + r1)/2, den stream 1/step.
+Model make_alternator(double r0, double r1) {
+  ModelBuilder builder(2);
+  builder.begin_action(0, 0);
+  builder.add_outcome(1, 1.0, r0, 1.0);
+  builder.begin_action(1, 0);
+  builder.add_outcome(0, 1.0, r1, 1.0);
+  return builder.build();
+}
+
+RunControl cancelled_control() {
+  RunControl control;
+  control.cancel = CancelToken::make();
+  control.cancel.request_cancel();
+  return control;
+}
+
+TEST(AverageRewardControl, PreCancelledReturnsWithoutASweep) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::AverageRewardOptions options;
+  options.control = cancelled_control();
+  const mdp::GainResult result = mdp::maximize_average_reward(model, options);
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.sweeps, 0);
+}
+
+TEST(AverageRewardControl, TickBudgetCapsSweeps) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::AverageRewardOptions options;
+  options.tolerance = 1e-300;  // unreachable: only the budget can stop it
+  options.control.budget = RunBudget::ticks(3);
+  const mdp::GainResult result = mdp::maximize_average_reward(model, options);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.sweeps, 3);
+  // The partial result is still usable: a policy for every state.
+  EXPECT_EQ(result.policy.action.size(), model.num_states());
+  EXPECT_GE(result.elapsed_seconds, 0.0);
+}
+
+TEST(AverageRewardControl, UnlimitedControlStillConverges) {
+  const Model model = make_alternator(1.0, 3.0);
+  const mdp::GainResult result = mdp::maximize_average_reward(model);
+  EXPECT_EQ(result.status, RunStatus::kConverged);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.gain, 2.0, 1e-6);
+}
+
+TEST(DiscountedControl, PreCancelledReturnsWithoutASweep) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::DiscountedOptions options;
+  options.control = cancelled_control();
+  const mdp::DiscountedResult result = mdp::solve_discounted(model, options);
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.sweeps, 0);
+}
+
+TEST(DiscountedControl, TickBudgetCapsSweeps) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::DiscountedOptions options;
+  options.tolerance = 1e-300;
+  options.control.budget = RunBudget::ticks(5);
+  const mdp::DiscountedResult result = mdp::solve_discounted(model, options);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_LE(result.sweeps, 5);
+  EXPECT_EQ(result.policy.action.size(), model.num_states());
+}
+
+TEST(PolicyIterationControl, PreCancelledReturnsTotalPolicy) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::PolicyIterationOptions options;
+  options.control = cancelled_control();
+  const mdp::PolicyIterationResult result =
+      mdp::policy_iteration(model, options);
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.improvements, 0);
+  // Even without a single evaluation the returned policy covers all states.
+  EXPECT_EQ(result.policy.action.size(), model.num_states());
+}
+
+TEST(PolicyIterationControl, UnlimitedControlStillConverges) {
+  const Model model = make_alternator(1.0, 3.0);
+  const mdp::PolicyIterationResult result = mdp::policy_iteration(model);
+  EXPECT_EQ(result.status, RunStatus::kConverged);
+  EXPECT_NEAR(result.gain, 2.0, 1e-9);
+}
+
+// --------------------------------------------------------- ratio solver ---
+
+TEST(RatioControl, ConvergedSolveCarriesDiagnostics) {
+  const Model model = make_alternator(1.0, 3.0);  // ratio = gain = 2
+  mdp::RatioOptions options;
+  options.upper_bound = 10.0;
+  const mdp::RatioResult result = mdp::maximize_ratio(model, options);
+  EXPECT_EQ(result.status, RunStatus::kConverged);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.ratio, 2.0, 1e-5);
+  EXPECT_GT(result.diagnostics.outer_iterations, 0);
+  EXPECT_GT(result.diagnostics.inner_solves, 0);
+  EXPECT_GT(result.diagnostics.inner_sweeps, 0);
+  EXPECT_EQ(result.diagnostics.rho_trajectory.size(),
+            static_cast<std::size_t>(result.diagnostics.outer_iterations));
+  EXPECT_EQ(result.diagnostics.residual_trajectory.size(),
+            result.diagnostics.rho_trajectory.size());
+  EXPECT_GE(result.diagnostics.elapsed_seconds, 0.0);
+  EXPECT_EQ(result.diagnostics.retries, 0);
+}
+
+TEST(RatioControl, PreCancelledReturnsCancelled) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::RatioOptions options;
+  options.upper_bound = 10.0;
+  options.control = cancelled_control();
+  const mdp::RatioResult result = mdp::maximize_ratio(model, options);
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_EQ(result.diagnostics.inner_solves, 0);  // not even one inner solve
+}
+
+TEST(RatioControl, DeadlineStarvedSolveReturnsUsablePartialPolicy) {
+  // The acceptance scenario: a real (setting-2, ~10k states) model, a
+  // tolerance far below what 100 ms of work can reach, and a 100 ms
+  // deadline. The solve must come back quickly, flagged kBudgetExhausted,
+  // with a best-effort policy covering every state.
+  bu::AttackParams params;
+  params.alpha = 0.20;
+  params.beta = 0.32;
+  params.gamma = 0.48;
+  params.setting = bu::Setting::kStickyGate;
+  const bu::AttackModel attack =
+      bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+
+  mdp::RatioOptions options;
+  options.tolerance = 1e-14;
+  options.inner.tolerance = 1e-14;
+  options.control.budget = RunBudget::deadline(0.1);
+  const mdp::RatioResult result =
+      mdp::maximize_ratio(attack.model, options);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.policy.action.size(), attack.model.num_states());
+  // The deadline binds the nested solves too, not just the outer loop: the
+  // whole thing must end well before an unbudgeted solve would (seconds).
+  EXPECT_LT(result.diagnostics.elapsed_seconds, 2.0);
+}
+
+TEST(RatioControl, RetryEscalatesAStalledSolve) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::RatioOptions options;
+  options.upper_bound = 10.0;
+  options.max_iterations = 1;  // guaranteed to stall on the first attempt
+  {
+    const mdp::RatioResult single = mdp::maximize_ratio(model, options);
+    ASSERT_EQ(single.status, RunStatus::kToleranceStalled);
+  }
+  const mdp::RatioResult result =
+      mdp::maximize_ratio_with_retry(model, options);
+  EXPECT_GE(result.diagnostics.retries, 1);
+  EXPECT_EQ(result.status, RunStatus::kConverged);
+  EXPECT_NEAR(result.ratio, 2.0, 1e-5);
+}
+
+TEST(RatioControl, RetryRespectsTheRetryCap) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::RatioOptions options;
+  options.upper_bound = 10.0;
+  options.max_iterations = 1;
+  robust::RetryPolicy retry;
+  retry.max_retries = 0;
+  retry.iteration_growth_factor = 1.0;
+  const mdp::RatioResult result =
+      mdp::maximize_ratio_with_retry(model, options, retry);
+  EXPECT_EQ(result.status, RunStatus::kToleranceStalled);
+  EXPECT_EQ(result.diagnostics.retries, 0);
+}
+
+TEST(RatioControl, RetryDoesNotRetryExhaustedBudgets) {
+  bu::AttackParams params;
+  params.alpha = 0.20;
+  params.beta = 0.32;
+  params.gamma = 0.48;
+  params.setting = bu::Setting::kStickyGate;
+  const bu::AttackModel attack =
+      bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+  mdp::RatioOptions options;
+  options.tolerance = 1e-14;
+  options.inner.tolerance = 1e-14;
+  options.control.budget = RunBudget::deadline(0.05);
+  const mdp::RatioResult result =
+      mdp::maximize_ratio_with_retry(attack.model, options);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_EQ(result.diagnostics.retries, 0);
+}
+
+TEST(RatioControl, RetryDoesNotRetryCancellation) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::RatioOptions options;
+  options.upper_bound = 10.0;
+  options.control = cancelled_control();
+  const mdp::RatioResult result =
+      mdp::maximize_ratio_with_retry(model, options);
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.diagnostics.retries, 0);
+}
+
+// -------------------------------------------------------------- rollout ---
+
+TEST(RolloutControl, TickBudgetStopsEarlyWithPartialTotals) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::Policy policy;
+  policy.action.assign(2, 0);
+  Rng rng(1);
+  robust::RunControl control;
+  control.budget = RunBudget::ticks(10);
+  const mdp::ModelRolloutResult result =
+      mdp::rollout_model(model, policy, 0, 1000, rng, control);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_EQ(result.steps, 10u);
+  EXPECT_DOUBLE_EQ(result.weight_total, 10.0);  // den stream pays 1 per step
+}
+
+TEST(RolloutControl, PreCancelledRunsNoSteps) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::Policy policy;
+  policy.action.assign(2, 0);
+  Rng rng(1);
+  const mdp::ModelRolloutResult result =
+      mdp::rollout_model(model, policy, 0, 1000, rng, cancelled_control());
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+TEST(RolloutControl, FullRunIsConverged) {
+  const Model model = make_alternator(1.0, 3.0);
+  mdp::Policy policy;
+  policy.action.assign(2, 0);
+  Rng rng(1);
+  const mdp::ModelRolloutResult result =
+      mdp::rollout_model(model, policy, 0, 1000, rng);
+  EXPECT_EQ(result.status, RunStatus::kConverged);
+  EXPECT_EQ(result.steps, 1000u);
+  EXPECT_NEAR(result.ratio(), 2.0, 1e-9);  // deterministic alternator
+}
+
+// ----------------------------------------------------------- simulators ---
+
+TEST(NetworkSimControl, PreCancelledMinesNothing) {
+  sim::NetworkConfig config;
+  for (int i = 0; i < 2; ++i) {
+    sim::NetMiner m;
+    m.name = "m" + std::to_string(i);
+    m.power = 0.5;
+    config.miners.push_back(m);
+  }
+  sim::NetworkSimulation simulation(config);
+  Rng rng(1);
+  const sim::NetworkResult result =
+      simulation.run(1000, rng, cancelled_control());
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.blocks_mined, 0u);
+}
+
+TEST(NetworkSimControl, TickBudgetStopsEarlyWithConsistentAccounting) {
+  sim::NetworkConfig config;
+  for (int i = 0; i < 2; ++i) {
+    sim::NetMiner m;
+    m.name = "m" + std::to_string(i);
+    m.power = 0.5;
+    config.miners.push_back(m);
+  }
+  sim::NetworkSimulation simulation(config);
+  Rng rng(1);
+  robust::RunControl control;
+  control.budget = RunBudget::ticks(100);
+  const sim::NetworkResult result = simulation.run(10'000, rng, control);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_LT(result.blocks_mined, 10'000u);
+  // Whatever prefix was simulated is fully accounted for.
+  std::uint64_t settled = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    settled += result.locked_per_miner[i] + result.orphaned_per_miner[i];
+  }
+  EXPECT_EQ(settled, result.blocks_mined);
+}
+
+TEST(ForkSimControl, PreCancelledMinesNothing) {
+  sim::ForkSimConfig config;
+  for (int i = 0; i < 2; ++i) {
+    sim::SimMiner m;
+    m.name = "m" + std::to_string(i);
+    m.power = 0.5;
+    m.block_size = m.rule.mg;
+    config.miners.push_back(m);
+  }
+  sim::ForkSimulation simulation(config);
+  Rng rng(1);
+  const sim::ForkSimResult result =
+      simulation.run(1000, rng, cancelled_control());
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  EXPECT_EQ(result.blocks_mined, 0u);
+}
+
+TEST(ForkSimControl, TickBudgetStopsEarly) {
+  sim::ForkSimConfig config;
+  for (int i = 0; i < 2; ++i) {
+    sim::SimMiner m;
+    m.name = "m" + std::to_string(i);
+    m.power = 0.5;
+    m.block_size = m.rule.mg;
+    config.miners.push_back(m);
+  }
+  sim::ForkSimulation simulation(config);
+  Rng rng(1);
+  robust::RunControl control;
+  control.budget = RunBudget::ticks(25);
+  const sim::ForkSimResult result = simulation.run(1000, rng, control);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_EQ(result.blocks_mined, 25u);
+}
+
+// ------------------------------------------------------- analysis layer ---
+
+TEST(AnalysisControl, StatusAndDiagnosticsPropagate) {
+  bu::AttackParams params;
+  params.alpha = 0.25;
+  params.beta = 0.375;
+  params.gamma = 0.375;
+  const bu::AnalysisResult result =
+      bu::analyze(params, bu::Utility::kRelativeRevenue);
+  EXPECT_EQ(result.status, RunStatus::kConverged);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.diagnostics.inner_solves, 0);
+  EXPECT_GE(result.diagnostics.elapsed_seconds, 0.0);
+}
+
+TEST(AnalysisControl, DeadlineStarvedAnalysisReportsExhaustion) {
+  bu::AttackParams params;
+  params.alpha = 0.20;
+  params.beta = 0.32;
+  params.gamma = 0.48;
+  params.setting = bu::Setting::kStickyGate;
+  bu::AnalysisOptions options;
+  options.tolerance = 1e-14;
+  options.inner.tolerance = 1e-14;
+  options.control.budget = RunBudget::deadline(0.1);
+  const bu::AnalysisResult result =
+      bu::analyze(params, bu::Utility::kRelativeRevenue, options);
+  EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.retries, 0);  // budget exhaustion: no retry
+}
+
+}  // namespace

@@ -40,6 +40,44 @@ TEST(Check, MessagesCarryContext) {
   }
 }
 
+TEST(Check, RequireMessageCarriesFileAndLine) {
+  int thrown_line = 0;
+  try {
+    thrown_line = __LINE__ + 1;
+    BVC_REQUIRE(false, "where am I");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(thrown_line)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("where am I"), std::string::npos) << what;
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, EnsureMessageCarriesFileAndLine) {
+  int thrown_line = 0;
+  try {
+    thrown_line = __LINE__ + 1;
+    BVC_ENSURE(2 + 2 == 5, "internal bug marker");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(thrown_line)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("internal bug marker"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, InternalErrorIsLogicError) {
+  // Callers catching std::logic_error (but not std::invalid_argument
+  // handlers for caller mistakes) must see library bugs.
+  EXPECT_THROW(BVC_ENSURE(false, "bug"), std::logic_error);
+}
+
 // ------------------------------------------------------------------ rng ---
 
 TEST(Rng, DeterministicForSameSeed) {
