@@ -11,6 +11,7 @@
 //     measured on chain semantics.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   const double alpha = args.get_double("alpha", 0.25);
   const double beta = args.get_double("beta", 0.30);
   const double gamma = args.get_double("gamma", 0.45);
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
 
   std::printf(
       "Ablation — acceptance depth AD (alpha=%.2f, beta=%.2f, gamma=%.2f,\n"
@@ -37,31 +39,43 @@ int main(int argc, char** argv) {
   TextTable table({"AD", "u1 (rel. revenue)", "u3 (orphaned/blk)",
                    "Chain-2 takeovers per 1k blocks", "max fork len"});
 
-  for (const unsigned ad : {2u, 3u, 4u, 6u, 8u, 10u, 12u}) {
+  // Two jobs per AD value (u1 then u3), batch-solved up front; the print
+  // loop rebuilds the (cheap) u1 model for the scenario simulator.
+  const std::vector<unsigned> ads = {2u, 3u, 4u, 6u, 8u, 10u, 12u};
+  std::vector<bu::AnalysisJob> jobs;
+  for (const unsigned ad : ads) {
     bu::AttackParams params;
     params.alpha = alpha;
     params.beta = beta;
     params.gamma = gamma;
     params.ad = ad;
     params.setting = bu::Setting::kNoStickyGate;
-
-    const bu::AttackModel u1_model =
-        bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
-    const bu::AnalysisResult u1 = bu::analyze(u1_model);
-    bench::require_solved(u1.status, "u1 AD=" + std::to_string(ad),
-                          /*fatal=*/false);
+    jobs.push_back({params, bu::Utility::kRelativeRevenue});
 
     bu::AttackParams orphan_params = params;
     orphan_params.alpha = 0.01;
     const double scale = (1.0 - 0.01) / (beta + gamma);
     orphan_params.beta = beta * scale;
     orphan_params.gamma = gamma * scale;
-    const bu::AnalysisResult u3_result = bu::analyze(
-        bu::build_attack_model(orphan_params, bu::Utility::kOrphaning));
-    bench::require_solved(u3_result.status, "u3 AD=" + std::to_string(ad),
+    jobs.push_back({orphan_params, bu::Utility::kOrphaning});
+  }
+  const std::vector<bu::AnalysisResult> results =
+      bu::analyze_batch(jobs, {}, batch);
+
+  for (std::size_t i = 0; i < ads.size(); ++i) {
+    const unsigned ad = ads[i];
+    const bu::AnalysisResult& u1 = results[2 * i];
+    bench::require_solved(u1, "u1 AD=" + std::to_string(ad),
+                          /*fatal=*/false);
+
+    const bu::AnalysisResult& u3_result = results[2 * i + 1];
+    bench::require_solved(u3_result, "u3 AD=" + std::to_string(ad),
                           /*fatal=*/false);
     const double u3 = u3_result.utility_value;
 
+    const bu::AttackModel u1_model =
+        bu::build_attack_model(jobs[2 * i].params,
+                               bu::Utility::kRelativeRevenue);
     sim::ScenarioOptions options;
     sim::AttackScenarioSim simulator(u1_model, options);
     Rng rng(ad);
@@ -96,6 +110,7 @@ int main(int argc, char** argv) {
   TextTable hetero({"AD Bob / AD Carol", "u1 (rel. revenue)",
                     "u3 (orphaned/blk, a=1%)"});
   const unsigned pairs[][2] = {{6, 6}, {6, 12}, {12, 6}};
+  std::vector<bu::AnalysisJob> hetero_jobs;
   for (const auto& pair : pairs) {
     bu::AttackParams params;
     params.alpha = alpha;
@@ -105,21 +120,27 @@ int main(int argc, char** argv) {
     params.ad_carol = pair[1];
     params.gate_period = 24;
     params.setting = bu::Setting::kStickyGate;
-    const std::string label =
-        std::to_string(pair[0]) + "/" + std::to_string(pair[1]);
-    const bu::AnalysisResult u1_result =
-        bu::analyze(params, bu::Utility::kRelativeRevenue);
-    bench::require_solved(u1_result.status, "hetero u1 AD=" + label,
-                          /*fatal=*/false);
-    const double u1 = u1_result.utility_value;
+    hetero_jobs.push_back({params, bu::Utility::kRelativeRevenue});
     bu::AttackParams orphan = params;
     orphan.alpha = 0.01;
     const double scale = 0.99 / (beta + gamma);
     orphan.beta = beta * scale;
     orphan.gamma = gamma * scale;
-    const bu::AnalysisResult u3_result =
-        bu::analyze(orphan, bu::Utility::kOrphaning);
-    bench::require_solved(u3_result.status, "hetero u3 AD=" + label,
+    hetero_jobs.push_back({orphan, bu::Utility::kOrphaning});
+  }
+  const std::vector<bu::AnalysisResult> hetero_results =
+      bu::analyze_batch(hetero_jobs, {}, batch);
+
+  for (std::size_t i = 0; i < std::size(pairs); ++i) {
+    const auto& pair = pairs[i];
+    const std::string label =
+        std::to_string(pair[0]) + "/" + std::to_string(pair[1]);
+    const bu::AnalysisResult& u1_result = hetero_results[2 * i];
+    bench::require_solved(u1_result, "hetero u1 AD=" + label,
+                          /*fatal=*/false);
+    const double u1 = u1_result.utility_value;
+    const bu::AnalysisResult& u3_result = hetero_results[2 * i + 1];
+    bench::require_solved(u3_result, "hetero u3 AD=" + label,
                           /*fatal=*/false);
     const double u3 = u3_result.utility_value;
     hetero.add_row({std::to_string(pair[0]) + " / " +

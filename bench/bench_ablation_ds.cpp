@@ -4,6 +4,7 @@
 // We sweep both knobs for BU (setting 1) and the Bitcoin SM+DS baseline.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "btc/selfish_mining.hpp"
@@ -18,6 +19,7 @@ using namespace bvc;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const double alpha = args.get_double("alpha", 0.10);
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
 
   std::printf(
       "Ablation — double-spend parameters (alpha=%.2f, beta:gamma=1:1)\n\n",
@@ -27,28 +29,37 @@ int main(int argc, char** argv) {
   {
     TextTable table({"confirmations", "BU u2 (setting 1)",
                      "Bitcoin SM+DS (tie-win 100%)"});
-    for (const unsigned conf : {2u, 3u, 4u, 5u, 6u}) {
+    const std::vector<unsigned> confs = {2u, 3u, 4u, 5u, 6u};
+    std::vector<bu::AnalysisJob> bu_jobs;
+    std::vector<btc::SmJob> sm_jobs;
+    for (const unsigned conf : confs) {
       bu::AttackParams params;
       params.alpha = alpha;
       params.beta = params.gamma = (1.0 - alpha) / 2.0;
       params.confirmations = conf;
-      const bu::AnalysisResult bu_result =
-          bu::analyze(params, bu::Utility::kAbsoluteReward);
-      bench::require_solved(bu_result.status,
-                            "BU u2 conf=" + std::to_string(conf),
-                            /*fatal=*/false);
-      const double bu_value = bu_result.utility_value;
+      bu_jobs.push_back({params, bu::Utility::kAbsoluteReward});
 
       btc::SmParams sm;
       sm.alpha = alpha;
       sm.gamma_tie = 1.0;
       sm.confirmations = conf;
-      const btc::SmResult btc_result =
-          btc::analyze_sm(sm, bu::Utility::kAbsoluteReward);
-      bench::require_solved(btc_result.status,
+      sm_jobs.push_back({sm, bu::Utility::kAbsoluteReward, 1e-5});
+    }
+    const std::vector<bu::AnalysisResult> bu_results =
+        bu::analyze_batch(bu_jobs, {}, batch);
+    const std::vector<btc::SmResult> sm_results =
+        btc::analyze_sm_batch(sm_jobs, batch);
+
+    for (std::size_t i = 0; i < confs.size(); ++i) {
+      const unsigned conf = confs[i];
+      bench::require_solved(bu_results[i],
+                            "BU u2 conf=" + std::to_string(conf),
+                            /*fatal=*/false);
+      const double bu_value = bu_results[i].utility_value;
+      bench::require_solved(sm_results[i],
                             "btc sm+ds conf=" + std::to_string(conf),
                             /*fatal=*/false);
-      const double btc_value = btc_result.utility_value;
+      const double btc_value = sm_results[i].utility_value;
 
       table.add_row({std::to_string(conf), format_fixed(bu_value, 4),
                      format_fixed(btc_value, 4)});
@@ -62,28 +73,38 @@ int main(int argc, char** argv) {
   {
     TextTable table({"R_DS (block rewards)", "BU u2 (setting 1)",
                      "Bitcoin SM+DS (tie-win 100%)"});
-    for (const double rds : {0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    const std::vector<double> rds_values = {0.0,  1.0,  5.0,  10.0,
+                                            25.0, 50.0, 100.0};
+    std::vector<bu::AnalysisJob> bu_jobs;
+    std::vector<btc::SmJob> sm_jobs;
+    for (const double rds : rds_values) {
       bu::AttackParams params;
       params.alpha = alpha;
       params.beta = params.gamma = (1.0 - alpha) / 2.0;
       params.rds = rds;
-      const bu::AnalysisResult bu_result =
-          bu::analyze(params, bu::Utility::kAbsoluteReward);
-      bench::require_solved(bu_result.status,
-                            "BU u2 rds=" + format_fixed(rds, 0),
-                            /*fatal=*/false);
-      const double bu_value = bu_result.utility_value;
+      bu_jobs.push_back({params, bu::Utility::kAbsoluteReward});
 
       btc::SmParams sm;
       sm.alpha = alpha;
       sm.gamma_tie = 1.0;
       sm.rds = rds;
-      const btc::SmResult btc_result =
-          btc::analyze_sm(sm, bu::Utility::kAbsoluteReward);
-      bench::require_solved(btc_result.status,
+      sm_jobs.push_back({sm, bu::Utility::kAbsoluteReward, 1e-5});
+    }
+    const std::vector<bu::AnalysisResult> bu_results =
+        bu::analyze_batch(bu_jobs, {}, batch);
+    const std::vector<btc::SmResult> sm_results =
+        btc::analyze_sm_batch(sm_jobs, batch);
+
+    for (std::size_t i = 0; i < rds_values.size(); ++i) {
+      const double rds = rds_values[i];
+      bench::require_solved(bu_results[i],
+                            "BU u2 rds=" + format_fixed(rds, 0),
+                            /*fatal=*/false);
+      const double bu_value = bu_results[i].utility_value;
+      bench::require_solved(sm_results[i],
                             "btc sm+ds rds=" + format_fixed(rds, 0),
                             /*fatal=*/false);
-      const double btc_value = btc_result.utility_value;
+      const double btc_value = sm_results[i].utility_value;
 
       table.add_row({format_fixed(rds, 0), format_fixed(bu_value, 4),
                      format_fixed(btc_value, 4)});

@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 
+#include "mdp/batch.hpp"
+#include "mdp/solve_report.hpp"
 #include "robust/run_control.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -32,6 +34,21 @@ inline bool require_solved(robust::RunStatus status, const std::string& context,
     std::exit(2);
   }
   return false;
+}
+
+/// Overload for any solver result deriving from mdp::SolveReport (ratio,
+/// gain, discounted, policy-iteration, bu/btc analysis results alike).
+inline bool require_solved(const mdp::SolveReport& report,
+                           const std::string& context, bool fatal = true) {
+  return require_solved(report.status, context, fatal);
+}
+
+/// Shared `--threads N` flag for the batch-solving benches: 0 (the default)
+/// uses every hardware thread, 1 solves serially on the calling thread.
+inline mdp::BatchConfig batch_config_from_args(const CliArgs& args) {
+  mdp::BatchConfig config;
+  config.threads = static_cast<int>(args.get_long("threads", 0));
+  return config;
 }
 
 /// Optional machine-readable output: when `--csv <path>` is passed, returns

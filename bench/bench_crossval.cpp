@@ -3,10 +3,12 @@
 // and compares the Monte-Carlo utility estimates with the analytic optima,
 // for all three utilities and both settings.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "sim/attack_scenario.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -14,7 +16,9 @@ namespace {
 using namespace bvc;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   std::printf(
       "MDP <-> chain-semantics cross-validation (every step checked: any\n"
       "divergence between the abstract model and the per-node validity\n"
@@ -36,7 +40,10 @@ int main() {
       {bu::Utility::kOrphaning, bu::Setting::kStickyGate},
   };
 
-  Rng rng(424242);
+  // The six analytic solves run as one batch; the (deterministic,
+  // single-RNG-stream) simulation replays stay serial so the Monte-Carlo
+  // numbers are identical for every --threads value.
+  std::vector<bu::AnalysisJob> jobs;
   for (const Case& c : cases) {
     bu::AttackParams params;
     params.alpha = 0.20;
@@ -44,15 +51,23 @@ int main() {
     params.gamma = 0.48;
     params.setting = c.setting;
     params.gate_period = 36;  // shorter than 144 to visit phase 2 often
+    jobs.push_back({params, c.utility});
+  }
+  const std::vector<bu::AnalysisResult> analyses =
+      bu::analyze_batch(jobs, {}, batch);
 
-    const bu::AttackModel model = bu::build_attack_model(params, c.utility);
-    const bu::AnalysisResult analysis = bu::analyze(model);
-    bench::require_solved(analysis.status,
+  Rng rng(424242);
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Case& c = cases[i];
+    const bu::AnalysisResult& analysis = analyses[i];
+    bench::require_solved(analysis,
                           std::string(bu::to_string(c.utility)) + " setting " +
                               (c.setting == bu::Setting::kNoStickyGate ? "1"
                                                                        : "2"),
                           /*fatal=*/false);
 
+    const bu::AttackModel model =
+        bu::build_attack_model(jobs[i].params, c.utility);
     sim::ScenarioOptions options;
     options.check_against_model = true;
     sim::AttackScenarioSim simulator(model, options);

@@ -5,10 +5,13 @@
 // become impractical).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "btc/selfish_mining.hpp"
 #include "mdp/average_reward.hpp"
+#include "mdp/batch.hpp"
 #include "sim/attack_scenario.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +60,82 @@ void BM_RviSweepSetting2(benchmark::State& state) {
                           model.model.num_states());
 }
 BENCHMARK(BM_RviSweepSetting2)->Arg(10);
+
+// The same fixed sweep count with the chunked parallel sweep enabled:
+// Arg is the thread count (1 = legacy serial baseline). Thread-count
+// invariance of the results themselves is asserted in tests/batch_test.cpp;
+// this curve shows the wall-clock scaling on multi-core hardware.
+void BM_RviParallelSweepSetting2(benchmark::State& state) {
+  const bu::AttackModel model = bu::build_attack_model(
+      grid_params(bu::Setting::kStickyGate), bu::Utility::kRelativeRevenue);
+  mdp::AverageRewardOptions options;
+  options.max_sweeps = 10;
+  options.tolerance = 1e-30;  // force exactly max_sweeps sweeps
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mdp::maximize_average_reward(model.model, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 *
+                          model.model.num_states());
+}
+BENCHMARK(BM_RviParallelSweepSetting2)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// Batch of eight Table-3-style setting-1 solves fanned across the batch
+// engine; Arg is BatchConfig::threads (1 = serial baseline for the speedup
+// ratio). UseRealTime because the work happens on pool threads.
+void BM_BatchSolveTable3(benchmark::State& state) {
+  struct Grid {
+    int b;
+    int g;
+  };
+  const std::vector<Grid> grids = {{2, 1}, {1, 1}};
+  const std::vector<double> alphas = {0.05, 0.10, 0.15, 0.20};
+  std::vector<bu::AttackModel> models;
+  for (const Grid& grid : grids) {
+    for (const double alpha : alphas) {
+      bu::AttackParams params;
+      const double rest = 1.0 - alpha;
+      params.alpha = alpha;
+      params.beta = rest * grid.b / (grid.b + grid.g);
+      params.gamma = rest - params.beta;
+      params.setting = bu::Setting::kNoStickyGate;
+      models.push_back(
+          bu::build_attack_model(params, bu::Utility::kAbsoluteReward));
+    }
+  }
+  std::vector<mdp::RatioJob> jobs;
+  for (const bu::AttackModel& model : models) {
+    mdp::RatioJob job;
+    job.model = &model.model;
+    job.config.ratio.tolerance = 1e-5;
+    job.config.ratio.upper_bound =
+        1.0 + model.params.rds * static_cast<double>(model.params.max_ad());
+    job.config.average_reward.tolerance = 2e-7;
+    jobs.push_back(job);
+  }
+  mdp::BatchConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const mdp::RatioBatchResult result = mdp::solve_batch(jobs, config);
+    benchmark::DoNotOptimize(result.report.items_converged);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_BatchSolveTable3)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
 
 void BM_SolveRelativeRevenueSetting1(benchmark::State& state) {
   const bu::AttackParams params = grid_params(bu::Setting::kNoStickyGate);

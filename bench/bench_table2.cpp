@@ -6,7 +6,8 @@
 // others satisfy max u1 = alpha); we regenerate the full grid and print the
 // paper's reference value next to ours.
 //
-// Flags: --quick (skip setting 2), --alphas 0.1,0.25 style overrides are
+// Flags: --quick (skip setting 2), --threads N (batch-solve workers;
+// 0 = all hardware threads). --alphas 0.1,0.25 style overrides are
 // intentionally not provided — the grid is the paper's.
 #include <cstdio>
 #include <map>
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const unsigned ad = static_cast<unsigned>(args.get_long("ad", 6));
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   bench::CsvSink csv = bench::open_csv(
       args, {"setting", "beta", "gamma", "alpha", "u1", "paper"});
 
@@ -100,15 +102,25 @@ int main(int argc, char** argv) {
       return header;
     }());
 
-    for (const Ratio& ratio : ratios) {
-      std::vector<std::string> row = {ratio.label()};
+    // Pass 1: enumerate the grid cells inside the paper's alpha <=
+    // min(beta, gamma) region; pass 2 fans them across the batch engine;
+    // pass 3 prints in grid order (batch results are input-ordered).
+    struct Cell {
+      std::size_t ratio_index;
+      double alpha;
+      double beta;
+      double gamma;
+    };
+    std::vector<bu::AnalysisJob> jobs;
+    std::vector<Cell> cells;
+    for (std::size_t r = 0; r < ratios.size(); ++r) {
+      const Ratio& ratio = ratios[r];
       for (const double alpha : alphas) {
         const double rest = 1.0 - alpha;
         const double beta = rest * ratio.b / (ratio.b + ratio.g);
         const double gamma = rest - beta;
         if (alpha > beta || alpha > gamma) {
-          row.push_back("-");  // outside the paper's alpha <= min(beta,gamma)
-          continue;
+          continue;  // outside the paper's alpha <= min(beta,gamma)
         }
         bu::AttackParams params;
         params.alpha = alpha;
@@ -116,13 +128,31 @@ int main(int argc, char** argv) {
         params.gamma = gamma;
         params.setting = setting;
         params.ad = ad;
-        const bu::AnalysisResult analysis =
-            bu::analyze(params, bu::Utility::kRelativeRevenue);
+        jobs.push_back({params, bu::Utility::kRelativeRevenue});
+        cells.push_back({r, alpha, beta, gamma});
+      }
+    }
+    const std::vector<bu::AnalysisResult> results =
+        bu::analyze_batch(jobs, {}, batch);
+
+    std::size_t next_cell = 0;
+    for (std::size_t r = 0; r < ratios.size(); ++r) {
+      const Ratio& ratio = ratios[r];
+      std::vector<std::string> row = {ratio.label()};
+      for (const double alpha : alphas) {
+        if (next_cell >= cells.size() || cells[next_cell].ratio_index != r ||
+            cells[next_cell].alpha != alpha) {
+          row.push_back("-");  // outside the paper's alpha <= min(beta,gamma)
+          continue;
+        }
+        const Cell& cell_info = cells[next_cell];
+        const bu::AnalysisResult& analysis = results[next_cell];
+        ++next_cell;
         bench::require_solved(
-            analysis.status, "u1 " + ratio.label() + " alpha=" +
-                                 format_percent(alpha, 0) + " setting " +
-                                 (setting == bu::Setting::kNoStickyGate ? "1"
-                                                                        : "2"));
+            analysis, "u1 " + ratio.label() + " alpha=" +
+                          format_percent(alpha, 0) + " setting " +
+                          (setting == bu::Setting::kNoStickyGate ? "1"
+                                                                 : "2"));
         const double value = analysis.utility_value;
         const auto paper = paper_value(ratio.label(), alpha, setting);
         std::string cell = format_percent(value);
@@ -131,7 +161,8 @@ int main(int argc, char** argv) {
         }
         row.push_back(std::move(cell));
         csv.row({setting == bu::Setting::kNoStickyGate ? "1" : "2",
-                 format_fixed(beta, 4), format_fixed(gamma, 4),
+                 format_fixed(cell_info.beta, 4),
+                 format_fixed(cell_info.gamma, 4),
                  format_fixed(alpha, 4), format_fixed(value, 6),
                  paper ? format_fixed(*paper, 4) : ""});
       }

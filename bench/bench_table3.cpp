@@ -60,6 +60,7 @@ const double kPaperSetting2[5][7] = {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool quick = args.get_bool("quick", false);
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   bench::CsvSink csv = bench::open_csv(
       args,
       {"protocol", "setting_or_tiewin", "beta", "gamma", "alpha", "u2",
@@ -87,16 +88,24 @@ int main(int argc, char** argv) {
       return header;
     }());
 
+    // Enumerate the in-region grid cells, batch-solve them, then print in
+    // grid order (batch results are input-ordered).
+    struct Cell {
+      std::size_t alpha_index;
+      std::size_t ratio_index;
+      double beta;
+      double gamma;
+    };
+    std::vector<bu::AnalysisJob> jobs;
+    std::vector<Cell> cells;
     for (std::size_t ai = 0; ai < kAlphas.size(); ++ai) {
       const double alpha = kAlphas[ai];
-      std::vector<std::string> row = {format_percent(alpha, 1)};
       for (std::size_t ri = 0; ri < kRatios.size(); ++ri) {
         const Ratio& ratio = kRatios[ri];
         const double rest = 1.0 - alpha;
         const double beta = rest * ratio.b / (ratio.b + ratio.g);
         const double gamma = rest - beta;
         if (alpha > beta || alpha > gamma) {
-          row.push_back("-");
           continue;
         }
         bu::AttackParams params;
@@ -104,9 +113,29 @@ int main(int argc, char** argv) {
         params.beta = beta;
         params.gamma = gamma;
         params.setting = setting;
-        const bu::AnalysisResult analysis =
-            bu::analyze(params, bu::Utility::kAbsoluteReward);
-        bench::require_solved(analysis.status,
+        jobs.push_back({params, bu::Utility::kAbsoluteReward});
+        cells.push_back({ai, ri, beta, gamma});
+      }
+    }
+    const std::vector<bu::AnalysisResult> results =
+        bu::analyze_batch(jobs, {}, batch);
+
+    std::size_t next_cell = 0;
+    for (std::size_t ai = 0; ai < kAlphas.size(); ++ai) {
+      const double alpha = kAlphas[ai];
+      std::vector<std::string> row = {format_percent(alpha, 1)};
+      for (std::size_t ri = 0; ri < kRatios.size(); ++ri) {
+        const Ratio& ratio = kRatios[ri];
+        if (next_cell >= cells.size() ||
+            cells[next_cell].alpha_index != ai ||
+            cells[next_cell].ratio_index != ri) {
+          row.push_back("-");
+          continue;
+        }
+        const Cell& cell_info = cells[next_cell];
+        const bu::AnalysisResult& analysis = results[next_cell];
+        ++next_cell;
+        bench::require_solved(analysis,
                               "u2 " + ratio.label() + " alpha=" +
                                   format_fixed(alpha, 3) + " setting " +
                                   (s1 ? std::string("1") : std::string("2")));
@@ -118,8 +147,8 @@ int main(int argc, char** argv) {
           cell += " (" + format_fixed(paper, 3) + ")";
         }
         row.push_back(std::move(cell));
-        csv.row({"bu", s1 ? "1" : "2", format_fixed(beta, 4),
-                 format_fixed(gamma, 4), format_fixed(alpha, 4),
+        csv.row({"bu", s1 ? "1" : "2", format_fixed(cell_info.beta, 4),
+                 format_fixed(cell_info.gamma, 4), format_fixed(alpha, 4),
                  format_fixed(value, 6),
                  paper != kNoValue ? format_fixed(paper, 3) : ""});
         std::printf(".");
@@ -138,29 +167,37 @@ int main(int argc, char** argv) {
                                   {0.11, 0.18, 0.30, 0.52}};
   TextTable btc_table({"P(win a tie)", "a=10%", "a=15%", "a=20%", "a=25%"});
   const std::vector<double> btc_alphas = {0.10, 0.15, 0.20, 0.25};
-  int row_index = 0;
-  for (const double tie : {0.5, 1.0}) {
+  const std::vector<double> ties = {0.5, 1.0};
+  std::vector<btc::SmJob> sm_jobs;
+  for (const double tie : ties) {
+    for (const double alpha : btc_alphas) {
+      btc::SmParams sm_params;
+      sm_params.alpha = alpha;
+      sm_params.gamma_tie = tie;
+      sm_jobs.push_back({sm_params, bu::Utility::kAbsoluteReward, 1e-5});
+    }
+  }
+  const std::vector<btc::SmResult> sm_results =
+      btc::analyze_sm_batch(sm_jobs, batch);
+
+  for (std::size_t ti = 0; ti < ties.size(); ++ti) {
+    const double tie = ties[ti];
     std::vector<std::string> row = {format_percent(tie, 0)};
     for (std::size_t i = 0; i < btc_alphas.size(); ++i) {
-      btc::SmParams sm_params;
-      sm_params.alpha = btc_alphas[i];
-      sm_params.gamma_tie = tie;
-      const btc::SmResult sm =
-          btc::analyze_sm(sm_params, bu::Utility::kAbsoluteReward);
-      bench::require_solved(sm.status,
+      const btc::SmResult& sm = sm_results[ti * btc_alphas.size() + i];
+      bench::require_solved(sm,
                             "btc sm+ds alpha=" + format_fixed(btc_alphas[i], 2) +
                                 " tie=" + format_fixed(tie, 2));
       const double value = sm.utility_value;
       row.push_back(format_fixed(value, 3) + " (" +
-                    format_fixed(kPaperBtc[row_index][i], 2) + ")");
+                    format_fixed(kPaperBtc[ti][i], 2) + ")");
       csv.row({"bitcoin-sm-ds", format_fixed(tie, 2), "", "",
                format_fixed(btc_alphas[i], 4), format_fixed(value, 6),
-               format_fixed(kPaperBtc[row_index][i], 2)});
+               format_fixed(kPaperBtc[ti][i], 2)});
       std::printf(".");
       std::fflush(stdout);
     }
     btc_table.add_row(std::move(row));
-    ++row_index;
   }
   std::printf("\n%s\n", btc_table.to_string().c_str());
 

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const double alpha = args.get_double("alpha", 0.01);
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   bench::CsvSink csv = bench::open_csv(
       args, {"setting", "beta", "gamma", "alpha", "u3", "paper"});
 
@@ -42,7 +43,10 @@ int main(int argc, char** argv) {
       "paper values in parentheses; Bitcoin comparison: max u3 <= 1\n\n",
       format_percent(alpha, 0).c_str());
 
-  TextTable table({"beta:gamma", "Setting 1", "Setting 2"});
+  // Enumerate every (row, setting) cell, batch-solve, print in row order
+  // (batch results are input-ordered: setting 1 then optionally setting 2
+  // for each paper row).
+  std::vector<bu::AnalysisJob> jobs;
   for (const Row& row : rows) {
     const double rest = 1.0 - alpha;
     const double beta = rest * row.b / (row.b + row.g);
@@ -52,9 +56,23 @@ int main(int argc, char** argv) {
     params.beta = beta;
     params.gamma = gamma;
     params.setting = bu::Setting::kNoStickyGate;
-    const bu::AnalysisResult analysis_s1 =
-        bu::analyze(params, bu::Utility::kOrphaning);
-    bench::require_solved(analysis_s1.status,
+    jobs.push_back({params, bu::Utility::kOrphaning});
+    if (!quick) {
+      params.setting = bu::Setting::kStickyGate;
+      jobs.push_back({params, bu::Utility::kOrphaning});
+    }
+  }
+  const std::vector<bu::AnalysisResult> results =
+      bu::analyze_batch(jobs, {}, batch);
+
+  TextTable table({"beta:gamma", "Setting 1", "Setting 2"});
+  std::size_t next_job = 0;
+  for (const Row& row : rows) {
+    const double rest = 1.0 - alpha;
+    const double beta = rest * row.b / (row.b + row.g);
+    const double gamma = rest - beta;
+    const bu::AnalysisResult& analysis_s1 = results[next_job++];
+    bench::require_solved(analysis_s1,
                           "u3 " + std::to_string(row.b) + ":" +
                               std::to_string(row.g) + " setting 1");
     const double s1 = analysis_s1.utility_value;
@@ -65,10 +83,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     std::string s2_cell = "(skipped: --quick)";
     if (!quick) {
-      params.setting = bu::Setting::kStickyGate;
-      const bu::AnalysisResult analysis_s2 =
-          bu::analyze(params, bu::Utility::kOrphaning);
-      bench::require_solved(analysis_s2.status,
+      const bu::AnalysisResult& analysis_s2 = results[next_job++];
+      bench::require_solved(analysis_s2,
                             "u3 " + std::to_string(row.b) + ":" +
                                 std::to_string(row.g) + " setting 2");
       const double s2 = analysis_s2.utility_value;

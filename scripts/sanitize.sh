@@ -1,18 +1,42 @@
 #!/usr/bin/env bash
-# Tier-2 check: build the whole tree with ASan+UBSan and run the full test
-# suite under the sanitizers. Slower than the tier-1 build, so it lives in
-# its own build directory (build-sanitize/) and is run on demand:
+# Tier-2 check: build the whole tree under sanitizers and run the full test
+# suite. Slower than the tier-1 build, so each tier lives in its own build
+# directory and is run on demand:
 #
-#   scripts/sanitize.sh            # configure + build + ctest
-#   scripts/sanitize.sh -R Fault   # forward extra args to ctest
+#   scripts/sanitize.sh                  # ASan+UBSan: configure+build+ctest
+#   scripts/sanitize.sh address -R Fault # same, forwarding args to ctest
+#   scripts/sanitize.sh thread           # TSan over the full suite
+#   scripts/sanitize.sh thread -L parallel   # TSan, parallel-labeled only
+#
+# The optional first argument picks the tier (address | thread, default
+# address — matches the historical behaviour); everything after it is
+# forwarded to ctest. BVC_SANITIZE=thread on the cmake line selects TSan
+# (see the top-level CMakeLists.txt).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="$repo/build-sanitize"
 
-cmake -B "$build" -S "$repo" -DBVC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j"$(nproc)"
+tier="address"
+case "${1:-}" in
+  address|thread)
+    tier="$1"
+    shift
+    ;;
+esac
 
-export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
-export UBSAN_OPTIONS=print_stacktrace=1
+if [ "$tier" = "thread" ]; then
+  build="$repo/build-sanitize-thread"
+  cmake -B "$build" -S "$repo" -DBVC_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j"$(nproc)"
+  export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+else
+  build="$repo/build-sanitize"
+  cmake -B "$build" -S "$repo" -DBVC_SANITIZE=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j"$(nproc)"
+  export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+  export UBSAN_OPTIONS=print_stacktrace=1
+fi
+
 ctest --test-dir "$build" --output-on-failure -j"$(nproc)" "$@"

@@ -243,11 +243,12 @@ std::string describe_sm_policy(const SmModel& model,
 }
 
 SmResult analyze_sm(const SmParams& params, bu::Utility utility,
-                    double tolerance) {
+                    double tolerance, const robust::RunControl& control) {
   const SmModel model = build_sm_model(params, utility);
 
   mdp::RatioOptions options;
   options.tolerance = tolerance;
+  options.control = control;
   options.lower_bound = 0.0;
   switch (utility) {
     case bu::Utility::kRelativeRevenue:
@@ -267,10 +268,27 @@ SmResult analyze_sm(const SmParams& params, bu::Utility utility,
   result.utility_value = ratio.ratio;
   result.policy = ratio.policy;
   result.status = ratio.status;
-  result.converged = ratio.converged;
-  result.solver_iterations = ratio.iterations;
+  result.iterations = ratio.iterations;
+  result.wall_clock_ns = ratio.wall_clock_ns;
   result.diagnostics = ratio.diagnostics;
   return result;
+}
+
+std::vector<SmResult> analyze_sm_batch(std::span<const SmJob> jobs,
+                                       const mdp::BatchConfig& batch) {
+  std::vector<SmResult> results(jobs.size());
+  (void)mdp::run_batch(
+      jobs.size(), batch,
+      [&](std::size_t i, const robust::RunControl& control) {
+        results[i] = analyze_sm(jobs[i].params, jobs[i].utility,
+                                jobs[i].tolerance, control);
+        return results[i].status;
+      },
+      [&](std::size_t i, robust::RunStatus status) {
+        results[i] = SmResult{};
+        results[i].status = status;
+      });
+  return results;
 }
 
 double max_sm_double_spend_reward(double alpha, double gamma_tie) {

@@ -18,9 +18,12 @@
 // below the reported precision for alpha <= 0.25.
 #pragma once
 
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "bu/attack_model.hpp"  // Utility, Deltas, utility_increments
+#include "mdp/batch.hpp"
 #include "mdp/model.hpp"
 #include "mdp/ratio.hpp"
 
@@ -86,14 +89,15 @@ struct SmModel {
 [[nodiscard]] SmModel build_sm_model(const SmParams& params,
                                      bu::Utility utility);
 
-struct SmResult {
+/// The base report carries how the underlying ratio solve ended (status,
+/// iterations, wall clock, diagnostics); check converged() before trusting
+/// `utility_value` as a certified optimum.
+struct SmResult : mdp::SolveReport {
   double utility_value = 0.0;
   mdp::Policy policy;
-  /// How the ratio solve ended; `converged` mirrors kConverged.
-  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
-  int solver_iterations = 0;
-  robust::SolveDiagnostics diagnostics;
+
+  /// Outer ratio iterations (the base report's iteration count).
+  [[nodiscard]] int solver_iterations() const noexcept { return iterations; }
 };
 
 /// The action a policy takes in `state`.
@@ -108,9 +112,25 @@ struct SmResult {
                                              const mdp::Policy& policy,
                                              unsigned limit = 8);
 
-/// Solves the model to `tolerance` on the utility value.
+/// Solves the model to `tolerance` on the utility value. `control` bounds
+/// and/or cancels the whole solve (see robust::RunControl).
 [[nodiscard]] SmResult analyze_sm(const SmParams& params, bu::Utility utility,
-                                  double tolerance = 1e-5);
+                                  double tolerance = 1e-5,
+                                  const robust::RunControl& control = {});
+
+/// One cell of a Bitcoin-baseline sweep for analyze_sm_batch.
+struct SmJob {
+  SmParams params;
+  bu::Utility utility = bu::Utility::kAbsoluteReward;
+  double tolerance = 1e-5;
+};
+
+/// Batched analyze_sm() across mdp::run_batch's thread pool under the
+/// shared budget in `batch.control`. Results are input-ordered and
+/// independent of the thread count; skipped items carry kBudgetExhausted /
+/// kCancelled.
+[[nodiscard]] std::vector<SmResult> analyze_sm_batch(
+    std::span<const SmJob> jobs, const mdp::BatchConfig& batch = {});
 
 /// Convenience: Table 3's "Selfish Mining + Double-Spending on Bitcoin" cell.
 [[nodiscard]] double max_sm_double_spend_reward(double alpha,

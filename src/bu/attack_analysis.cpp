@@ -47,9 +47,9 @@ AnalysisResult analyze(const AttackModel& model,
   result.policy = ratio.policy;
   result.reward_rate = ratio.reward_rate;
   result.weight_rate = ratio.weight_rate;
-  result.solver_iterations = ratio.iterations;
   result.status = ratio.status;
-  result.converged = ratio.converged;
+  result.iterations = ratio.iterations;
+  result.wall_clock_ns = ratio.wall_clock_ns;
   result.diagnostics = ratio.diagnostics;
   result.honest_baseline =
       model.utility == Utility::kOrphaning ? 0.0 : model.params.alpha;
@@ -62,6 +62,26 @@ AnalysisResult analyze(const AttackModel& model,
 AnalysisResult analyze(const AttackParams& params, Utility utility,
                        const AnalysisOptions& options) {
   return analyze(build_attack_model(params, utility), options);
+}
+
+std::vector<AnalysisResult> analyze_batch(std::span<const AnalysisJob> jobs,
+                                          const AnalysisOptions& options,
+                                          const mdp::BatchConfig& batch) {
+  std::vector<AnalysisResult> results(jobs.size());
+  (void)mdp::run_batch(
+      jobs.size(), batch,
+      [&](std::size_t i, const robust::RunControl& control) {
+        AnalysisOptions item_options = options;
+        item_options.control = control;
+        results[i] =
+            analyze(jobs[i].params, jobs[i].utility, item_options);
+        return results[i].status;
+      },
+      [&](std::size_t i, robust::RunStatus status) {
+        results[i] = AnalysisResult{};
+        results[i].status = status;
+      });
+  return results;
 }
 
 namespace {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bu/attack_model.hpp"
+#include "mdp/batch.hpp"
 #include "mdp/ratio.hpp"
 #include "robust/retry.hpp"
 #include "robust/run_control.hpp"
@@ -31,7 +32,11 @@ struct AnalysisOptions {
   robust::RetryPolicy retry;
 };
 
-struct AnalysisResult {
+/// The base report carries how the underlying ratio solve ended (status,
+/// iterations, wall clock, diagnostics). Any status other than kConverged
+/// means `utility_value` is a best-effort lower bound, not a certified
+/// optimum — table-reproduction callers must check converged().
+struct AnalysisResult : mdp::SolveReport {
   double utility_value = 0.0;  ///< max u over the strategy space
   /// The honest reference: u1 = u2 = alpha for a compliant miner in a
   /// healthy network; u3 has reference 0 (no compliant blocks orphaned).
@@ -42,13 +47,9 @@ struct AnalysisResult {
   mdp::Policy policy;          ///< optimal policy (local action indices)
   double reward_rate = 0.0;    ///< numerator rate of the optimal policy
   double weight_rate = 0.0;    ///< denominator rate of the optimal policy
-  int solver_iterations = 0;
-  /// How the ratio solve ended; `converged` mirrors kConverged. Any other
-  /// status means `utility_value` is a best-effort lower bound, not a
-  /// certified optimum — table-reproduction callers must check this.
-  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
-  robust::SolveDiagnostics diagnostics;
+
+  /// Outer ratio iterations (the base report's iteration count).
+  [[nodiscard]] int solver_iterations() const noexcept { return iterations; }
 };
 
 /// Solves for Alice's optimal utility within the strategy space.
@@ -60,6 +61,22 @@ struct AnalysisResult {
 /// several average-reward solves; building once helps sweeps).
 [[nodiscard]] AnalysisResult analyze(const AttackModel& model,
                                      const AnalysisOptions& options = {});
+
+/// One cell of a table sweep for analyze_batch: the model is built inside
+/// the worker, so jobs are cheap to enumerate up front.
+struct AnalysisJob {
+  AttackParams params;
+  Utility utility = Utility::kRelativeRevenue;
+};
+
+/// Batched analyze(): solves every job across mdp::run_batch's thread pool
+/// under the shared budget in `batch.control` (per-item budgets in
+/// `options.control` are ignored — the engine stamps each item with the
+/// batch's remaining allowance). Results are input-ordered and independent
+/// of the thread count; skipped items carry kBudgetExhausted / kCancelled.
+[[nodiscard]] std::vector<AnalysisResult> analyze_batch(
+    std::span<const AnalysisJob> jobs, const AnalysisOptions& options = {},
+    const mdp::BatchConfig& batch = {});
 
 /// Convenience wrappers, one per table.
 [[nodiscard]] double max_relative_revenue(double alpha, double beta,

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bvc::mdp {
 
@@ -13,6 +16,18 @@ namespace {
 /// One relative-value-iteration core shared by the optimizing and the
 /// policy-evaluation entry points. When `policy` is non-null the maximization
 /// over actions is restricted to the policy's action.
+///
+/// Two sweep disciplines live here, selected by options.threads:
+///   threads == 1 — the legacy serial Gauss-Seidel sweep (in-place updates,
+///     in-sweep reference subtraction), bit-identical to previous releases;
+///   threads >= 2 — a chunked Jacobi sweep: every state's backup reads only
+///     the previous sweep's bias, the reference residual is computed from
+///     state 0 up front, and the span seminorm is reduced over chunk-local
+///     minima/maxima (min/max are exact, so the reduction order is
+///     irrelevant). Nothing depends on which worker runs which chunk, so
+///     the parallel result is bit-identical for every thread count >= 2 —
+///     it just follows a different (equally valid) trajectory than the
+///     Gauss-Seidel sweep to the same fixed point.
 GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
                     const Policy* policy, const AverageRewardOptions& options,
                     const std::vector<double>* warm_start_bias) {
@@ -65,6 +80,53 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
   double last_gain = std::numeric_limits<double>::infinity();
   int stable_gain_sweeps = 0;
 
+  // Bellman backup of one state against `bias_in`, with the aperiodicity
+  // transform applied: keep the state w.p. (1 - tau), scale the step reward
+  // by tau; the transformed gain is tau * g. Serial sweeps pass the live
+  // bias vector (in-place Gauss-Seidel reads), parallel sweeps the previous
+  // sweep's snapshot.
+  const auto backup = [&](StateId s, const std::vector<double>& bias_in)
+      -> std::pair<double, std::uint32_t> {
+    const std::size_t first =
+        policy != nullptr ? policy->action[s] : std::size_t{0};
+    const std::size_t last =
+        policy != nullptr ? first + 1 : model.num_actions(s);
+    double best = -std::numeric_limits<double>::infinity();
+    std::uint32_t best_action = static_cast<std::uint32_t>(first);
+    for (std::size_t a = first; a < last; ++a) {
+      const SaIndex sa = model.sa_index(s, a);
+      double q = sa_rewards[sa];
+      double expected_next = 0.0;
+      for (const Outcome& o : model.outcomes(sa)) {
+        expected_next += o.probability * bias_in[o.next];
+      }
+      q = tau_eff * (q + expected_next) + (1.0 - tau_eff) * bias_in[s];
+      if (q > best) {
+        best = q;
+        best_action = static_cast<std::uint32_t>(a);
+      }
+    }
+    return {best, best_action};
+  };
+
+  // Parallel-sweep scratch. The chunk count is a scheduling detail only:
+  // backups read nothing another chunk writes and the span reduction is
+  // exact, so it does not affect the computed values.
+  const int threads = std::max(1, options.threads);
+  const bool parallel = threads > 1 && n > 1;
+  std::optional<util::ThreadPool> pool;
+  std::vector<double> next_bias;
+  std::vector<double> chunk_min;
+  std::vector<double> chunk_max;
+  std::size_t chunks = 0;
+  if (parallel) {
+    pool.emplace(threads);
+    next_bias.assign(n, 0.0);
+    chunks = std::min<std::size_t>(n, static_cast<std::size_t>(threads) * 4);
+    chunk_min.assign(chunks, 0.0);
+    chunk_max.assign(chunks, 0.0);
+  }
+
   int sweep = 0;
   for (; sweep < options.max_sweeps; ++sweep) {
     // Budget/cancellation check before the sweep: a pre-cancelled token
@@ -76,38 +138,45 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
     const double stop = options.tolerance * tau_eff;
     double span_min = std::numeric_limits<double>::infinity();
     double span_max = -std::numeric_limits<double>::infinity();
-    double reference_residual = 0.0;
 
-    for (StateId s = 0; s < n; ++s) {
-      const std::size_t first =
-          policy != nullptr ? policy->action[s] : std::size_t{0};
-      const std::size_t last =
-          policy != nullptr ? first + 1 : model.num_actions(s);
-      double best = -std::numeric_limits<double>::infinity();
-      std::uint32_t best_action = static_cast<std::uint32_t>(first);
-      for (std::size_t a = first; a < last; ++a) {
-        const SaIndex sa = model.sa_index(s, a);
-        double q = sa_rewards[sa];
-        double expected_next = 0.0;
-        for (const Outcome& o : model.outcomes(sa)) {
-          expected_next += o.probability * result.bias[o.next];
+    if (!parallel) {
+      double reference_residual = 0.0;
+      for (StateId s = 0; s < n; ++s) {
+        const auto [best, best_action] = backup(s, result.bias);
+        result.policy.action[s] = best_action;
+        const double residual = best - result.bias[s];
+        if (s == 0) {
+          reference_residual = residual;
         }
-        // Aperiodicity transform: keep the state w.p. (1 - tau), scale the
-        // step reward by tau; the transformed gain is tau * g.
-        q = tau_eff * (q + expected_next) + (1.0 - tau_eff) * result.bias[s];
-        if (q > best) {
-          best = q;
-          best_action = static_cast<std::uint32_t>(a);
-        }
+        span_min = std::min(span_min, residual);
+        span_max = std::max(span_max, residual);
+        result.bias[s] = best - reference_residual;
       }
-      result.policy.action[s] = best_action;
-      const double residual = best - result.bias[s];
-      if (s == 0) {
-        reference_residual = residual;
+    } else {
+      const std::vector<double>& current = result.bias;
+      const double reference_residual =
+          backup(0, current).first - current[0];
+      pool->parallel_for(
+          n, chunks,
+          [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            double local_min = std::numeric_limits<double>::infinity();
+            double local_max = -std::numeric_limits<double>::infinity();
+            for (StateId s = static_cast<StateId>(begin); s < end; ++s) {
+              const auto [best, best_action] = backup(s, current);
+              result.policy.action[s] = best_action;
+              const double residual = best - current[s];
+              local_min = std::min(local_min, residual);
+              local_max = std::max(local_max, residual);
+              next_bias[s] = best - reference_residual;
+            }
+            chunk_min[chunk] = local_min;
+            chunk_max[chunk] = local_max;
+          });
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        span_min = std::min(span_min, chunk_min[chunk]);
+        span_max = std::max(span_max, chunk_max[chunk]);
       }
-      span_min = std::min(span_min, residual);
-      span_max = std::max(span_max, residual);
-      result.bias[s] = best - reference_residual;
+      result.bias.swap(next_bias);
     }
 
     gain_estimate = 0.5 * (span_min + span_max) / tau_eff;
@@ -145,9 +214,8 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
   }
 
   result.gain = gain_estimate;
-  result.sweeps = sweep;
-  result.converged = robust::is_success(result.status);
-  result.elapsed_seconds = guard.elapsed_seconds();
+  result.iterations = sweep;
+  result.wall_clock_ns = guard.elapsed_ns();
   return result;
 }
 
@@ -194,7 +262,6 @@ PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
   gains.reward_rate = reward_run.gain;
   gains.weight_rate = weight_run.gain;
   gains.status = std::max(reward_run.status, weight_run.status);
-  gains.converged = reward_run.converged && weight_run.converged;
   if (reward_bias != nullptr) {
     *reward_bias = std::move(reward_run.bias);
   }

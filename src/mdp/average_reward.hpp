@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mdp/model.hpp"
+#include "mdp/solve_report.hpp"
 #include "robust/run_control.hpp"
 
 namespace bvc::mdp {
@@ -26,6 +27,10 @@ struct Policy {
   [[nodiscard]] bool operator==(const Policy&) const = default;
 };
 
+/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
+/// (solver_config.hpp), the unified configuration all four solvers accept;
+/// prefer passing a SolverConfig. The struct is kept as a thin alias for
+/// existing call sites and as SolverConfig's nested field type.
 struct AverageRewardOptions {
   /// Stopping threshold on the span seminorm of successive value differences;
   /// bounds the gain error by the same amount.
@@ -38,22 +43,27 @@ struct AverageRewardOptions {
   /// probability (1 - tau). 1.0 disables the transformation; the default
   /// keeps a sliver of self-loop as insurance at ~0.1% cost.
   double aperiodicity_tau = 0.999;
+  /// Value-iteration worker threads (prefer setting SolverConfig::threads,
+  /// which stamps this field). 1 runs the legacy serial Gauss-Seidel sweep,
+  /// bit-identical to previous releases. >1 switches to the chunked Jacobi
+  /// sweep (docs/PARALLELISM.md): per-state backups read only the previous
+  /// sweep's values and the span reduction is exact, so the result is
+  /// bit-identical for EVERY thread count >= 2 — but follows a different
+  /// (equally valid) trajectory than the serial sweep to the same optimum.
+  int threads = 1;
   /// Wall-clock/iteration budget and cooperative cancellation. One guard
   /// tick is one sweep; on exhaustion the solver returns its best bias and
   /// greedy policy so far with status kBudgetExhausted / kCancelled.
   robust::RunControl control;
 };
 
-struct GainResult {
+struct GainResult : SolveReport {
   double gain = 0.0;           ///< optimal (or policy) long-run reward rate
   std::vector<double> bias;    ///< relative value vector (bias up to constant)
   Policy policy;               ///< greedy policy at convergence
-  int sweeps = 0;
-  /// How the solve ended; `converged` is kept in sync as a convenience
-  /// (`status == kConverged`).
-  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
-  double elapsed_seconds = 0.0;
+
+  /// RVI sweeps performed (the base report's iteration count).
+  [[nodiscard]] int sweeps() const noexcept { return iterations; }
 };
 
 /// Maximizes the long-run average of the per-(state,action) rewards
@@ -75,7 +85,10 @@ struct PolicyGains {
   double weight_rate = 0.0;  ///< denominator stream per step
   /// Worst status of the two stream evaluations.
   robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
+
+  [[nodiscard]] bool converged() const noexcept {
+    return robust::is_success(status);
+  }
 };
 
 /// Evaluates a fixed deterministic policy against an arbitrary per-(state,

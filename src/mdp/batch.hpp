@@ -1,0 +1,100 @@
+// Parallel batch solving: fan N independent solves across a thread pool
+// while one shared robust::RunControl budget spans the whole batch.
+//
+// Semantics (docs/PARALLELISM.md has the full discussion):
+//
+//   * Results are returned in INPUT ORDER and are byte-for-byte independent
+//     of the worker-thread count — parallelism only reorders which wall
+//     clock slice each item runs in, never what an item computes.
+//   * The batch budget is shared cooperatively. Every item started is given
+//     the wall clock REMAINING at its start (the same absolute deadline as
+//     the batch), so the first item to hit the deadline ends in
+//     kBudgetExhausted and every not-yet-started item is skipped with the
+//     same status; items already in flight finish on their own partial
+//     results. `budget.max_ticks` caps the number of items STARTED.
+//   * Cancellation of the caller's token stops pickup of new items
+//     (kCancelled) and is observed by in-flight solves through a linked
+//     token; the engine's own internal aborts (an item threw) cancel that
+//     linked token without firing the caller's.
+//   * An item that throws does not tear down the process: the first
+//     exception is rethrown after all workers drain, and the remaining
+//     items are marked kCancelled.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mdp/ratio.hpp"
+#include "mdp/solver_config.hpp"
+#include "robust/retry.hpp"
+#include "robust/run_control.hpp"
+
+namespace bvc::mdp {
+
+/// Engine-level knobs, distinct from SolverConfig::threads (which
+/// parallelizes *inside* one value-iteration sweep).
+struct BatchConfig {
+  /// Worker threads for the batch fan-out. 0 means "all hardware threads";
+  /// 1 runs every item inline on the calling thread (no pool is created).
+  int threads = 0;
+  /// Budget/cancellation shared by the WHOLE batch (see file comment).
+  robust::RunControl control;
+};
+
+/// Aggregate outcome of one batch run.
+struct BatchReport {
+  /// Worst per-item status (RunStatus is ordered best-to-worst);
+  /// kConverged for an empty batch.
+  robust::RunStatus status = robust::RunStatus::kConverged;
+  std::size_t items = 0;            ///< total items submitted
+  std::size_t items_converged = 0;  ///< items with is_success(status)
+  std::size_t items_skipped = 0;    ///< items never started (budget/cancel)
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] bool all_converged() const noexcept {
+    return items_converged == items;
+  }
+};
+
+/// One ratio-maximization work item. `model` must outlive the solve_batch
+/// call; `config.control` is OVERRIDDEN by the engine with the batch's
+/// shared budget (set budgets on BatchConfig::control instead).
+struct RatioJob {
+  const Model* model = nullptr;
+  SolverConfig config;
+  /// Per-item retry escalation; default disables retries so a batch's cost
+  /// stays predictable. Set e.g. robust::RetryPolicy{} for the solo-solve
+  /// default behaviour.
+  robust::RetryPolicy retry{.max_retries = 0};
+};
+
+struct RatioBatchResult {
+  /// Input-ordered, one per job. Items skipped by the shared budget carry
+  /// status kBudgetExhausted / kCancelled and default-constructed values.
+  std::vector<RatioResult> items;
+  BatchReport report;
+};
+
+/// Solves every job (maximize_ratio_with_retry) across the pool.
+[[nodiscard]] RatioBatchResult solve_batch(std::span<const RatioJob> jobs,
+                                           const BatchConfig& config = {});
+
+/// Generic engine behind solve_batch, exposed so higher layers (bu::, btc::)
+/// can batch their own analysis types without duplicating the scheduling,
+/// budget-sharing, and exception plumbing.
+///
+/// `run_item(i, control)` solves item `i` under the engine-provided control
+/// (linked cancel token + remaining wall clock) and returns its status,
+/// writing its result wherever the caller keeps it (slot `i` of an output
+/// vector — slots are disjoint, so no locking is needed). `skip_item(i,
+/// status)` stamps an item that was never started. Both callbacks may run
+/// on pool threads but never concurrently for the same `i`.
+[[nodiscard]] BatchReport run_batch(
+    std::size_t count, const BatchConfig& config,
+    const std::function<robust::RunStatus(std::size_t,
+                                          const robust::RunControl&)>& run_item,
+    const std::function<void(std::size_t, robust::RunStatus)>& skip_item);
+
+}  // namespace bvc::mdp

@@ -46,7 +46,7 @@ DiscountedResult solve_discounted(const Model& model,
       result.policy.action[s] = best_action;
     }
     result.value.swap(next);
-    result.sweeps = sweep + 1;
+    result.iterations = sweep + 1;
     // Standard VI error bound: ||V - V*|| <= delta * beta / (1 - beta).
     if (max_delta * options.discount / (1.0 - options.discount) <
         options.tolerance) {
@@ -54,8 +54,7 @@ DiscountedResult solve_discounted(const Model& model,
       break;
     }
   }
-  result.converged = robust::is_success(result.status);
-  result.elapsed_seconds = guard.elapsed_seconds();
+  result.wall_clock_ns = guard.elapsed_ns();
   return result;
 }
 

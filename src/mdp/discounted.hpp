@@ -11,6 +11,9 @@
 
 namespace bvc::mdp {
 
+/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
+/// (solver_config.hpp); prefer passing a SolverConfig. Kept as a thin alias
+/// for existing call sites.
 struct DiscountedOptions {
   double discount = 0.999;  ///< beta in (0, 1)
   double tolerance = 1e-10;
@@ -20,13 +23,12 @@ struct DiscountedOptions {
   robust::RunControl control;
 };
 
-struct DiscountedResult {
+struct DiscountedResult : SolveReport {
   std::vector<double> value;
   Policy policy;
-  int sweeps = 0;
-  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
-  double elapsed_seconds = 0.0;
+
+  /// Value-iteration sweeps performed (the base report's iteration count).
+  [[nodiscard]] int sweeps() const noexcept { return iterations; }
 };
 
 /// Maximizes expected discounted primary-stream reward from every state.

@@ -98,7 +98,6 @@ PolicyIterationResult evaluate_policy_exact(
   }
   result.policy = policy;
   result.status = robust::RunStatus::kConverged;
-  result.converged = true;
   return result;
 }
 
@@ -119,12 +118,11 @@ PolicyIterationResult policy_iteration(
         evaluated.policy = policy;
       }
       evaluated.status = *stop_status;
-      evaluated.converged = false;
-      evaluated.elapsed_seconds = guard.elapsed_seconds();
+      evaluated.wall_clock_ns = guard.elapsed_ns();
       return evaluated;
     }
     evaluated = evaluate_policy_exact(model, policy, sa_rewards, options);
-    evaluated.improvements = round;
+    evaluated.iterations = round;
 
     // Greedy improvement against the exact bias.
     bool changed = false;
@@ -155,14 +153,12 @@ PolicyIterationResult policy_iteration(
     }
     if (!changed) {
       evaluated.status = robust::RunStatus::kConverged;
-      evaluated.converged = true;
-      evaluated.elapsed_seconds = guard.elapsed_seconds();
+      evaluated.wall_clock_ns = guard.elapsed_ns();
       return evaluated;
     }
   }
   evaluated.status = robust::RunStatus::kToleranceStalled;
-  evaluated.converged = false;
-  evaluated.elapsed_seconds = guard.elapsed_seconds();
+  evaluated.wall_clock_ns = guard.elapsed_ns();
   return evaluated;
 }
 

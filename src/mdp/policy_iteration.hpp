@@ -16,6 +16,9 @@
 
 namespace bvc::mdp {
 
+/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
+/// (solver_config.hpp); prefer passing a SolverConfig. Kept as a thin alias
+/// for existing call sites.
 struct PolicyIterationOptions {
   int max_improvements = 1000;
   /// Keep the incumbent action unless a challenger beats it by this margin
@@ -28,14 +31,13 @@ struct PolicyIterationOptions {
   robust::RunControl control;
 };
 
-struct PolicyIterationResult {
+struct PolicyIterationResult : SolveReport {
   double gain = 0.0;
   std::vector<double> bias;  ///< h with h[0] = 0
   Policy policy;
-  int improvements = 0;
-  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
-  double elapsed_seconds = 0.0;
+
+  /// Howard improvement rounds (the base report's iteration count).
+  [[nodiscard]] int improvements() const noexcept { return iterations; }
 };
 
 /// Exact evaluation of one stationary policy: solves

@@ -62,7 +62,7 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
   };
   const auto note_inner = [&](const GainResult& run) {
     ++result.diagnostics.inner_solves;
-    result.diagnostics.inner_sweeps += run.sweeps;
+    result.diagnostics.inner_sweeps += run.sweeps();
   };
   const auto note_outer = [&](double rho_now) {
     ++result.diagnostics.outer_iterations;
@@ -70,14 +70,14 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
     result.diagnostics.residual_trajectory.push_back(hi - lo);
   };
 
-  // Single exit point: fix up status, sync `converged`, and make sure the
+  // Single exit point: fix up status, record timing, and make sure the
   // policy is usable (covers every state) even on early exits.
   const auto finalize = [&](robust::RunStatus status) -> RatioResult& {
     if (!policy_recorded && !last_inner_policy.action.empty()) {
       result.policy = last_inner_policy;
     }
     result.status = status;
-    result.converged = robust::is_success(status);
+    result.wall_clock_ns = guard.elapsed_ns();
     result.diagnostics.elapsed_seconds = guard.elapsed_seconds();
     return result;
   };
@@ -251,7 +251,7 @@ RatioResult maximize_ratio_with_retry(const Model& model,
     outer_iterations += next.diagnostics.outer_iterations;
     // Keep the better outcome: a converged solve always wins; otherwise the
     // higher certified ratio does.
-    if (next.converged || next.ratio >= best.ratio) {
+    if (next.converged() || next.ratio >= best.ratio) {
       best = std::move(next);
     }
   }
@@ -261,6 +261,7 @@ RatioResult maximize_ratio_with_retry(const Model& model,
   best.diagnostics.inner_sweeps = inner_sweeps;
   best.diagnostics.outer_iterations = outer_iterations;
   best.diagnostics.elapsed_seconds = guard.elapsed_seconds();
+  best.wall_clock_ns = guard.elapsed_ns();
   return best;
 }
 

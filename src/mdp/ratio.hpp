@@ -19,6 +19,10 @@
 
 namespace bvc::mdp {
 
+/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
+/// (solver_config.hpp) as SolverConfig::ratio plus the shared
+/// `average_reward` block; prefer passing a SolverConfig. Kept as a thin
+/// alias for existing call sites.
 struct RatioOptions {
   AverageRewardOptions inner;
   /// Convergence tolerance on the ratio value.
@@ -39,17 +43,14 @@ struct RatioOptions {
   robust::RunControl control;
 };
 
-struct RatioResult {
+/// `iterations` (on the base report) counts linearized solves performed;
+/// converged() replaces the old redundant `converged` field.
+struct RatioResult : SolveReport {
   double ratio = 0.0;     ///< best achieved num/den rate
   Policy policy;          ///< a policy achieving `ratio` (up to tolerance)
   double reward_rate = 0.0;  ///< numerator rate of `policy`
   double weight_rate = 0.0;  ///< denominator rate of `policy`
-  int iterations = 0;     ///< linearized solves performed
-  /// How the solve ended; `converged` mirrors `status == kConverged`.
-  robust::RunStatus status = robust::RunStatus::kToleranceStalled;
-  bool converged = false;
   bool used_bisection = false;
-  robust::SolveDiagnostics diagnostics;
 };
 
 [[nodiscard]] RatioResult maximize_ratio(const Model& model,

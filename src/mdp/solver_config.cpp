@@ -1,0 +1,81 @@
+#include "mdp/solver_config.hpp"
+
+namespace bvc::mdp {
+
+AverageRewardOptions SolverConfig::average_reward_options() const {
+  AverageRewardOptions options = average_reward;
+  options.control = control;
+  options.threads = threads;
+  return options;
+}
+
+DiscountedOptions SolverConfig::discounted_options() const {
+  DiscountedOptions options;
+  options.discount = discounted.discount;
+  options.tolerance = discounted.tolerance;
+  options.max_sweeps = discounted.max_sweeps;
+  options.control = control;
+  return options;
+}
+
+PolicyIterationOptions SolverConfig::policy_iteration_options() const {
+  PolicyIterationOptions options;
+  options.max_improvements = policy_iteration.max_improvements;
+  options.improvement_tolerance = policy_iteration.improvement_tolerance;
+  options.max_states = policy_iteration.max_states;
+  options.control = control;
+  return options;
+}
+
+RatioOptions SolverConfig::ratio_options() const {
+  RatioOptions options;
+  options.inner = average_reward_options();
+  // The top-level control belongs to the outer Dinkelbach loop; the inner
+  // solves receive the *remaining* budget from the running guard (stamped by
+  // maximize_ratio itself), so clear the copy the inner block inherited.
+  options.inner.control = {};
+  options.inner.control.cancel = control.cancel;
+  options.tolerance = ratio.tolerance;
+  options.max_iterations = ratio.max_iterations;
+  options.lower_bound = ratio.lower_bound;
+  options.upper_bound = ratio.upper_bound;
+  options.min_weight_rate = ratio.min_weight_rate;
+  options.control = control;
+  return options;
+}
+
+GainResult maximize_average_reward(const Model& model,
+                                   const SolverConfig& config) {
+  return maximize_average_reward(model, config.average_reward_options());
+}
+
+GainResult maximize_average_reward(const Model& model,
+                                   std::span<const double> sa_rewards,
+                                   const SolverConfig& config,
+                                   const std::vector<double>* warm_start_bias) {
+  return maximize_average_reward(model, sa_rewards,
+                                 config.average_reward_options(),
+                                 warm_start_bias);
+}
+
+DiscountedResult solve_discounted(const Model& model,
+                                  const SolverConfig& config) {
+  return solve_discounted(model, config.discounted_options());
+}
+
+PolicyIterationResult policy_iteration(const Model& model,
+                                       const SolverConfig& config) {
+  return policy_iteration(model, config.policy_iteration_options());
+}
+
+RatioResult maximize_ratio(const Model& model, const SolverConfig& config) {
+  return maximize_ratio(model, config.ratio_options());
+}
+
+RatioResult maximize_ratio_with_retry(const Model& model,
+                                      const SolverConfig& config,
+                                      const robust::RetryPolicy& retry) {
+  return maximize_ratio_with_retry(model, config.ratio_options(), retry);
+}
+
+}  // namespace bvc::mdp

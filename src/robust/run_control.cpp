@@ -52,6 +52,12 @@ double RunGuard::elapsed_seconds() const noexcept {
   return std::chrono::duration<double>(Clock::now() - start_).count();
 }
 
+std::int64_t RunGuard::elapsed_ns() const noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+      .count();
+}
+
 RunBudget RunGuard::remaining() const noexcept {
   RunBudget budget;
   if (has_deadline_) {

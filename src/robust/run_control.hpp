@@ -86,6 +86,18 @@ class CancelToken {
     return token;
   }
 
+  /// A child token that reports cancelled when either itself or `parent` is
+  /// cancelled, while request_cancel() on the child leaves the parent
+  /// untouched. Batch engines use this to stop their own in-flight items
+  /// without firing the caller's token. Linking is one level deep: the
+  /// child observes `parent`'s own flag, not flags `parent` may itself be
+  /// linked to — link to the root token when chaining.
+  [[nodiscard]] static CancelToken make_linked(const CancelToken& parent) {
+    CancelToken token = make();
+    token.parent_ = parent.flag_;
+    return token;
+  }
+
   void request_cancel() const noexcept {
     if (flag_) {
       flag_->store(true, std::memory_order_relaxed);
@@ -93,11 +105,13 @@ class CancelToken {
   }
 
   [[nodiscard]] bool cancel_requested() const noexcept {
-    return flag_ && flag_->load(std::memory_order_relaxed);
+    return (flag_ && flag_->load(std::memory_order_relaxed)) ||
+           (parent_ && parent_->load(std::memory_order_relaxed));
   }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<bool>> parent_;
 };
 
 /// The run-control bundle accepted (by value) through solver/sim options.
@@ -130,6 +144,9 @@ class RunGuard {
 
   /// Seconds since construction (always measured, even without a deadline).
   [[nodiscard]] double elapsed_seconds() const noexcept;
+
+  /// Nanoseconds since construction, for SolveReport::wall_clock_ns.
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept;
 
   /// Budget with the wall-clock allowance that remains (and no tick cap):
   /// hand this to nested solves so inner work cannot outlive the outer

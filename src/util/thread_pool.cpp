@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace bvc::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  BVC_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // stopping, queue drained
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  chunks = std::clamp<std::size_t>(chunks, 1, count);
+  if (chunks == 1) {
+    body(0, 0, count);
+    return;
+  }
+
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  } sync;
+  sync.remaining = chunks;
+
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t begin = 0;
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t end = begin + base + (chunk < extra ? 1 : 0);
+    submit([&sync, &body, chunk, begin, end] {
+      try {
+        body(chunk, begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(sync.mutex);
+        if (!sync.error) {
+          sync.error = std::current_exception();
+        }
+      }
+      const std::lock_guard<std::mutex> lock(sync.mutex);
+      if (--sync.remaining == 0) {
+        sync.done.notify_all();
+      }
+    });
+    begin = end;
+  }
+
+  std::unique_lock<std::mutex> lock(sync.mutex);
+  sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+  if (sync.error) {
+    std::rethrow_exception(sync.error);
+  }
+}
+
+int ThreadPool::hardware_threads() noexcept {
+  const unsigned count = std::thread::hardware_concurrency();
+  return count == 0 ? 1 : static_cast<int>(count);
+}
+
+}  // namespace bvc::util

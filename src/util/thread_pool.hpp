@@ -1,0 +1,77 @@
+// Fixed-size, work-stealing-free thread pool.
+//
+// One central FIFO queue feeds N long-lived workers; there are no per-worker
+// deques and no stealing, so task pickup order is the submission order and
+// the scheduling logic stays simple enough to reason about under TSan. Two
+// use patterns in this library:
+//
+//   * fan-out (mdp::run_batch): submit one task per independent solve and
+//     wait_idle() — throughput-bound, task granularity is milliseconds to
+//     seconds, so the central queue is never contended;
+//   * data-parallel sweeps (the parallel relative-value-iteration path):
+//     parallel_for() splits a contiguous index range into chunks whose
+//     boundaries depend only on (count, chunks) — never on the thread
+//     count — so any value computed per index is reproducible regardless
+//     of how many workers the pool has.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bvc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues one task. Tasks must not throw — an escaping exception
+  /// terminates the process (wrap fallible work in try/catch and carry the
+  /// error out by hand, as parallel_for does).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs body(chunk, begin, end) over [0, count) split into at most
+  /// `chunks` contiguous ranges (sized within one of each other, leading
+  /// chunks larger) and blocks until all of them finished. The partition
+  /// depends only on (count, chunks). The first exception thrown by any
+  /// chunk is rethrown here after every chunk has finished. Must not be
+  /// called from a worker of this pool (the caller blocks on the workers).
+  void parallel_for(
+      std::size_t count, std::size_t chunks,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+};
+
+}  // namespace bvc::util

@@ -88,7 +88,7 @@ TEST(SelfishMining, HonestIsOptimalForSmallAlpha) {
   // optimal: relative revenue equals alpha.
   const SmResult result = analyze_sm(small_params(0.2, 0.0),
                                      Utility::kRelativeRevenue, 1e-5);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.utility_value, 0.2, 5e-4);
 }
 

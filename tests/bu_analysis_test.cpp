@@ -167,7 +167,7 @@ TEST(Analysis, Setting2WithShortGateRunsEndToEnd) {
   AttackParams params = make_params(0.25, 0.45, 0.30, Setting::kStickyGate);
   params.gate_period = 12;  // short gate: same mechanics, fast solve
   const AnalysisResult result = analyze(params, Utility::kRelativeRevenue);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   // The 3:2 split profits only via phase 2 (Table 2: setting 1 gives exactly
   // alpha, setting 2 slightly more); with a shorter gate the phase-2 benefit
   // shrinks but must not go below alpha.

@@ -69,7 +69,7 @@ TEST(EdgeCases, ExtremePowerAsymmetry) {
   params.gamma = 0.02;
   const bu::AnalysisResult result =
       bu::analyze(params, bu::Utility::kRelativeRevenue);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_GE(result.utility_value, 0.49 - 1e-4);
 }
 

@@ -89,7 +89,7 @@ TEST(HeteroAd, SolvesAndBeatsHonest) {
   params.beta = 0.30;
   params.gamma = 0.45;
   const AnalysisResult result = analyze(params, Utility::kRelativeRevenue);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_GE(result.utility_value, 0.25 - 1e-4);
 }
 

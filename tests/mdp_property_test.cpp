@@ -112,7 +112,7 @@ TEST_P(SolverVsBruteForce, AverageRewardMatchesEnumeration) {
   }
 
   const GainResult solved = maximize_average_reward(model);
-  EXPECT_TRUE(solved.converged);
+  EXPECT_TRUE(solved.converged());
   EXPECT_NEAR(solved.gain, best_gain, 1e-6);
 }
 
@@ -133,7 +133,7 @@ TEST_P(SolverVsBruteForce, RatioMatchesEnumeration) {
   options.lower_bound = -100.0;
   options.upper_bound = 100.0;
   const RatioResult solved = maximize_ratio(model, options);
-  EXPECT_TRUE(solved.converged);
+  EXPECT_TRUE(solved.converged());
   EXPECT_NEAR(solved.ratio, best_ratio, 1e-5);
 }
 

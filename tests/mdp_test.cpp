@@ -107,7 +107,7 @@ Model make_alternator(double r0, double r1) {
 TEST(AverageReward, AlternatorGain) {
   const Model model = make_alternator(1.0, 3.0);
   const GainResult result = maximize_average_reward(model);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.gain, 2.0, 1e-6);
 }
 
@@ -118,7 +118,7 @@ TEST(AverageReward, PeriodicChainConvergesViaAperiodicityTransform) {
   AverageRewardOptions options;
   options.aperiodicity_tau = 0.9;
   const GainResult result = maximize_average_reward(model, options);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.gain, 0.5, 1e-6);
 }
 
@@ -182,7 +182,7 @@ TEST(AverageReward, WarmStartReachesSameGain) {
   const GainResult warm =
       maximize_average_reward(model, rewards, {}, &cold.bias);
   EXPECT_NEAR(cold.gain, warm.gain, 1e-9);
-  EXPECT_LE(warm.sweeps, cold.sweeps);
+  EXPECT_LE(warm.sweeps(), cold.sweeps());
 }
 
 TEST(AverageReward, RejectsWrongRewardVectorSize) {
@@ -201,7 +201,7 @@ TEST(PolicyEvaluation, EvaluatesBothStreams) {
   Policy policy;
   policy.action = {0};
   const PolicyGains gains = evaluate_policy_average(model, policy);
-  EXPECT_TRUE(gains.converged);
+  EXPECT_TRUE(gains.converged());
   EXPECT_NEAR(gains.reward_rate, 2.0, 1e-8);
   EXPECT_NEAR(gains.weight_rate, 0.5, 1e-8);
 }
@@ -228,7 +228,7 @@ TEST(Discounted, GeometricSumSingleState) {
   DiscountedOptions options;
   options.discount = 0.9;
   const DiscountedResult result = solve_discounted(model, options);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.value[0], 10.0, 1e-6);
 }
 
@@ -260,7 +260,7 @@ TEST(Ratio, SingleStateRatioOfStreams) {
   RatioOptions options;
   options.upper_bound = 10.0;
   const RatioResult result = maximize_ratio(model, options);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.ratio, 0.75, 1e-6);
 }
 

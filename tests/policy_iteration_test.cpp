@@ -62,7 +62,7 @@ TEST(PolicyIteration, AgreesWithRviOnRandomModels) {
 
     const PolicyIterationResult exact = policy_iteration(model);
     const GainResult iterative = maximize_average_reward(model);
-    EXPECT_TRUE(exact.converged);
+    EXPECT_TRUE(exact.converged());
     EXPECT_NEAR(exact.gain, iterative.gain, 1e-6) << "trial " << trial;
   }
 }
@@ -71,8 +71,8 @@ TEST(PolicyIteration, ConvergesInFewImprovements) {
   Rng rng(7);
   const Model model = random_model(rng, 10, 3);
   const PolicyIterationResult result = policy_iteration(model);
-  EXPECT_TRUE(result.converged);
-  EXPECT_LE(result.improvements, 20);
+  EXPECT_TRUE(result.converged());
+  EXPECT_LE(result.improvements(), 20);
 }
 
 TEST(PolicyIteration, SolvesTheSetting1AttackModelExactly) {
@@ -98,7 +98,7 @@ TEST(PolicyIteration, SolvesTheSetting1AttackModelExactly) {
       policy_iteration(attack.model, rewards);
   const GainResult iterative =
       maximize_average_reward(attack.model, rewards);
-  EXPECT_TRUE(exact.converged);
+  EXPECT_TRUE(exact.converged());
   EXPECT_NEAR(exact.gain, iterative.gain, 1e-6);
   EXPECT_NEAR(exact.gain, 0.0, 1e-3);
 }

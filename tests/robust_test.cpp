@@ -180,8 +180,8 @@ TEST(AverageRewardControl, PreCancelledReturnsWithoutASweep) {
   options.control = cancelled_control();
   const mdp::GainResult result = mdp::maximize_average_reward(model, options);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
-  EXPECT_FALSE(result.converged);
-  EXPECT_EQ(result.sweeps, 0);
+  EXPECT_FALSE(result.converged());
+  EXPECT_EQ(result.sweeps(), 0);
 }
 
 TEST(AverageRewardControl, TickBudgetCapsSweeps) {
@@ -191,18 +191,18 @@ TEST(AverageRewardControl, TickBudgetCapsSweeps) {
   options.control.budget = RunBudget::ticks(3);
   const mdp::GainResult result = mdp::maximize_average_reward(model, options);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
-  EXPECT_FALSE(result.converged);
-  EXPECT_LE(result.sweeps, 3);
+  EXPECT_FALSE(result.converged());
+  EXPECT_LE(result.sweeps(), 3);
   // The partial result is still usable: a policy for every state.
   EXPECT_EQ(result.policy.action.size(), model.num_states());
-  EXPECT_GE(result.elapsed_seconds, 0.0);
+  EXPECT_GE(result.elapsed_seconds(), 0.0);
 }
 
 TEST(AverageRewardControl, UnlimitedControlStillConverges) {
   const Model model = make_alternator(1.0, 3.0);
   const mdp::GainResult result = mdp::maximize_average_reward(model);
   EXPECT_EQ(result.status, RunStatus::kConverged);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.gain, 2.0, 1e-6);
 }
 
@@ -212,7 +212,7 @@ TEST(DiscountedControl, PreCancelledReturnsWithoutASweep) {
   options.control = cancelled_control();
   const mdp::DiscountedResult result = mdp::solve_discounted(model, options);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
-  EXPECT_EQ(result.sweeps, 0);
+  EXPECT_EQ(result.sweeps(), 0);
 }
 
 TEST(DiscountedControl, TickBudgetCapsSweeps) {
@@ -222,7 +222,7 @@ TEST(DiscountedControl, TickBudgetCapsSweeps) {
   options.control.budget = RunBudget::ticks(5);
   const mdp::DiscountedResult result = mdp::solve_discounted(model, options);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
-  EXPECT_LE(result.sweeps, 5);
+  EXPECT_LE(result.sweeps(), 5);
   EXPECT_EQ(result.policy.action.size(), model.num_states());
 }
 
@@ -233,7 +233,7 @@ TEST(PolicyIterationControl, PreCancelledReturnsTotalPolicy) {
   const mdp::PolicyIterationResult result =
       mdp::policy_iteration(model, options);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
-  EXPECT_EQ(result.improvements, 0);
+  EXPECT_EQ(result.improvements(), 0);
   // Even without a single evaluation the returned policy covers all states.
   EXPECT_EQ(result.policy.action.size(), model.num_states());
 }
@@ -253,7 +253,7 @@ TEST(RatioControl, ConvergedSolveCarriesDiagnostics) {
   options.upper_bound = 10.0;
   const mdp::RatioResult result = mdp::maximize_ratio(model, options);
   EXPECT_EQ(result.status, RunStatus::kConverged);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.ratio, 2.0, 1e-5);
   EXPECT_GT(result.diagnostics.outer_iterations, 0);
   EXPECT_GT(result.diagnostics.inner_solves, 0);
@@ -273,7 +273,7 @@ TEST(RatioControl, PreCancelledReturnsCancelled) {
   options.control = cancelled_control();
   const mdp::RatioResult result = mdp::maximize_ratio(model, options);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
-  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.iterations, 0);
   EXPECT_EQ(result.diagnostics.inner_solves, 0);  // not even one inner solve
 }
@@ -298,7 +298,7 @@ TEST(RatioControl, DeadlineStarvedSolveReturnsUsablePartialPolicy) {
   const mdp::RatioResult result =
       mdp::maximize_ratio(attack.model, options);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
-  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.policy.action.size(), attack.model.num_states());
   // The deadline binds the nested solves too, not just the outer loop: the
   // whole thing must end well before an unbudgeted solve would (seconds).
@@ -489,7 +489,7 @@ TEST(AnalysisControl, StatusAndDiagnosticsPropagate) {
   const bu::AnalysisResult result =
       bu::analyze(params, bu::Utility::kRelativeRevenue);
   EXPECT_EQ(result.status, RunStatus::kConverged);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_GT(result.diagnostics.inner_solves, 0);
   EXPECT_GE(result.diagnostics.elapsed_seconds, 0.0);
 }
@@ -507,7 +507,7 @@ TEST(AnalysisControl, DeadlineStarvedAnalysisReportsExhaustion) {
   const bu::AnalysisResult result =
       bu::analyze(params, bu::Utility::kRelativeRevenue, options);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
-  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.diagnostics.retries, 0);  // budget exhaustion: no retry
 }
 
