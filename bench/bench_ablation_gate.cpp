@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   const double alpha = args.get_double("alpha", 0.25);
   const double beta = args.get_double("beta", 0.30);
   const double gamma = args.get_double("gamma", 0.45);
+  bu::AnalysisOptions analysis_options;
+  analysis_options.control = bench::run_control_from_args(args);
 
   std::printf(
       "Ablation — sticky-gate period (setting 2; alpha=%.2f, beta=%.2f,\n"
@@ -44,10 +46,13 @@ int main(int argc, char** argv) {
 
     const bu::AttackModel model =
         bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
-    const bu::AnalysisResult analysis = bu::analyze(model);
-    bench::require_solved(analysis.status,
-                          "u1 gate period=" + std::to_string(period),
-                          /*fatal=*/false);
+    const bu::AnalysisResult analysis = bu::analyze(model, analysis_options);
+    bench::require_solved(
+        analysis,
+        "u1 gate period=" + std::to_string(period) + " " +
+            bench::describe_cell(
+                {{"alpha", alpha}, {"beta", beta}, {"gamma", gamma}}),
+        /*fatal=*/false);
 
     sim::ScenarioOptions options;
     sim::AttackScenarioSim simulator(model, options);

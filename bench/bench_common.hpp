@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <memory>
 #include <string>
 
@@ -15,11 +16,34 @@
 
 namespace bvc::bench {
 
+/// One named parameter of a table/figure cell, for diagnostics.
+struct CellParam {
+  const char* name;
+  double value;
+};
+
+/// Renders a cell's parameter assignments ("alpha=0.2 gamma=0.45 AD=6") so
+/// a failing require_solved names the exact cell, not just its row label.
+inline std::string describe_cell(std::initializer_list<CellParam> params) {
+  std::string out;
+  char buffer[64];
+  for (const CellParam& param : params) {
+    std::snprintf(buffer, sizeof(buffer), "%s%s=%g", out.empty() ? "" : " ",
+                  param.name, param.value);
+    out += buffer;
+  }
+  return out;
+}
+
 /// Loud solver-status check for report generators. A non-converged solve
 /// whose value is printed next to the paper's reference is silently wrong —
 /// table-reproduction benches therefore pass fatal=true and abort; the
 /// exploratory benches pass fatal=false, warn on stderr, and continue with
 /// the best-effort value. Returns true when the solve converged.
+///
+/// `context` should name the failing cell's parameters (alpha/gamma/EB, via
+/// describe_cell), not just the table — a bare status code is useless for
+/// reproducing a one-in-a-sweep failure.
 inline bool require_solved(robust::RunStatus status, const std::string& context,
                            bool fatal = true) {
   if (robust::is_success(status)) {
@@ -37,17 +61,44 @@ inline bool require_solved(robust::RunStatus status, const std::string& context,
 }
 
 /// Overload for any solver result deriving from mdp::SolveReport (ratio,
-/// gain, discounted, policy-iteration, bu/btc analysis results alike).
+/// gain, discounted, policy-iteration, bu/btc analysis results alike). Adds
+/// the report's iteration count and wall clock to the diagnostic.
 inline bool require_solved(const mdp::SolveReport& report,
                            const std::string& context, bool fatal = true) {
-  return require_solved(report.status, context, fatal);
+  if (robust::is_success(report.status)) {
+    return true;
+  }
+  char detail[96];
+  std::snprintf(detail, sizeof(detail), " [%d iterations, %.3fs]",
+                report.iterations, report.elapsed_seconds());
+  return require_solved(report.status, context + detail, fatal);
+}
+
+/// Shared `--wall-clock-ms N` / `--max-ticks N` budget flags, accepted by
+/// every bench binary: the returned control bounds the bench's whole solve
+/// or simulation loop (partial tables warn through require_solved instead
+/// of running forever). Defaults are unlimited.
+inline robust::RunControl run_control_from_args(const CliArgs& args) {
+  robust::RunControl control;
+  const long wall_ms = args.get_long("wall-clock-ms", -1);
+  if (wall_ms >= 0) {
+    control.budget.wall_clock_seconds = static_cast<double>(wall_ms) * 1e-3;
+  }
+  const long max_ticks = args.get_long("max-ticks", -1);
+  if (max_ticks >= 0) {
+    control.budget.max_ticks = max_ticks;
+  }
+  return control;
 }
 
 /// Shared `--threads N` flag for the batch-solving benches: 0 (the default)
-/// uses every hardware thread, 1 solves serially on the calling thread.
+/// uses every hardware thread, 1 solves serially on the calling thread. The
+/// batch-wide budget comes from run_control_from_args, so every bench
+/// accepts the same three flags.
 inline mdp::BatchConfig batch_config_from_args(const CliArgs& args) {
   mdp::BatchConfig config;
   config.threads = static_cast<int>(args.get_long("threads", 0));
+  config.control = run_control_from_args(args);
   return config;
 }
 

@@ -9,10 +9,17 @@
 //     (unlike BU's block size increasing game, small miners keep a voice).
 //  3. An adversarial cohort biases votes but can never split validity: two
 //     independent replayers agree on the limit at every height.
+//
+// The scenarios run through counter::run_voting_batch (each with a private
+// RNG seed) under the shared --threads / --wall-clock-ms / --max-ticks
+// flags, so the table is identical for every thread count.
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "counter/dynamic_limit.hpp"
 #include "counter/voting_simulation.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -21,7 +28,10 @@ using namespace bvc;
 using namespace bvc::counter;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+
   VoteRuleConfig rule;  // paper-scale: 2016-block epochs, 200-block delay
   rule.epoch_length = 2016;
   rule.adjust_threshold = 0.75;
@@ -36,35 +46,44 @@ int main() {
       "prescribed BVC (epoch 2016, approve >= 75%%, veto > 10%%, "
       "activation +200)\n\n");
 
+  std::vector<const char*> names;
+  std::vector<VotingJob> jobs;
+  Rng seed_rng(63);
+  const auto scenario = [&](const char* name,
+                            std::vector<VoterCohort> cohorts,
+                            std::size_t epochs) {
+    VotingJob job;
+    job.config.rule = rule;
+    job.config.cohorts = std::move(cohorts);
+    job.epochs = epochs;
+    job.seed = seed_rng.next_u64();
+    names.push_back(name);
+    jobs.push_back(std::move(job));
+  };
+
+  scenario("1. 90% want 4 MB, 10% happy at 1 MB",
+           {{0.90, 4'000'000, false}, {0.10, 1'000'000, false}}, 40);
+  scenario("2. 80% want 4 MB, 20% veto",
+           {{0.80, 4'000'000, false}, {0.20, 1'000'000, false}}, 40);
+  scenario("3. 85% want 2 MB, 15% adversarial",
+           {{0.85, 2'000'000, false}, {0.15, 2'000'000, true}}, 40);
+  scenario("4. consensus shrinks back to 0.5 MB",
+           {{1.0, 500'000, false}}, 20);
+
+  const std::vector<VotingSimResult> results = run_voting_batch(jobs, batch);
+
   TextTable table({"scenario", "epochs", "final limit", "increases",
                    "decreases"});
-  Rng rng(63);
-
-  const auto run = [&](const char* name, std::vector<VoterCohort> cohorts,
-                       std::size_t epochs) {
-    VotingSimConfig config;
-    config.rule = rule;
-    config.cohorts = std::move(cohorts);
-    const VotingSimResult result =
-        run_voting_simulation(config, epochs, rng);
-    table.add_row({name, std::to_string(epochs),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const VotingSimResult& result = results[i];
+    bench::require_solved(result, std::string(names[i]), /*fatal=*/false);
+    table.add_row({names[i], std::to_string(jobs[i].epochs),
                    format_fixed(static_cast<double>(result.final_limit) / 1e6,
                                 1) +
                        " MB",
                    std::to_string(result.increases),
                    std::to_string(result.decreases)});
-    return result;
-  };
-
-  run("1. 90% want 4 MB, 10% happy at 1 MB",
-      {{0.90, 4'000'000, false}, {0.10, 1'000'000, false}}, 40);
-  run("2. 80% want 4 MB, 20% veto",
-      {{0.80, 4'000'000, false}, {0.20, 1'000'000, false}}, 40);
-  run("3. 85% want 2 MB, 15% adversarial",
-      {{0.85, 2'000'000, false}, {0.15, 2'000'000, true}}, 40);
-  run("4. consensus shrinks back to 0.5 MB",
-      {{1.0, 500'000, false}}, 20);
-
+  }
   std::printf("%s\n", table.to_string().c_str());
 
   // BVC preservation: two independent nodes replaying the same votes agree

@@ -6,13 +6,15 @@
 // the orphan rate as a function of the message-drop rate, plus the effect
 // of latency jitter, a node-crash window and a temporary partition.
 //
-// Flags: --blocks N (default 20000), --seed S (fault-plan seed).
+// Flags: --blocks N (default 20000), --seed S (fault-plan seed), plus the
+// shared budget flags --wall-clock-ms / --max-ticks (bench_common.hpp).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "robust/fault_plan.hpp"
+#include "robust/run_control.hpp"
 #include "sim/network_sim.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   const auto blocks = static_cast<std::uint64_t>(blocks_arg);
   const auto fault_seed =
       static_cast<std::uint64_t>(args.get_long("seed", 20170406));
+  const robust::RunControl control = bench::run_control_from_args(args);
 
   std::printf(
       "Degraded-network study — orphan rate vs message-drop rate\n"
@@ -77,7 +80,7 @@ int main(int argc, char** argv) {
       config.faults.link.jitter_seconds = jitter;
       sim::NetworkSimulation simulation(config);
       Rng rng(42);  // identical mining stream in every cell
-      const sim::NetworkResult result = simulation.run(blocks, rng);
+      const sim::NetworkResult result = simulation.run(blocks, rng, control);
       bench::require_solved(result.status,
                             "degraded sim drop=" + format_percent(drop, 0),
                             /*fatal=*/false);
@@ -106,7 +109,7 @@ int main(int argc, char** argv) {
     config.faults = plan;
     sim::NetworkSimulation simulation(config);
     Rng rng(42);
-    const sim::NetworkResult result = simulation.run(blocks, rng);
+    const sim::NetworkResult result = simulation.run(blocks, rng, control);
     structural.add_row({label, format_percent(result.orphan_rate()),
                         std::to_string(result.deferred_deliveries),
                         std::to_string(result.wasted_finds)});

@@ -10,8 +10,10 @@
 // Output: a per-block trace of one node's verdicts on a growing chain.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "chain/block_tree.hpp"
 #include "chain/bu_validity.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -32,7 +34,13 @@ const char* verdict_name(ChainVerdict verdict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // The shared bench flags are accepted (and validated) for CLI uniformity;
+  // this trace replay has no iterative loop for the budget to bound.
+  const bvc::CliArgs args(argc, argv);
+  (void)bvc::bench::run_control_from_args(args);
+  (void)bvc::bench::batch_config_from_args(args);
+
   BuParams params;
   params.eb = 1 * kMegabyte;
   params.ad = 3;             // as in Figure 1

@@ -36,7 +36,8 @@ const char* verdict_name(ChainVerdict verdict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
   constexpr ByteSize kEbBob = 1 * kMegabyte;
   constexpr ByteSize kEbCarol = 8 * kMegabyte;
   BuParams bob_params;
@@ -94,9 +95,16 @@ int main() {
   params.setting = bu::Setting::kStickyGate;
   const bu::AttackModel model =
       bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
-  const bu::AnalysisResult analysis = bu::analyze(model);
-  bench::require_solved(analysis.status, "u1 phase-replay solve",
-                        /*fatal=*/false);
+  bu::AnalysisOptions analysis_options;
+  analysis_options.control = bench::run_control_from_args(args);
+  const bu::AnalysisResult analysis = bu::analyze(model, analysis_options);
+  bench::require_solved(
+      analysis,
+      "u1 phase-replay solve " +
+          bench::describe_cell({{"alpha", params.alpha},
+                                {"gamma", params.gamma},
+                                {"AD", static_cast<double>(params.ad)}}),
+      /*fatal=*/false);
 
   sim::ScenarioOptions options;
   options.eb_bob = kEbBob;

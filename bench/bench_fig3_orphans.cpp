@@ -16,7 +16,8 @@ namespace {
 using namespace bvc;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
   // ---- The scripted Figure 3 trace, via the abstract step semantics ------
   bu::AttackParams params;
   params.alpha = 0.01;
@@ -62,9 +63,16 @@ int main() {
   opt.gamma = 0.594;
   const bu::AttackModel model =
       bu::build_attack_model(opt, bu::Utility::kOrphaning);
-  const bu::AnalysisResult analysis = bu::analyze(model);
-  bench::require_solved(analysis.status, "u3 worst-case solve",
-                        /*fatal=*/false);
+  bu::AnalysisOptions analysis_options;
+  analysis_options.control = bench::run_control_from_args(args);
+  const bu::AnalysisResult analysis = bu::analyze(model, analysis_options);
+  bench::require_solved(
+      analysis,
+      "u3 worst-case solve " +
+          bench::describe_cell({{"alpha", opt.alpha},
+                                {"gamma", opt.gamma},
+                                {"AD", static_cast<double>(opt.ad)}}),
+      /*fatal=*/false);
 
   sim::ScenarioOptions options;
   options.check_against_model = true;

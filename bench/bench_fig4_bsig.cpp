@@ -4,10 +4,13 @@
 // group 4 could squeeze group 3 out too) and the game terminates.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "games/block_size_game.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bvc::games;
+  const bvc::CliArgs args(argc, argv);
 
   const std::vector<MinerGroup> groups = {
       {0.10, 1.0}, {0.20, 2.0}, {0.30, 4.0}, {0.40, 8.0}};
@@ -16,7 +19,11 @@ int main() {
   std::printf(
       "Figure 4 — block size increasing game, m = (10, 20, 30, 40)%%\n"
       "MPBs = (1, 2, 4, 8) MB\n\n");
-  const auto outcome = game.play();
+  bvc::mdp::SolverConfig config;
+  config.control = bvc::bench::run_control_from_args(args);
+  const auto outcome = game.play(config);
+  bvc::bench::require_solved(outcome, "block size increasing game playout",
+                             /*fatal=*/false);
   std::printf("%s\n", game.describe(outcome).c_str());
 
   std::printf("stable suffixes: ");

@@ -6,8 +6,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "games/fee_market.hpp"
 #include "sim/network_sim.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -29,7 +31,10 @@ sim::NetMiner make_miner(std::string name, double power,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  // Bounds each simulated cell (one guard tick per simulated block).
+  const robust::RunControl control = bench::run_control_from_args(args);
   std::printf(
       "Propagation study — orphan rate vs block size and bandwidth\n"
       "(5 equal miners, 600 s interval, 2 s latency, 30k blocks per "
@@ -51,7 +56,7 @@ int main() {
       }
       sim::NetworkSimulation simulation(config);
       Rng rng(size + static_cast<std::uint64_t>(bandwidth));
-      const sim::NetworkResult result = simulation.run(30'000, rng);
+      const sim::NetworkResult result = simulation.run(30'000, rng, control);
       row.push_back(format_percent(result.orphan_rate()));
       std::printf(".");
       std::fflush(stdout);

@@ -3,8 +3,21 @@
 // throughput. These guard the performance assumptions behind the table
 // benches (a setting-2 Dinkelbach solve must stay ~1 s or the full grids
 // become impractical).
+//
+// `--mode=kernel` bypasses google-benchmark and runs the AoS-vs-SoA sweep
+// kernel comparison instead, writing BENCH_kernel.json (see run_kernel_mode
+// below).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -12,6 +25,7 @@
 #include "btc/selfish_mining.hpp"
 #include "mdp/average_reward.hpp"
 #include "mdp/batch.hpp"
+#include "mdp/compiled_model.hpp"
 #include "sim/attack_scenario.hpp"
 #include "util/rng.hpp"
 
@@ -201,4 +215,234 @@ BENCHMARK(BM_PolicyRollout)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// ---- --mode=kernel: AoS vs SoA sweep throughput --------------------------
+//
+// Measures the raw Bellman-backup sweep — the inner loop every solver and
+// every table cell spends its time in — over the two model layouts:
+//
+//   AoS — the seed data path: bounds-checked std::span lookups over the
+//         Model's 32-byte Outcome structs (half of every cache line loaded
+//         into the sweep is reward/weight data the backup never touches);
+//   SoA — the CompiledModel kernel layout: raw contiguous next/prob columns.
+//
+// Both variants run the identical serial Gauss-Seidel greedy sweep with the
+// identical expression order, so their bias vectors stay bitwise equal —
+// which the run asserts, making this a throughput measurement of the same
+// computation, not of two different algorithms. A third variant sweeps the
+// precompiled tau-damped probability column (mathematically equivalent,
+// different FP association — which is why production solvers don't use it;
+// see compiled_model.hpp).
+
+namespace {
+
+constexpr double kKernelTau = 0.999;
+
+/// One in-place Gauss-Seidel greedy sweep over the AoS Model layout,
+/// mirroring rvi_core's serial discipline (state-0 residual subtracted
+/// in-sweep).
+void aos_sweep(const mdp::Model& model, std::span<const double> rewards,
+               std::vector<double>& bias) {
+  const mdp::StateId n = model.num_states();
+  double ref = 0.0;
+  for (mdp::StateId s = 0; s < n; ++s) {
+    const std::size_t actions = model.num_actions(s);
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < actions; ++a) {
+      const mdp::SaIndex sa = model.sa_index(s, a);
+      double q = rewards[sa];
+      double expected_next = 0.0;
+      for (const mdp::Outcome& outcome : model.outcomes(sa)) {
+        expected_next += outcome.probability * bias[outcome.next];
+      }
+      q = kKernelTau * (q + expected_next) + (1.0 - kKernelTau) * bias[s];
+      if (q > best) {
+        best = q;
+      }
+    }
+    if (s == 0) {
+      ref = best - bias[0];
+    }
+    bias[s] = best - ref;
+  }
+}
+
+/// The same sweep over the CompiledModel SoA columns.
+void soa_sweep(const mdp::CompiledModel& model,
+               std::span<const double> rewards, std::vector<double>& bias) {
+  const mdp::StateId n = model.num_states();
+  const mdp::StateId* next_col = model.next();
+  const double* prob_col = model.prob();
+  const double* rewards_data = rewards.data();
+  double ref = 0.0;
+  for (mdp::StateId s = 0; s < n; ++s) {
+    const std::size_t actions = model.num_actions(s);
+    const mdp::SaIndex sa_base = model.state_begin(s);
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < actions; ++a) {
+      const mdp::SaIndex sa = sa_base + a;
+      double q = rewards_data[sa];
+      double expected_next = 0.0;
+      const std::size_t end = model.outcome_end(sa);
+      for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+        expected_next += prob_col[k] * bias[next_col[k]];
+      }
+      q = kKernelTau * (q + expected_next) + (1.0 - kKernelTau) * bias[s];
+      if (q > best) {
+        best = q;
+      }
+    }
+    if (s == 0) {
+      ref = best - bias[0];
+    }
+    bias[s] = best - ref;
+  }
+}
+
+/// SoA sweep through the precompiled tau-damped probability column:
+/// tau * (q + sum p*b) == tau*q + sum (tau*p)*b up to FP association.
+void soa_damped_sweep(const mdp::CompiledModel& model,
+                      std::span<const double> rewards,
+                      std::vector<double>& bias) {
+  const mdp::StateId n = model.num_states();
+  const mdp::StateId* next_col = model.next();
+  const double* damped_col = model.damped_prob();
+  const double* rewards_data = rewards.data();
+  double ref = 0.0;
+  for (mdp::StateId s = 0; s < n; ++s) {
+    const std::size_t actions = model.num_actions(s);
+    const mdp::SaIndex sa_base = model.state_begin(s);
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < actions; ++a) {
+      const mdp::SaIndex sa = sa_base + a;
+      double q = kKernelTau * rewards_data[sa];
+      const std::size_t end = model.outcome_end(sa);
+      for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+        q += damped_col[k] * bias[next_col[k]];
+      }
+      q += (1.0 - kKernelTau) * bias[s];
+      if (q > best) {
+        best = q;
+      }
+    }
+    if (s == 0) {
+      ref = best - bias[0];
+    }
+    bias[s] = best - ref;
+  }
+}
+
+/// Best-of-reps wall time for `sweeps` sweeps of `run`; honors the shared
+/// --wall-clock-ms / --max-ticks budget (one tick per rep).
+template <typename Sweep>
+double time_sweeps(const Sweep& run, std::vector<double>& bias, int sweeps,
+                   robust::RunGuard& guard) {
+  using Clock = std::chrono::steady_clock;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    std::fill(bias.begin(), bias.end(), 0.0);
+    const Clock::time_point start = Clock::now();
+    for (int i = 0; i < sweeps; ++i) {
+      run(bias);
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    best_seconds = std::min(best_seconds, seconds);
+    if (guard.tick().has_value()) {
+      break;  // budget exhausted: report what we have
+    }
+  }
+  return best_seconds;
+}
+
+int run_kernel_mode(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string out_path = args.get_string("out", "BENCH_kernel.json");
+  int sweeps = static_cast<int>(args.get_long("sweeps", 200));
+  const robust::RunControl control = bench::run_control_from_args(args);
+  if (control.budget.max_ticks != std::numeric_limits<std::int64_t>::max()) {
+    sweeps = static_cast<int>(std::min<std::int64_t>(
+        sweeps, std::max<std::int64_t>(1, control.budget.max_ticks)));
+  }
+  robust::RunGuard guard(control);
+
+  // The setting-2 grid cell: the largest model the table benches sweep.
+  const bu::AttackModel attack = bu::build_attack_model(
+      grid_params(bu::Setting::kStickyGate), bu::Utility::kRelativeRevenue);
+  const mdp::Model& model = attack.model;
+  const mdp::CompiledModel& compiled = *attack.compiled;
+  const std::span<const double> rewards{compiled.expected_reward(),
+                                        compiled.num_state_actions()};
+
+  std::vector<double> bias(model.num_states(), 0.0);
+  const double aos_seconds = time_sweeps(
+      [&](std::vector<double>& b) { aos_sweep(model, rewards, b); }, bias,
+      sweeps, guard);
+  const std::vector<double> aos_bias = bias;
+
+  const double soa_seconds = time_sweeps(
+      [&](std::vector<double>& b) { soa_sweep(compiled, rewards, b); }, bias,
+      sweeps, guard);
+  const bool bit_identical =
+      std::memcmp(aos_bias.data(), bias.data(),
+                  bias.size() * sizeof(double)) == 0;
+
+  const double damped_seconds = time_sweeps(
+      [&](std::vector<double>& b) { soa_damped_sweep(compiled, rewards, b); },
+      bias, sweeps, guard);
+
+  const double aos_rate = static_cast<double>(sweeps) / aos_seconds;
+  const double soa_rate = static_cast<double>(sweeps) / soa_seconds;
+  const double damped_rate = static_cast<double>(sweeps) / damped_seconds;
+  const double speedup = soa_rate / aos_rate;
+  const double threshold = 1.5;
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"mode\": \"kernel\",\n"
+       << "  \"model\": \"bu setting-2 alpha=0.25 beta=0.30 gamma=0.45\",\n"
+       << "  \"states\": " << model.num_states() << ",\n"
+       << "  \"state_actions\": " << model.num_state_actions() << ",\n"
+       << "  \"sweeps_per_rep\": " << sweeps << ",\n"
+       << "  \"aos_sweeps_per_sec\": " << aos_rate << ",\n"
+       << "  \"soa_sweeps_per_sec\": " << soa_rate << ",\n"
+       << "  \"soa_damped_sweeps_per_sec\": " << damped_rate << ",\n"
+       << "  \"speedup_soa_vs_aos\": " << speedup << ",\n"
+       << "  \"threshold\": " << threshold << ",\n"
+       << "  \"pass\": " << (speedup >= threshold ? "true" : "false") << ",\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+  json.close();
+
+  std::printf(
+      "kernel sweep microbench (single thread, %d sweeps/rep, best of 5)\n"
+      "  model: %u states, %zu state-actions\n"
+      "  AoS (seed Model path):      %10.1f sweeps/s\n"
+      "  SoA (CompiledModel):        %10.1f sweeps/s  (%.2fx%s)\n"
+      "  SoA damped-prob column:     %10.1f sweeps/s\n"
+      "  bias vectors bit-identical: %s\n"
+      "  -> %s\n",
+      sweeps, model.num_states(), model.num_state_actions(), aos_rate,
+      soa_rate, speedup, speedup >= threshold ? ", >= 1.5x target" : "",
+      damped_rate, bit_identical ? "yes" : "NO (BUG)", out_path.c_str());
+  return bit_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--mode=kernel" ||
+        (arg == "--mode" && i + 1 < argc &&
+         std::string_view(argv[i + 1]) == "kernel")) {
+      return run_kernel_mode(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -149,10 +149,15 @@ int main(int argc, char** argv) {
         const bu::AnalysisResult& analysis = results[next_cell];
         ++next_cell;
         bench::require_solved(
-            analysis, "u1 " + ratio.label() + " alpha=" +
-                          format_percent(alpha, 0) + " setting " +
-                          (setting == bu::Setting::kNoStickyGate ? "1"
-                                                                 : "2"));
+            analysis,
+            "u1 setting " +
+                std::string(setting == bu::Setting::kNoStickyGate ? "1"
+                                                                  : "2") +
+                " " +
+                bench::describe_cell({{"alpha", cell_info.alpha},
+                                      {"beta", cell_info.beta},
+                                      {"gamma", cell_info.gamma},
+                                      {"AD", static_cast<double>(ad)}}));
         const double value = analysis.utility_value;
         const auto paper = paper_value(ratio.label(), alpha, setting);
         std::string cell = format_percent(value);

@@ -125,7 +125,6 @@ int main(int argc, char** argv) {
       const double alpha = kAlphas[ai];
       std::vector<std::string> row = {format_percent(alpha, 1)};
       for (std::size_t ri = 0; ri < kRatios.size(); ++ri) {
-        const Ratio& ratio = kRatios[ri];
         if (next_cell >= cells.size() ||
             cells[next_cell].alpha_index != ai ||
             cells[next_cell].ratio_index != ri) {
@@ -135,10 +134,12 @@ int main(int argc, char** argv) {
         const Cell& cell_info = cells[next_cell];
         const bu::AnalysisResult& analysis = results[next_cell];
         ++next_cell;
-        bench::require_solved(analysis,
-                              "u2 " + ratio.label() + " alpha=" +
-                                  format_fixed(alpha, 3) + " setting " +
-                                  (s1 ? std::string("1") : std::string("2")));
+        bench::require_solved(
+            analysis,
+            "u2 setting " + (s1 ? std::string("1") : std::string("2")) + " " +
+                bench::describe_cell({{"alpha", alpha},
+                                      {"beta", cell_info.beta},
+                                      {"gamma", cell_info.gamma}}));
         const double value = analysis.utility_value;
         const double paper =
             (s1 ? kPaperSetting1 : kPaperSetting2)[ri][ai];
@@ -185,9 +186,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {format_percent(tie, 0)};
     for (std::size_t i = 0; i < btc_alphas.size(); ++i) {
       const btc::SmResult& sm = sm_results[ti * btc_alphas.size() + i];
-      bench::require_solved(sm,
-                            "btc sm+ds alpha=" + format_fixed(btc_alphas[i], 2) +
-                                " tie=" + format_fixed(tie, 2));
+      bench::require_solved(
+          sm, "btc sm+ds " + bench::describe_cell({{"alpha", btc_alphas[i]},
+                                                   {"tie", tie}}));
       const double value = sm.utility_value;
       row.push_back(format_fixed(value, 3) + " (" +
                     format_fixed(kPaperBtc[ti][i], 2) + ")");

@@ -72,9 +72,11 @@ int main(int argc, char** argv) {
     const double beta = rest * row.b / (row.b + row.g);
     const double gamma = rest - beta;
     const bu::AnalysisResult& analysis_s1 = results[next_job++];
-    bench::require_solved(analysis_s1,
-                          "u3 " + std::to_string(row.b) + ":" +
-                              std::to_string(row.g) + " setting 1");
+    bench::require_solved(
+        analysis_s1, "u3 setting 1 " +
+                         bench::describe_cell({{"alpha", alpha},
+                                               {"beta", beta},
+                                               {"gamma", gamma}}));
     const double s1 = analysis_s1.utility_value;
     csv.row({"1", format_fixed(beta, 4), format_fixed(gamma, 4),
              format_fixed(alpha, 4), format_fixed(s1, 6),
@@ -84,9 +86,11 @@ int main(int argc, char** argv) {
     std::string s2_cell = "(skipped: --quick)";
     if (!quick) {
       const bu::AnalysisResult& analysis_s2 = results[next_job++];
-      bench::require_solved(analysis_s2,
-                            "u3 " + std::to_string(row.b) + ":" +
-                                std::to_string(row.g) + " setting 2");
+      bench::require_solved(
+          analysis_s2, "u3 setting 2 " +
+                           bench::describe_cell({{"alpha", alpha},
+                                                 {"beta", beta},
+                                                 {"gamma", gamma}}));
       const double s2 = analysis_s2.utility_value;
       s2_cell = format_fixed(s2, 3) + " (" + format_fixed(row.paper_s2, 2) +
                 ")";

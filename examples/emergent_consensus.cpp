@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
           "Game 1 (any EB is profitable): best-response dynamics from a\n"
           "split profile converge to consensus in %zu rounds — Result 4:\n"
           "an all-same-EB equilibrium exists, BUT it is fragile (below).\n\n",
-          dynamics.rounds);
+          dynamics.rounds());
     } else {
       std::printf(
           "Game 1 skipped: a group holds >= 50%% power (the EB game assumes "

@@ -12,6 +12,11 @@
 # address — matches the historical behaviour); everything after it is
 # forwarded to ctest. BVC_SANITIZE=thread on the cmake line selects TSan
 # (see the top-level CMakeLists.txt).
+#
+# Every tier runs the FULL ctest suite, so the CompiledModel/Model
+# equivalence tests (test_compiled_model) run under each sanitizer, and the
+# thread tier additionally exercises the shared ModelCache under concurrent
+# lookups via the parallel-labeled test_model_cache.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"

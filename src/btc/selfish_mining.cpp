@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
+#include "mdp/model_cache.hpp"
 #include "util/check.hpp"
 
 namespace bvc::btc {
@@ -68,6 +70,18 @@ SmState SmStateSpace::state(mdp::StateId id) const {
   s.h = static_cast<std::uint16_t>(rest % dim);
   s.a = static_cast<std::uint16_t>(rest / dim);
   return s;
+}
+
+std::string sm_model_cache_key(const SmParams& params, bu::Utility utility) {
+  std::string key = "btc_sm";
+  mdp::append_key(key, "alpha", params.alpha);
+  mdp::append_key(key, "gamma_tie", params.gamma_tie);
+  mdp::append_key(key, "max_len", static_cast<std::int64_t>(params.max_len));
+  mdp::append_key(key, "confirmations",
+                  static_cast<std::int64_t>(params.confirmations));
+  mdp::append_key(key, "rds", params.rds);
+  mdp::append_key(key, "utility", static_cast<std::int64_t>(utility));
+  return key;
 }
 
 SmModel build_sm_model(const SmParams& params, bu::Utility utility) {
@@ -194,7 +208,13 @@ SmModel build_sm_model(const SmParams& params, bu::Utility utility) {
     }
   }
 
-  return SmModel{space, builder.build(), params, utility};
+  mdp::Model model = builder.build();
+  std::shared_ptr<const mdp::CompiledModel> compiled =
+      mdp::ModelCache::global().get_or_compile(
+          sm_model_cache_key(params, utility),
+          [&] { return mdp::CompiledModel::compile_shared(model); });
+  return SmModel{space, std::move(model), std::move(compiled), params,
+                 utility};
 }
 
 SmAction policy_action(const SmModel& model, const mdp::Policy& policy,
@@ -263,7 +283,9 @@ SmResult analyze_sm(const SmParams& params, bu::Utility utility,
   }
 
   const mdp::RatioResult ratio =
-      mdp::maximize_ratio_with_retry(model.model, options);
+      model.compiled != nullptr
+          ? mdp::maximize_ratio_with_retry(*model.compiled, options)
+          : mdp::maximize_ratio_with_retry(model.model, options);
   SmResult result;
   result.utility_value = ratio.ratio;
   result.policy = ratio.policy;

@@ -77,9 +77,16 @@ class SmStateSpace {
 struct SmModel {
   SmStateSpace space;
   mdp::Model model;
+  /// Shared SoA compilation from mdp::ModelCache::global(), populated by
+  /// build_sm_model; what analyze_sm sweeps.
+  std::shared_ptr<const mdp::CompiledModel> compiled;
   SmParams params;
   bu::Utility utility;
 };
+
+/// Canonical ModelCache key for (params, utility).
+[[nodiscard]] std::string sm_model_cache_key(const SmParams& params,
+                                             bu::Utility utility);
 
 /// Builds the selfish-mining(+double-spending) MDP. Reward streams follow
 /// bu::utility_increments:

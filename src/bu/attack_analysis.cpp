@@ -38,9 +38,14 @@ AnalysisResult analyze(const AttackModel& model,
   ratio_options.upper_bound = utility_upper_bound(model);
   ratio_options.control = options.control;
 
+  // Prefer the shared cached compilation; fall back to compiling here for
+  // hand-assembled AttackModels that never went through the cache.
   const mdp::RatioResult ratio =
-      mdp::maximize_ratio_with_retry(model.model, ratio_options,
-                                     options.retry);
+      model.compiled != nullptr
+          ? mdp::maximize_ratio_with_retry(*model.compiled, ratio_options,
+                                           options.retry)
+          : mdp::maximize_ratio_with_retry(model.model, ratio_options,
+                                           options.retry);
 
   AnalysisResult result;
   result.utility_value = ratio.ratio;

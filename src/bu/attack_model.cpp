@@ -1,7 +1,9 @@
 #include "bu/attack_model.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "mdp/model_cache.hpp"
 #include "util/check.hpp"
 
 namespace bvc::bu {
@@ -224,6 +226,33 @@ StepResult apply_event(const AttackParams& params, const AttackState& state,
   return result;
 }
 
+std::string attack_model_cache_key(const AttackParams& params,
+                                   Utility utility) {
+  AttackParams effective = params;
+  if (utility == Utility::kOrphaning) {
+    effective.allow_wait = true;  // mirror build_attack_model's normalization
+  }
+  std::string key = "bu_attack";
+  mdp::append_key(key, "alpha", effective.alpha);
+  mdp::append_key(key, "beta", effective.beta);
+  mdp::append_key(key, "gamma", effective.gamma);
+  mdp::append_key(key, "ad", static_cast<std::int64_t>(effective.ad));
+  mdp::append_key(key, "ad_carol",
+                  static_cast<std::int64_t>(effective.ad_carol));
+  mdp::append_key(key, "gate_period",
+                  static_cast<std::int64_t>(effective.gate_period));
+  mdp::append_key(key, "setting",
+                  static_cast<std::int64_t>(effective.setting));
+  mdp::append_key(key, "countdown",
+                  static_cast<std::int64_t>(effective.countdown));
+  mdp::append_key(key, "confirmations",
+                  static_cast<std::int64_t>(effective.confirmations));
+  mdp::append_key(key, "rds", effective.rds);
+  mdp::append_key(key, "allow_wait", effective.allow_wait);
+  mdp::append_key(key, "utility", static_cast<std::int64_t>(utility));
+  return key;
+}
+
 AttackModel build_attack_model(const AttackParams& params, Utility utility) {
   params.validate();
   AttackParams effective = params;
@@ -255,7 +284,16 @@ AttackModel build_attack_model(const AttackParams& params, Utility utility) {
     }
   }
 
-  return AttackModel{std::move(space), builder.build(), effective, utility};
+  mdp::Model model = builder.build();
+  // The compilation is content-addressed: every build of the same effective
+  // (params, utility) cell shares one immutable SoA model, so batch workers
+  // and repeated table cells never recompile.
+  std::shared_ptr<const mdp::CompiledModel> compiled =
+      mdp::ModelCache::global().get_or_compile(
+          attack_model_cache_key(params, utility),
+          [&] { return mdp::CompiledModel::compile_shared(model); });
+  return AttackModel{std::move(space), std::move(model), std::move(compiled),
+                     effective, utility};
 }
 
 }  // namespace bvc::bu

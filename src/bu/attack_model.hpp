@@ -16,10 +16,13 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "bu/attack_state.hpp"
+#include "mdp/compiled_model.hpp"
 #include "mdp/model.hpp"
 
 namespace bvc::bu {
@@ -159,13 +162,25 @@ struct StepResult {
 struct AttackModel {
   StateSpace space;
   mdp::Model model;
+  /// Shared SoA compilation of `model`, fetched from
+  /// mdp::ModelCache::global() by build_attack_model — the layout the
+  /// solvers sweep. Identical (params, utility) cells across tables,
+  /// retries, and batch workers share one immutable entry.
+  std::shared_ptr<const mdp::CompiledModel> compiled;
   AttackParams params;
   Utility utility;
 };
 
+/// Canonical ModelCache key for (params, utility): encodes every input that
+/// shapes the built model, with builder-side normalizations (kOrphaning
+/// forcing allow_wait) already applied, so equivalent parameter structs map
+/// to the same entry.
+[[nodiscard]] std::string attack_model_cache_key(const AttackParams& params,
+                                                 Utility utility);
+
 /// Builds the sparse MDP for `params` under `utility`. The model's primary
 /// reward stream is the utility numerator, the secondary stream the
-/// denominator.
+/// denominator; `compiled` is populated through the global ModelCache.
 [[nodiscard]] AttackModel build_attack_model(const AttackParams& params,
                                              Utility utility);
 

@@ -30,7 +30,8 @@ Vote cohort_vote(const VoterCohort& cohort, ByteSize current_limit) {
 }  // namespace
 
 VotingSimResult run_voting_simulation(const VotingSimConfig& config,
-                                      std::size_t epochs, Rng& rng) {
+                                      std::size_t epochs, Rng& rng,
+                                      const mdp::SolverConfig& solver) {
   BVC_REQUIRE(!config.cohorts.empty(), "the simulation needs voters");
   std::vector<double> weights;
   double total = 0.0;
@@ -44,15 +45,27 @@ VotingSimResult run_voting_simulation(const VotingSimConfig& config,
   CategoricalSampler sampler(weights);
   DynamicLimitTracker tracker(config.rule);
 
+  // One tick per block; stride the deadline check so an unlimited budget
+  // costs nothing in this per-block hot loop.
+  robust::RunGuard guard(solver.control, /*clock_stride=*/256);
   VotingSimResult result;
+  result.status = robust::RunStatus::kConverged;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     result.limit_per_epoch.push_back(tracker.current_limit());
+    ++result.iterations;
     for (Height i = 0; i < config.rule.epoch_length; ++i) {
+      if (const auto stop = guard.tick()) {
+        result.status = *stop;
+        break;
+      }
       const std::size_t who = sampler.sample(rng);
       const Vote vote =
           cohort_vote(config.cohorts[who], tracker.current_limit());
       tracker.on_block(vote);
       ++result.blocks;
+    }
+    if (result.status != robust::RunStatus::kConverged) {
+      break;
     }
   }
   result.final_limit = tracker.current_limit();
@@ -63,7 +76,33 @@ VotingSimResult run_voting_simulation(const VotingSimConfig& config,
       ++result.decreases;
     }
   }
+  result.wall_clock_ns = guard.elapsed_ns();
   return result;
+}
+
+VotingSimResult run_voting_simulation(const VotingSimConfig& config,
+                                      std::size_t epochs, Rng& rng) {
+  return run_voting_simulation(config, epochs, rng, mdp::SolverConfig{});
+}
+
+std::vector<VotingSimResult> run_voting_batch(std::span<const VotingJob> jobs,
+                                              const mdp::BatchConfig& batch) {
+  std::vector<VotingSimResult> results(jobs.size());
+  (void)mdp::run_batch(
+      jobs.size(), batch,
+      [&](std::size_t i, const robust::RunControl& control) {
+        mdp::SolverConfig solver = jobs[i].solver;
+        solver.control = control;
+        Rng rng(jobs[i].seed);
+        results[i] =
+            run_voting_simulation(jobs[i].config, jobs[i].epochs, rng, solver);
+        return results[i].status;
+      },
+      [&](std::size_t i, robust::RunStatus status) {
+        results[i] = VotingSimResult{};
+        results[i].status = status;
+      });
+  return results;
 }
 
 }  // namespace bvc::counter

@@ -4,9 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "counter/dynamic_limit.hpp"
+#include "mdp/batch.hpp"
+#include "mdp/solve_report.hpp"
+#include "mdp/solver_config.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::counter {
@@ -24,7 +28,12 @@ struct VotingSimConfig {
   std::vector<VoterCohort> cohorts;  ///< powers must sum to 1
 };
 
-struct VotingSimResult {
+/// The base report carries how the run ended: kConverged when every
+/// requested epoch completed, kBudgetExhausted / kCancelled when the
+/// SolverConfig's RunControl stopped the block loop early — the counters
+/// then reflect the blocks actually simulated (a usable partial trace).
+/// `iterations` counts *started* epochs.
+struct VotingSimResult : mdp::SolveReport {
   std::vector<ByteSize> limit_per_epoch;  ///< limit at each epoch start
   ByteSize final_limit = 0;
   std::size_t increases = 0;
@@ -34,8 +43,32 @@ struct VotingSimResult {
 
 /// Runs `epochs` full difficulty periods. Each block's miner is drawn by
 /// power; the miner votes according to its cohort policy given the limit in
-/// force when the block is mined.
+/// force when the block is mined. `solver.control` bounds/cancels the run
+/// (one guard tick per block); the MDP solver knobs are ignored.
+[[nodiscard]] VotingSimResult run_voting_simulation(
+    const VotingSimConfig& config, std::size_t epochs, Rng& rng,
+    const mdp::SolverConfig& solver);
+
+/// Unbounded run (default SolverConfig).
 [[nodiscard]] VotingSimResult run_voting_simulation(
     const VotingSimConfig& config, std::size_t epochs, Rng& rng);
+
+/// One simulation in a batched sweep. Each job owns a private RNG seed, so
+/// batch results are a pure function of the job list (input-ordered and
+/// thread-count-independent, like every mdp::run_batch client).
+/// `solver.control` is OVERRIDDEN by the engine with the batch's shared
+/// budget — set budgets on BatchConfig::control instead.
+struct VotingJob {
+  VotingSimConfig config;
+  std::size_t epochs = 1;
+  std::uint64_t seed = 0;
+  mdp::SolverConfig solver;
+};
+
+/// Runs every job across the pool (each with Rng(job.seed)). Items skipped
+/// by the shared budget carry status kBudgetExhausted / kCancelled and
+/// empty traces.
+[[nodiscard]] std::vector<VotingSimResult> run_voting_batch(
+    std::span<const VotingJob> jobs, const mdp::BatchConfig& batch = {});
 
 }  // namespace bvc::counter

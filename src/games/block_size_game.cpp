@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "robust/run_control.hpp"
 #include "util/check.hpp"
 
 namespace bvc::games {
@@ -78,13 +79,33 @@ std::size_t BlockSizeIncreasingGame::termination_suffix() const {
   return j;
 }
 
-BlockSizeIncreasingGame::Outcome BlockSizeIncreasingGame::play() const {
+BlockSizeIncreasingGame::Outcome BlockSizeIncreasingGame::play(
+    const mdp::SolverConfig& config) const {
   const std::size_t n = groups_.size();
+  robust::RunGuard guard(config.control);
   Outcome outcome;
   outcome.final_block_size = groups_.front().mpb;  // game starts at MPB_1
 
+  // Finalizes the (possibly partial) trace: survivors and utilities as if
+  // the game ended at suffix `j`.
+  const auto finish = [&](std::size_t j, robust::RunStatus status) {
+    outcome.surviving_from = j;
+    outcome.utilities.assign(n, 0.0);
+    const double surviving_power = suffix_power(j, n);
+    for (std::size_t i = j; i < n; ++i) {
+      outcome.utilities[i] = groups_[i].power / surviving_power;
+    }
+    outcome.status = status;
+    outcome.iterations = static_cast<int>(outcome.rounds.size());
+    outcome.wall_clock_ns = guard.elapsed_ns();
+    return outcome;
+  };
+
   std::size_t j = 0;
   while (!is_stable_suffix(j)) {
+    if (const auto stop = guard.tick()) {
+      return finish(j, *stop);
+    }
     // Not stable: the paper shows this can only be because the groups that
     // would vote "no" (j .. k-1, doomed to be squeezed out eventually) no
     // longer command at least half of the remaining power.
@@ -123,13 +144,11 @@ BlockSizeIncreasingGame::Outcome BlockSizeIncreasingGame::play() const {
     outcome.rounds.push_back(std::move(round));
   }
 
-  outcome.surviving_from = j;
-  outcome.utilities.assign(n, 0.0);
-  const double surviving_power = suffix_power(j, n);
-  for (std::size_t i = j; i < n; ++i) {
-    outcome.utilities[i] = groups_[i].power / surviving_power;
-  }
-  return outcome;
+  return finish(j, robust::RunStatus::kConverged);
+}
+
+BlockSizeIncreasingGame::Outcome BlockSizeIncreasingGame::play() const {
+  return play(mdp::SolverConfig{});
 }
 
 std::string BlockSizeIncreasingGame::describe(const Outcome& outcome) const {

@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "mdp/solve_report.hpp"
+#include "mdp/solver_config.hpp"
+
 namespace bvc::games {
 
 struct MinerGroup {
@@ -69,7 +72,11 @@ class BlockSizeIncreasingGame {
     double new_block_size = 0.0;  ///< MG after the round (MPB of next group)
   };
 
-  struct Outcome {
+  /// The base report carries how the playout ended: kConverged when the
+  /// game reached a stable set, kBudgetExhausted / kCancelled when the
+  /// round loop was stopped by the SolverConfig's RunControl (the trace so
+  /// far is still returned; `iterations` counts completed voting rounds).
+  struct Outcome : mdp::SolveReport {
     std::vector<Round> rounds;
     std::size_t surviving_from = 0;    ///< first surviving group index
     double final_block_size = 0.0;     ///< MG when the game ends
@@ -78,6 +85,11 @@ class BlockSizeIncreasingGame {
 
   /// Plays the game with rational voters (backward-induction votes derived
   /// from the stable-set analysis) and returns the full trace.
+  /// `config.control` bounds/cancels the round loop; every other solver
+  /// knob is ignored (the game is not an MDP solve).
+  [[nodiscard]] Outcome play(const mdp::SolverConfig& config) const;
+
+  /// Unbounded playout (default SolverConfig).
   [[nodiscard]] Outcome play() const;
 
   /// Renders an Outcome like the Figure 4 caption.

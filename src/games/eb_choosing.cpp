@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "robust/run_control.hpp"
 #include "util/check.hpp"
 
 namespace bvc::games {
@@ -108,15 +109,24 @@ bool EbChoosingGame::is_nash_equilibrium(
 }
 
 EbChoosingGame::DynamicsResult EbChoosingGame::best_response_dynamics(
-    std::vector<std::size_t> start, Rng& rng, std::size_t max_rounds) const {
+    std::vector<std::size_t> start, Rng& rng, const mdp::SolverConfig& config,
+    std::size_t max_rounds) const {
   BVC_REQUIRE(start.size() == power_.size(), "profile must cover every miner");
+  robust::RunGuard guard(config.control);
   DynamicsResult result;
   result.profile = std::move(start);
+  // No fixed point within max_rounds reads as a stall, mirroring a solver
+  // hitting its own iteration cap.
+  result.status = robust::RunStatus::kToleranceStalled;
 
   std::vector<std::size_t> order(power_.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (const auto stop = guard.tick()) {
+      result.status = *stop;
+      break;
+    }
     std::shuffle(order.begin(), order.end(), rng);
     bool changed = false;
     for (const std::size_t i : order) {
@@ -126,13 +136,20 @@ EbChoosingGame::DynamicsResult EbChoosingGame::best_response_dynamics(
         changed = true;
       }
     }
-    ++result.rounds;
+    ++result.iterations;
     if (!changed) {
-      result.converged = true;
+      result.status = robust::RunStatus::kConverged;
       break;
     }
   }
+  result.wall_clock_ns = guard.elapsed_ns();
   return result;
+}
+
+EbChoosingGame::DynamicsResult EbChoosingGame::best_response_dynamics(
+    std::vector<std::size_t> start, Rng& rng, std::size_t max_rounds) const {
+  return best_response_dynamics(std::move(start), rng, mdp::SolverConfig{},
+                                max_rounds);
 }
 
 }  // namespace bvc::games

@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "mdp/solve_report.hpp"
+#include "mdp/solver_config.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::games {
@@ -55,16 +57,31 @@ class EbChoosingGame {
   [[nodiscard]] bool is_nash_equilibrium(
       std::span<const std::size_t> profile) const;
 
-  struct DynamicsResult {
+  /// The base report replaces the old `bool converged` field: kConverged
+  /// means a fixed point (an NE) was reached, kToleranceStalled that
+  /// `max_rounds` passes went by without one, kBudgetExhausted / kCancelled
+  /// that the SolverConfig's RunControl stopped the dynamics early. The
+  /// final (possibly mid-flight) profile is returned either way.
+  struct DynamicsResult : mdp::SolveReport {
     std::vector<std::size_t> profile;  ///< final profile
-    std::size_t rounds = 0;            ///< full passes over the miners
-    bool converged = false;            ///< reached a fixed point (an NE)
+
+    /// Full passes over the miners (the base report's iteration count).
+    [[nodiscard]] std::size_t rounds() const noexcept {
+      return static_cast<std::size_t>(iterations);
+    }
   };
 
   /// Iterated best-response dynamics from `start`, visiting miners in a
   /// random order each round, until a fixed point or `max_rounds`. With this
   /// game the dynamics converge to an all-same-EB profile, illustrating the
   /// Sect. 6.1 observation that following the majority is rational.
+  /// `config.control` bounds/cancels the round loop; the MDP solver knobs
+  /// are ignored.
+  [[nodiscard]] DynamicsResult best_response_dynamics(
+      std::vector<std::size_t> start, Rng& rng, const mdp::SolverConfig& config,
+      std::size_t max_rounds = 1000) const;
+
+  /// Unbounded dynamics (default SolverConfig).
   [[nodiscard]] DynamicsResult best_response_dynamics(
       std::vector<std::size_t> start, Rng& rng,
       std::size_t max_rounds = 1000) const;

@@ -17,6 +17,14 @@ namespace {
 /// policy-evaluation entry points. When `policy` is non-null the maximization
 /// over actions is restricted to the policy's action.
 ///
+/// The sweep runs on the CompiledModel SoA kernel layout: backups read the
+/// flat next/prob outcome columns through raw pointers (no per-access bounds
+/// checks, no 32-byte Outcome structs) but keep the seed path's iteration
+/// and expression order exactly, so results are bit-identical to sweeping
+/// the Model representation. The precompiled damped_prob column is
+/// deliberately NOT used here: folding tau into each probability changes
+/// the floating-point association, and tau_eff adapts mid-solve anyway.
+///
 /// Two sweep disciplines live here, selected by options.threads:
 ///   threads == 1 — the legacy serial Gauss-Seidel sweep (in-place updates,
 ///     in-sweep reference subtraction), bit-identical to previous releases;
@@ -28,8 +36,9 @@ namespace {
 ///     the parallel result is bit-identical for every thread count >= 2 —
 ///     it just follows a different (equally valid) trajectory than the
 ///     Gauss-Seidel sweep to the same fixed point.
-GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
-                    const Policy* policy, const AverageRewardOptions& options,
+GainResult rvi_core(const CompiledModel& model,
+                    std::span<const double> sa_rewards, const Policy* policy,
+                    const AverageRewardOptions& options,
                     const std::vector<double>* warm_start_bias) {
   const StateId n = model.num_states();
   BVC_REQUIRE(sa_rewards.size() == model.num_state_actions(),
@@ -84,21 +93,27 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
   // transform applied: keep the state w.p. (1 - tau), scale the step reward
   // by tau; the transformed gain is tau * g. Serial sweeps pass the live
   // bias vector (in-place Gauss-Seidel reads), parallel sweeps the previous
-  // sweep's snapshot.
+  // sweep's snapshot. The raw SoA columns are hoisted out here so the inner
+  // loop is pure pointer arithmetic over contiguous doubles.
+  const double* rewards_data = sa_rewards.data();
+  const StateId* next_col = model.next();
+  const double* prob_col = model.prob();
   const auto backup = [&](StateId s, const std::vector<double>& bias_in)
       -> std::pair<double, std::uint32_t> {
     const std::size_t first =
         policy != nullptr ? policy->action[s] : std::size_t{0};
     const std::size_t last =
         policy != nullptr ? first + 1 : model.num_actions(s);
+    const SaIndex sa_base = model.state_begin(s);
     double best = -std::numeric_limits<double>::infinity();
     std::uint32_t best_action = static_cast<std::uint32_t>(first);
     for (std::size_t a = first; a < last; ++a) {
-      const SaIndex sa = model.sa_index(s, a);
-      double q = sa_rewards[sa];
+      const SaIndex sa = sa_base + a;
+      double q = rewards_data[sa];
       double expected_next = 0.0;
-      for (const Outcome& o : model.outcomes(sa)) {
-        expected_next += o.probability * bias_in[o.next];
+      const std::size_t end = model.outcome_end(sa);
+      for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+        expected_next += prob_col[k] * bias_in[next_col[k]];
       }
       q = tau_eff * (q + expected_next) + (1.0 - tau_eff) * bias_in[s];
       if (q > best) {
@@ -221,7 +236,7 @@ GainResult rvi_core(const Model& model, std::span<const double> sa_rewards,
 
 }  // namespace
 
-GainResult maximize_average_reward(const Model& model,
+GainResult maximize_average_reward(const CompiledModel& model,
                                    std::span<const double> sa_rewards,
                                    const AverageRewardOptions& options,
                                    const std::vector<double>* warm_start_bias) {
@@ -229,31 +244,49 @@ GainResult maximize_average_reward(const Model& model,
 }
 
 GainResult maximize_average_reward(const Model& model,
+                                   std::span<const double> sa_rewards,
+                                   const AverageRewardOptions& options,
+                                   const std::vector<double>* warm_start_bias) {
+  return rvi_core(CompiledModel::compile(model), sa_rewards, nullptr, options,
+                  warm_start_bias);
+}
+
+GainResult maximize_average_reward(const CompiledModel& model,
                                    const AverageRewardOptions& options) {
-  std::vector<double> rewards(model.num_state_actions());
-  for (SaIndex sa = 0; sa < rewards.size(); ++sa) {
-    rewards[sa] = model.expected_reward(sa);
-  }
+  const std::span<const double> rewards{model.expected_reward(),
+                                        model.num_state_actions()};
   return rvi_core(model, rewards, nullptr, options, nullptr);
 }
 
-GainResult evaluate_policy_stream(const Model& model, const Policy& policy,
+GainResult maximize_average_reward(const Model& model,
+                                   const AverageRewardOptions& options) {
+  return maximize_average_reward(CompiledModel::compile(model), options);
+}
+
+GainResult evaluate_policy_stream(const CompiledModel& model,
+                                  const Policy& policy,
                                   std::span<const double> sa_rewards,
                                   const AverageRewardOptions& options,
                                   const std::vector<double>* warm_start_bias) {
   return rvi_core(model, sa_rewards, &policy, options, warm_start_bias);
 }
 
-PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
+GainResult evaluate_policy_stream(const Model& model, const Policy& policy,
+                                  std::span<const double> sa_rewards,
+                                  const AverageRewardOptions& options,
+                                  const std::vector<double>* warm_start_bias) {
+  return rvi_core(CompiledModel::compile(model), sa_rewards, &policy, options,
+                  warm_start_bias);
+}
+
+PolicyGains evaluate_policy_average(const CompiledModel& model,
+                                    const Policy& policy,
                                     const AverageRewardOptions& options,
                                     std::vector<double>* reward_bias,
                                     std::vector<double>* weight_bias) {
-  std::vector<double> rewards(model.num_state_actions());
-  std::vector<double> weights(model.num_state_actions());
-  for (SaIndex sa = 0; sa < rewards.size(); ++sa) {
-    rewards[sa] = model.expected_reward(sa);
-    weights[sa] = model.expected_weight(sa);
-  }
+  const std::size_t actions = model.num_state_actions();
+  const std::span<const double> rewards{model.expected_reward(), actions};
+  const std::span<const double> weights{model.expected_weight(), actions};
   GainResult reward_run =
       rvi_core(model, rewards, &policy, options, reward_bias);
   GainResult weight_run =
@@ -269,6 +302,14 @@ PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
     *weight_bias = std::move(weight_run.bias);
   }
   return gains;
+}
+
+PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
+                                    const AverageRewardOptions& options,
+                                    std::vector<double>* reward_bias,
+                                    std::vector<double>* weight_bias) {
+  return evaluate_policy_average(CompiledModel::compile(model), policy,
+                                 options, reward_bias, weight_bias);
 }
 
 }  // namespace bvc::mdp

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "mdp/compiled_model.hpp"
 #include "mdp/model.hpp"
 #include "mdp/solve_report.hpp"
 #include "robust/run_control.hpp"
@@ -70,12 +71,24 @@ struct GainResult : SolveReport {
 /// `sa_rewards` (indexed by Model::sa_index). `warm_start_bias`, when
 /// provided and correctly sized, seeds the value vector — this makes families
 /// of solves (e.g. Dinkelbach iterations) much cheaper.
+///
+/// The CompiledModel overloads are the real solver (the sweep runs on the
+/// SoA kernel layout); the Model overloads compile on entry and forward,
+/// producing bit-identical results. Callers that solve one model repeatedly
+/// (ratio iterations, batch sweeps) should compile once — or fetch the
+/// compilation from mdp::ModelCache — and call the compiled overloads.
+[[nodiscard]] GainResult maximize_average_reward(
+    const CompiledModel& model, std::span<const double> sa_rewards,
+    const AverageRewardOptions& options = {},
+    const std::vector<double>* warm_start_bias = nullptr);
 [[nodiscard]] GainResult maximize_average_reward(
     const Model& model, std::span<const double> sa_rewards,
     const AverageRewardOptions& options = {},
     const std::vector<double>* warm_start_bias = nullptr);
 
-/// Convenience overload using the model's primary reward stream.
+/// Convenience overloads using the model's primary reward stream.
+[[nodiscard]] GainResult maximize_average_reward(
+    const CompiledModel& model, const AverageRewardOptions& options = {});
 [[nodiscard]] GainResult maximize_average_reward(
     const Model& model, const AverageRewardOptions& options = {});
 
@@ -96,6 +109,11 @@ struct PolicyGains {
 /// denominator stream's rate (the numerator follows from the gain identity
 /// num_rate = linearized_gain + rho * den_rate).
 [[nodiscard]] GainResult evaluate_policy_stream(
+    const CompiledModel& model, const Policy& policy,
+    std::span<const double> sa_rewards,
+    const AverageRewardOptions& options = {},
+    const std::vector<double>* warm_start_bias = nullptr);
+[[nodiscard]] GainResult evaluate_policy_stream(
     const Model& model, const Policy& policy,
     std::span<const double> sa_rewards,
     const AverageRewardOptions& options = {},
@@ -105,6 +123,11 @@ struct PolicyGains {
 /// `reward_bias`/`weight_bias`, when non-null, are used as warm starts and
 /// overwritten with the converged bias vectors — this makes repeated
 /// evaluations of slowly-changing policies (Dinkelbach iterations) cheap.
+[[nodiscard]] PolicyGains evaluate_policy_average(
+    const CompiledModel& model, const Policy& policy,
+    const AverageRewardOptions& options = {},
+    std::vector<double>* reward_bias = nullptr,
+    std::vector<double>* weight_bias = nullptr);
 [[nodiscard]] PolicyGains evaluate_policy_average(
     const Model& model, const Policy& policy,
     const AverageRewardOptions& options = {},

@@ -140,7 +140,8 @@ BatchReport run_batch(
 RatioBatchResult solve_batch(std::span<const RatioJob> jobs,
                              const BatchConfig& config) {
   for (const RatioJob& job : jobs) {
-    BVC_REQUIRE(job.model != nullptr, "RatioJob::model must not be null");
+    BVC_REQUIRE(job.model != nullptr || job.compiled != nullptr,
+                "RatioJob needs a model or a compiled model");
   }
 
   RatioBatchResult out;
@@ -151,8 +152,11 @@ RatioBatchResult solve_batch(std::span<const RatioJob> jobs,
         SolverConfig item_config = jobs[i].config;
         item_config.control = control;
         out.items[i] =
-            maximize_ratio_with_retry(*jobs[i].model, item_config,
-                                      jobs[i].retry);
+            jobs[i].compiled != nullptr
+                ? maximize_ratio_with_retry(*jobs[i].compiled, item_config,
+                                            jobs[i].retry)
+                : maximize_ratio_with_retry(*jobs[i].model, item_config,
+                                            jobs[i].retry);
         return out.items[i].status;
       },
       [&](std::size_t i, robust::RunStatus status) {

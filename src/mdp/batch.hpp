@@ -23,9 +23,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "mdp/compiled_model.hpp"
 #include "mdp/ratio.hpp"
 #include "mdp/solver_config.hpp"
 #include "robust/retry.hpp"
@@ -58,11 +60,15 @@ struct BatchReport {
   }
 };
 
-/// One ratio-maximization work item. `model` must outlive the solve_batch
-/// call; `config.control` is OVERRIDDEN by the engine with the batch's
+/// One ratio-maximization work item. Exactly one of `model` / `compiled`
+/// must be set: `compiled` (e.g. a ModelCache entry — shared, immutable,
+/// safe across workers) is solved directly; `model` is compiled on entry by
+/// the solver, bit-identically. A raw `model` must outlive the solve_batch
+/// call. `config.control` is OVERRIDDEN by the engine with the batch's
 /// shared budget (set budgets on BatchConfig::control instead).
 struct RatioJob {
   const Model* model = nullptr;
+  std::shared_ptr<const CompiledModel> compiled;
   SolverConfig config;
   /// Per-item retry escalation; default disables retries so a batch's cost
   /// stays predictable. Set e.g. robust::RetryPolicy{} for the solo-solve

@@ -1,0 +1,65 @@
+#include "mdp/compiled_model.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace bvc::mdp {
+
+CompiledModel CompiledModel::compile(const Model& model, double tau) {
+  BVC_REQUIRE(tau > 0.0 && tau <= 1.0, "aperiodicity tau must be in (0, 1]");
+
+  const StateId n = model.num_states();
+  const std::size_t actions = model.num_state_actions();
+
+  CompiledModel compiled;
+  compiled.tau_ = tau;
+  compiled.state_begin_.reserve(n + 1);
+  compiled.action_labels_.reserve(actions);
+  compiled.outcome_begin_.reserve(actions + 1);
+  compiled.expected_reward_.reserve(actions);
+  compiled.expected_weight_.reserve(actions);
+
+  compiled.state_begin_.push_back(0);
+  compiled.outcome_begin_.push_back(0);
+  for (StateId s = 0; s < n; ++s) {
+    const std::size_t state_actions = model.num_actions(s);
+    for (std::size_t a = 0; a < state_actions; ++a) {
+      const SaIndex sa = model.sa_index(s, a);
+      compiled.action_labels_.push_back(model.action_label(s, a));
+      compiled.expected_reward_.push_back(model.expected_reward(sa));
+      compiled.expected_weight_.push_back(model.expected_weight(sa));
+      // Outcome order is preserved verbatim: solvers accumulate expected
+      // values in this order, so any reordering would change the
+      // floating-point sums and break bit-compatibility with the Model path.
+      for (const Outcome& o : model.outcomes(sa)) {
+        compiled.next_.push_back(o.next);
+        compiled.prob_.push_back(o.probability);
+        compiled.damped_prob_.push_back(tau * o.probability);
+        compiled.reward_.push_back(o.reward);
+        compiled.weight_.push_back(o.weight);
+      }
+      compiled.outcome_begin_.push_back(compiled.next_.size());
+    }
+    compiled.state_begin_.push_back(compiled.action_labels_.size());
+  }
+
+  BVC_ENSURE(compiled.action_labels_.size() == actions,
+             "compiled action count must match the source model");
+  return compiled;
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile_shared(
+    const Model& model, double tau) {
+  return std::make_shared<const CompiledModel>(compile(model, tau));
+}
+
+std::string CompiledModel::summary() const {
+  std::ostringstream out;
+  out << "CompiledModel{states=" << num_states()
+      << ", state_actions=" << num_state_actions()
+      << ", outcomes=" << num_outcomes() << '}';
+  return out.str();
+}
+
+}  // namespace bvc::mdp

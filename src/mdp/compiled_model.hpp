@@ -1,0 +1,136 @@
+// Structure-of-arrays compilation of a sparse Model — the solver kernel
+// layout.
+//
+// Model (model.hpp) is the *authoring* representation: convenient to build
+// incrementally, validated, and addressed through bounds-checked accessors.
+// Sweeping it from the solvers' hot loops pays for that convenience twice
+// per access: every num_actions/sa_index/outcomes call re-validates its
+// arguments, and the 32-byte Outcome structs interleave the probability a
+// backup multiplies with the reward/weight fields it never touches, wasting
+// half of every cache line the expected-value loop streams through.
+//
+// CompiledModel is the same CSR-like structure flattened into parallel
+// scalar arrays (state_begin / outcome_begin index arrays, and next / prob /
+// reward / weight outcome columns), with unchecked inline accessors. All
+// four solvers (average_reward, ratio, discounted, policy_iteration) and
+// rollout_model sweep this layout; the Model overloads compile on entry and
+// forward. Compilation preserves action and outcome ORDER exactly, and the
+// solvers keep the seed's expression order, so every result is bit-identical
+// to sweeping the Model directly.
+//
+// `damped_prob` additionally stores tau * prob — the aperiodicity-damped
+// probabilities folded in at compile time. The production RVI sweep does
+// NOT read it: folding tau into the products changes the floating-point
+// association (tau * (r + sum p*h) != tau*r + sum (tau*p)*h) and the
+// adaptive damping schedule re-scales tau mid-solve anyway. It exists for
+// kernels with a fixed tau (the bench_solver_micro `kernel` mode) that
+// trade bit-compatibility for one fewer multiply per branch.
+//
+// CompiledModel is immutable after compile() and safe to share across
+// threads by const reference — mdp::ModelCache (model_cache.hpp) hands out
+// shared_ptr<const CompiledModel> on exactly that basis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mdp/model.hpp"
+
+namespace bvc::mdp {
+
+class CompiledModel {
+ public:
+  /// Flattens `model` into the SoA layout. `tau` only parameterizes the
+  /// `damped_prob` column (see file comment); it does not affect any other
+  /// column or any solver result.
+  [[nodiscard]] static CompiledModel compile(const Model& model,
+                                             double tau = 0.999);
+
+  /// compile() wrapped in a shared_ptr — the shape ModelCache stores.
+  [[nodiscard]] static std::shared_ptr<const CompiledModel> compile_shared(
+      const Model& model, double tau = 0.999);
+
+  [[nodiscard]] StateId num_states() const noexcept {
+    return static_cast<StateId>(state_begin_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_state_actions() const noexcept {
+    return action_labels_.size();
+  }
+  [[nodiscard]] std::size_t num_outcomes() const noexcept {
+    return next_.size();
+  }
+  [[nodiscard]] double compiled_tau() const noexcept { return tau_; }
+
+  // Unchecked structural accessors (the hot-loop interface). Indices are
+  // validated once at the solver entry points, not per access.
+  [[nodiscard]] SaIndex state_begin(StateId s) const noexcept {
+    return state_begin_[s];
+  }
+  [[nodiscard]] std::size_t num_actions(StateId s) const noexcept {
+    return state_begin_[s + 1] - state_begin_[s];
+  }
+  [[nodiscard]] SaIndex sa_index(StateId s, std::size_t a) const noexcept {
+    return state_begin_[s] + a;
+  }
+  [[nodiscard]] ActionLabel action_label(SaIndex sa) const noexcept {
+    return action_labels_[sa];
+  }
+  [[nodiscard]] std::size_t outcome_begin(SaIndex sa) const noexcept {
+    return outcome_begin_[sa];
+  }
+  [[nodiscard]] std::size_t outcome_end(SaIndex sa) const noexcept {
+    return outcome_begin_[sa + 1];
+  }
+
+  // Outcome columns, indexed by [outcome_begin(sa), outcome_end(sa)).
+  [[nodiscard]] const StateId* next() const noexcept { return next_.data(); }
+  [[nodiscard]] const double* prob() const noexcept { return prob_.data(); }
+  [[nodiscard]] const double* damped_prob() const noexcept {
+    return damped_prob_.data();
+  }
+  [[nodiscard]] const double* reward() const noexcept {
+    return reward_.data();
+  }
+  [[nodiscard]] const double* weight() const noexcept {
+    return weight_.data();
+  }
+
+  // Per-(state, action) expected increments, indexed by SaIndex.
+  [[nodiscard]] const double* expected_reward() const noexcept {
+    return expected_reward_.data();
+  }
+  [[nodiscard]] const double* expected_weight() const noexcept {
+    return expected_weight_.data();
+  }
+  [[nodiscard]] double expected_reward(SaIndex sa) const noexcept {
+    return expected_reward_[sa];
+  }
+  [[nodiscard]] double expected_weight(SaIndex sa) const noexcept {
+    return expected_weight_[sa];
+  }
+
+  /// Human-readable structural summary (state/action/outcome counts).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  CompiledModel() = default;
+
+  double tau_ = 0.999;
+  // state s owns flat actions [state_begin_[s], state_begin_[s+1])
+  std::vector<SaIndex> state_begin_;
+  std::vector<ActionLabel> action_labels_;
+  // flat action sa owns outcome rows [outcome_begin_[sa], outcome_begin_[sa+1])
+  std::vector<std::size_t> outcome_begin_;
+  // outcome columns (parallel arrays, one row per sparse branch)
+  std::vector<StateId> next_;
+  std::vector<double> prob_;
+  std::vector<double> damped_prob_;  ///< tau_ * prob_ (kernel-bench only)
+  std::vector<double> reward_;
+  std::vector<double> weight_;
+  // per-(state, action) expectations
+  std::vector<double> expected_reward_;
+  std::vector<double> expected_weight_;
+};
+
+}  // namespace bvc::mdp

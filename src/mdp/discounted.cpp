@@ -7,7 +7,7 @@
 
 namespace bvc::mdp {
 
-DiscountedResult solve_discounted(const Model& model,
+DiscountedResult solve_discounted(const CompiledModel& model,
                                   const DiscountedOptions& options) {
   BVC_REQUIRE(options.discount > 0.0 && options.discount < 1.0,
               "discount must be in (0, 1)");
@@ -20,6 +20,9 @@ DiscountedResult solve_discounted(const Model& model,
   result.policy.action.assign(n, 0);
   std::vector<double> next(n, 0.0);
 
+  const StateId* next_col = model.next();
+  const double* prob_col = model.prob();
+  const double* expected_reward = model.expected_reward();
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     if (const auto stop_status = guard.tick()) {
       result.status = *stop_status;
@@ -30,11 +33,13 @@ DiscountedResult solve_discounted(const Model& model,
       double best = -std::numeric_limits<double>::infinity();
       std::uint32_t best_action = 0;
       const std::size_t actions = model.num_actions(s);
+      const SaIndex sa_base = model.state_begin(s);
       for (std::size_t a = 0; a < actions; ++a) {
-        const SaIndex sa = model.sa_index(s, a);
-        double q = model.expected_reward(sa);
-        for (const Outcome& o : model.outcomes(sa)) {
-          q += options.discount * o.probability * result.value[o.next];
+        const SaIndex sa = sa_base + a;
+        double q = expected_reward[sa];
+        const std::size_t end = model.outcome_end(sa);
+        for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+          q += options.discount * prob_col[k] * result.value[next_col[k]];
         }
         if (q > best) {
           best = q;
@@ -56,6 +61,11 @@ DiscountedResult solve_discounted(const Model& model,
   }
   result.wall_clock_ns = guard.elapsed_ns();
   return result;
+}
+
+DiscountedResult solve_discounted(const Model& model,
+                                  const DiscountedOptions& options) {
+  return solve_discounted(CompiledModel::compile(model), options);
 }
 
 }  // namespace bvc::mdp

@@ -32,6 +32,10 @@ struct DiscountedResult : SolveReport {
 };
 
 /// Maximizes expected discounted primary-stream reward from every state.
+/// The CompiledModel overload sweeps the SoA kernel layout; the Model
+/// overload compiles on entry and forwards, bit-identically.
+[[nodiscard]] DiscountedResult solve_discounted(
+    const CompiledModel& model, const DiscountedOptions& options = {});
 [[nodiscard]] DiscountedResult solve_discounted(
     const Model& model, const DiscountedOptions& options = {});
 

@@ -1,0 +1,79 @@
+#include "mdp/model_cache.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace bvc::mdp {
+
+std::shared_ptr<const CompiledModel> ModelCache::get_or_compile(
+    const std::string& key,
+    const std::function<std::shared_ptr<const CompiledModel>()>& compile) {
+  BVC_REQUIRE(compile != nullptr, "get_or_compile requires a compile callback");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+
+  // Compile outside the lock: a large model build must not serialize every
+  // other lookup behind it.
+  std::shared_ptr<const CompiledModel> built = compile();
+  BVC_ENSURE(built != nullptr, "model compile callback returned null");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // First insert wins: if another thread filled the key while we compiled,
+  // return its entry so every caller of one key shares one model.
+  const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  return it->second;
+}
+
+std::shared_ptr<const CompiledModel> ModelCache::find(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? it->second : nullptr;
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void ModelCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+ModelCache& ModelCache::global() {
+  static ModelCache cache;
+  return cache;
+}
+
+void append_key(std::string& key, const char* name, double value) {
+  char buffer[64];
+  // %.17g round-trips every finite double, so distinct parameters can never
+  // collide on a shared key.
+  std::snprintf(buffer, sizeof(buffer), "|%s=%.17g", name, value);
+  key += buffer;
+}
+
+void append_key(std::string& key, const char* name, std::int64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "|%s=%lld", name,
+                static_cast<long long>(value));
+  key += buffer;
+}
+
+void append_key(std::string& key, const char* name, bool value) {
+  key += '|';
+  key += name;
+  key += value ? "=1" : "=0";
+}
+
+}  // namespace bvc::mdp

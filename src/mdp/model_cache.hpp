@@ -1,0 +1,82 @@
+// Content-addressed cache of compiled models.
+//
+// The evaluation sweeps (Tables 2/3/4, ablations, the EB-choosing and
+// block-size games) build near-identical MDPs thousands of times: the same
+// (parameters, utility) cell recurs across tables, retry escalations, and
+// game rounds. A ModelCache maps a CANONICAL PARAMETER KEY — a string that
+// uniquely encodes every input that shapes the model, with doubles printed
+// round-trip exactly (%.17g) — to one shared immutable CompiledModel, so
+// repeated cells share a single compilation.
+//
+// Keys are produced by the model authors (bu::build_attack_model,
+// btc::build_sm_model), which know the *effective* parameter set: inputs
+// the builder normalizes (e.g. the orphaning utility forcing allow_wait)
+// are canonicalized before keying, so two parameter structs that build the
+// same model hit the same entry.
+//
+// Thread safety: get_or_compile takes the lock only to probe and to insert.
+// The build itself runs OUTSIDE the lock, so a slow compilation never
+// blocks unrelated lookups; when two threads race to fill the same key the
+// first insert wins and the loser's compilation is discarded (benign double
+// work, never a torn entry). Cached models are immutable, so readers share
+// them without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "mdp/compiled_model.hpp"
+
+namespace bvc::mdp {
+
+class ModelCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Returns the cached compilation for `key`, or runs `compile` (outside
+  /// the cache lock), inserts the result, and returns it. On a concurrent
+  /// race for the same key, the first insert wins and every caller gets the
+  /// winning entry.
+  [[nodiscard]] std::shared_ptr<const CompiledModel> get_or_compile(
+      const std::string& key,
+      const std::function<std::shared_ptr<const CompiledModel>()>& compile);
+
+  /// Probe without filling: the cached entry, or nullptr. Counts neither a
+  /// hit nor a miss.
+  [[nodiscard]] std::shared_ptr<const CompiledModel> find(
+      const std::string& key) const;
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every entry and resets the counters. Outstanding shared_ptrs
+  /// keep their models alive; only the cache's references are released.
+  void clear();
+
+  /// The process-wide cache used by the bu/btc model builders and the batch
+  /// engine. Unbounded by design: the paper's full evaluation compiles a few
+  /// hundred distinct models (tens of MB), far below any practical limit.
+  [[nodiscard]] static ModelCache& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledModel>>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Appends `|name=value` to `key` with doubles rendered round-trip exactly;
+/// the shared vocabulary for canonical cache keys.
+void append_key(std::string& key, const char* name, double value);
+void append_key(std::string& key, const char* name, std::int64_t value);
+void append_key(std::string& key, const char* name, bool value);
+
+}  // namespace bvc::mdp

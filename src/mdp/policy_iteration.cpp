@@ -59,7 +59,7 @@ void solve_dense(std::vector<double>& a, std::vector<double>& b,
 }  // namespace
 
 PolicyIterationResult evaluate_policy_exact(
-    const Model& model, const Policy& policy,
+    const CompiledModel& model, const Policy& policy,
     std::span<const double> sa_rewards,
     const PolicyIterationOptions& options) {
   const StateId n = model.num_states();
@@ -72,6 +72,8 @@ PolicyIterationResult evaluate_policy_exact(
 
   // Unknowns x = (g, h(1), ..., h(n-1)); h(0) = 0 by normalization.
   // Equation for state s:  g + h(s) - sum_s' P(s') h(s') = r(s).
+  const StateId* next_col = model.next();
+  const double* prob_col = model.prob();
   const std::size_t dim = n;
   std::vector<double> a(dim * dim, 0.0);
   std::vector<double> b(dim, 0.0);
@@ -81,9 +83,10 @@ PolicyIterationResult evaluate_policy_exact(
     if (s != 0) {
       a[s * dim + s] += 1.0;  // h(s)
     }
-    for (const Outcome& o : model.outcomes(sa)) {
-      if (o.next != 0) {
-        a[s * dim + o.next] -= o.probability;  // -P h(s')
+    const std::size_t end = model.outcome_end(sa);
+    for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+      if (next_col[k] != 0) {
+        a[s * dim + next_col[k]] -= prob_col[k];  // -P h(s')
       }
     }
     b[s] = sa_rewards[sa];
@@ -101,8 +104,16 @@ PolicyIterationResult evaluate_policy_exact(
   return result;
 }
 
+PolicyIterationResult evaluate_policy_exact(
+    const Model& model, const Policy& policy,
+    std::span<const double> sa_rewards,
+    const PolicyIterationOptions& options) {
+  return evaluate_policy_exact(CompiledModel::compile(model), policy,
+                               sa_rewards, options);
+}
+
 PolicyIterationResult policy_iteration(
-    const Model& model, std::span<const double> sa_rewards,
+    const CompiledModel& model, std::span<const double> sa_rewards,
     const PolicyIterationOptions& options) {
   const StateId n = model.num_states();
   Policy policy;
@@ -125,6 +136,8 @@ PolicyIterationResult policy_iteration(
     evaluated.iterations = round;
 
     // Greedy improvement against the exact bias.
+    const StateId* next_col = model.next();
+    const double* prob_col = model.prob();
     bool changed = false;
     for (StateId s = 0; s < n; ++s) {
       const std::size_t actions = model.num_actions(s);
@@ -134,8 +147,9 @@ PolicyIterationResult policy_iteration(
       for (std::size_t candidate = 0; candidate < actions; ++candidate) {
         const SaIndex sa = model.sa_index(s, candidate);
         double q = sa_rewards[sa];
-        for (const Outcome& o : model.outcomes(sa)) {
-          q += o.probability * evaluated.bias[o.next];
+        const std::size_t end = model.outcome_end(sa);
+        for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+          q += prob_col[k] * evaluated.bias[next_col[k]];
         }
         if (candidate == policy.action[s]) {
           incumbent_q = q;
@@ -163,12 +177,23 @@ PolicyIterationResult policy_iteration(
 }
 
 PolicyIterationResult policy_iteration(
-    const Model& model, const PolicyIterationOptions& options) {
-  std::vector<double> rewards(model.num_state_actions());
-  for (SaIndex sa = 0; sa < rewards.size(); ++sa) {
-    rewards[sa] = model.expected_reward(sa);
-  }
+    const Model& model, std::span<const double> sa_rewards,
+    const PolicyIterationOptions& options) {
+  // Compile once: every improvement round's evaluation and greedy pass
+  // shares the one kernel layout.
+  return policy_iteration(CompiledModel::compile(model), sa_rewards, options);
+}
+
+PolicyIterationResult policy_iteration(
+    const CompiledModel& model, const PolicyIterationOptions& options) {
+  const std::span<const double> rewards{model.expected_reward(),
+                                        model.num_state_actions()};
   return policy_iteration(model, rewards, options);
+}
+
+PolicyIterationResult policy_iteration(
+    const Model& model, const PolicyIterationOptions& options) {
+  return policy_iteration(CompiledModel::compile(model), options);
 }
 
 }  // namespace bvc::mdp

@@ -43,7 +43,14 @@ struct PolicyIterationResult : SolveReport {
 /// Exact evaluation of one stationary policy: solves
 ///   g + h(s) = r(s, pi(s)) + sum_s' P(s' | s, pi(s)) h(s'),  h(0) = 0,
 /// which has a unique solution for unichain policies (state 0 recurrent).
-/// `sa_rewards` indexes rewards by Model::sa_index.
+/// `sa_rewards` indexes rewards by Model::sa_index. As with the other
+/// solvers, the CompiledModel overloads are the real implementation and the
+/// Model overloads compile on entry (policy_iteration compiles ONCE for all
+/// improvement rounds), bit-identically.
+[[nodiscard]] PolicyIterationResult evaluate_policy_exact(
+    const CompiledModel& model, const Policy& policy,
+    std::span<const double> sa_rewards,
+    const PolicyIterationOptions& options = {});
 [[nodiscard]] PolicyIterationResult evaluate_policy_exact(
     const Model& model, const Policy& policy,
     std::span<const double> sa_rewards,
@@ -51,10 +58,15 @@ struct PolicyIterationResult : SolveReport {
 
 /// Maximizes the average of `sa_rewards` by Howard's policy iteration.
 [[nodiscard]] PolicyIterationResult policy_iteration(
+    const CompiledModel& model, std::span<const double> sa_rewards,
+    const PolicyIterationOptions& options = {});
+[[nodiscard]] PolicyIterationResult policy_iteration(
     const Model& model, std::span<const double> sa_rewards,
     const PolicyIterationOptions& options = {});
 
-/// Convenience overload on the model's primary reward stream.
+/// Convenience overloads on the model's primary reward stream.
+[[nodiscard]] PolicyIterationResult policy_iteration(
+    const CompiledModel& model, const PolicyIterationOptions& options = {});
 [[nodiscard]] PolicyIterationResult policy_iteration(
     const Model& model, const PolicyIterationOptions& options = {});
 

@@ -9,18 +9,24 @@ namespace bvc::mdp {
 
 namespace {
 
-/// Fills `scratch` with the expected linearized reward (num - rho * den) of
-/// every (state, action) pair.
-void linearize(const Model& model, double rho, std::vector<double>& scratch) {
+/// Re-fills `scratch` in place with the expected linearized reward
+/// (num - rho * den) of every (state, action) pair, streaming the compiled
+/// model's contiguous expectation columns — the only per-iteration work a
+/// new rho costs; the model itself is never rebuilt.
+void linearize(const CompiledModel& model, double rho,
+               std::vector<double>& scratch) {
   scratch.resize(model.num_state_actions());
+  const double* expected_reward = model.expected_reward();
+  const double* expected_weight = model.expected_weight();
   for (SaIndex sa = 0; sa < scratch.size(); ++sa) {
-    scratch[sa] = model.expected_reward(sa) - rho * model.expected_weight(sa);
+    scratch[sa] = expected_reward[sa] - rho * expected_weight[sa];
   }
 }
 
 }  // namespace
 
-RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
+RatioResult maximize_ratio(const CompiledModel& model,
+                           const RatioOptions& options) {
   BVC_REQUIRE(options.tolerance > 0.0, "ratio tolerance must be positive");
   BVC_REQUIRE(options.upper_bound > options.lower_bound,
               "ratio bracket must be non-empty");
@@ -82,11 +88,10 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
     return result;
   };
 
-  // Denominator-stream rewards, shared by all policy evaluations.
-  std::vector<double> weight_rewards(model.num_state_actions());
-  for (SaIndex sa = 0; sa < weight_rewards.size(); ++sa) {
-    weight_rewards[sa] = model.expected_weight(sa);
-  }
+  // Denominator-stream rewards, shared by all policy evaluations: a view
+  // straight into the compiled expectation column.
+  const std::span<const double> weight_rewards{model.expected_weight(),
+                                               model.num_state_actions()};
 
   // --- Dinkelbach phase -------------------------------------------------
   for (; result.iterations < options.max_iterations; ++result.iterations) {
@@ -216,7 +221,11 @@ RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
   return finalize(robust::RunStatus::kToleranceStalled);
 }
 
-RatioResult maximize_ratio_with_retry(const Model& model,
+RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
+  return maximize_ratio(CompiledModel::compile(model), options);
+}
+
+RatioResult maximize_ratio_with_retry(const CompiledModel& model,
                                       const RatioOptions& options,
                                       const robust::RetryPolicy& retry) {
   robust::RunGuard guard(options.control);
@@ -263,6 +272,13 @@ RatioResult maximize_ratio_with_retry(const Model& model,
   best.diagnostics.elapsed_seconds = guard.elapsed_seconds();
   best.wall_clock_ns = guard.elapsed_ns();
   return best;
+}
+
+RatioResult maximize_ratio_with_retry(const Model& model,
+                                      const RatioOptions& options,
+                                      const robust::RetryPolicy& retry) {
+  return maximize_ratio_with_retry(CompiledModel::compile(model), options,
+                                   retry);
 }
 
 }  // namespace bvc::mdp

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "mdp/average_reward.hpp"
+#include "mdp/compiled_model.hpp"
 #include "mdp/model.hpp"
 #include "robust/retry.hpp"
 #include "robust/run_control.hpp"
@@ -53,6 +54,13 @@ struct RatioResult : SolveReport {
   bool used_bisection = false;
 };
 
+/// The CompiledModel overload is the real solver: every Dinkelbach /
+/// bisection iteration re-linearizes the reward stream in place on the
+/// compiled expected-value arrays and sweeps the SoA kernel, so nothing is
+/// rebuilt between iterations. The Model overload compiles once on entry
+/// (all inner solves share that one compilation) and is bit-identical.
+[[nodiscard]] RatioResult maximize_ratio(const CompiledModel& model,
+                                         const RatioOptions& options);
 [[nodiscard]] RatioResult maximize_ratio(const Model& model,
                                          const RatioOptions& options);
 
@@ -61,6 +69,10 @@ struct RatioResult : SolveReport {
 /// tolerance, and a larger outer iteration cap (see robust::RetryPolicy).
 /// Budget exhaustion, cancellation and degeneracy are not retried. The
 /// wall-clock budget in `options.control` spans all attempts combined.
+/// The Model overload compiles once; every attempt shares the compilation.
+[[nodiscard]] RatioResult maximize_ratio_with_retry(
+    const CompiledModel& model, const RatioOptions& options,
+    const robust::RetryPolicy& retry = {});
 [[nodiscard]] RatioResult maximize_ratio_with_retry(
     const Model& model, const RatioOptions& options,
     const robust::RetryPolicy& retry = {});

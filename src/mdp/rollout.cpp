@@ -4,14 +4,16 @@
 
 namespace bvc::mdp {
 
-ModelRolloutResult rollout_model(const Model& model, const Policy& policy,
-                                 StateId start, std::uint64_t steps, Rng& rng,
+ModelRolloutResult rollout_model(const CompiledModel& model,
+                                 const Policy& policy, StateId start,
+                                 std::uint64_t steps, Rng& rng,
                                  const robust::RunControl& control) {
   BVC_REQUIRE(policy.action.size() == model.num_states(),
               "policy must cover every state");
   BVC_REQUIRE(start < model.num_states(), "start state out of range");
 
   robust::RunGuard guard(control, /*clock_stride=*/1024);
+  const double* prob_col = model.prob();
   ModelRolloutResult result;
   StateId state = start;
   for (std::uint64_t i = 0; i < steps; ++i) {
@@ -21,23 +23,33 @@ ModelRolloutResult rollout_model(const Model& model, const Policy& policy,
       return result;
     }
     const SaIndex sa = model.sa_index(state, policy.action[state]);
-    const auto outcomes = model.outcomes(sa);
-    // Sample a branch by probability mass.
+    const std::size_t begin = model.outcome_begin(sa);
+    const std::size_t end = model.outcome_end(sa);
+    // Sample a branch by probability mass, in stored order (the same order
+    // the Model path iterates, so identical rng draws pick identical
+    // branches).
     double u = rng.next_double();
-    const Outcome* chosen = &outcomes.back();
-    for (const Outcome& o : outcomes) {
-      if (u < o.probability) {
-        chosen = &o;
+    std::size_t chosen = end - 1;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (u < prob_col[k]) {
+        chosen = k;
         break;
       }
-      u -= o.probability;
+      u -= prob_col[k];
     }
-    result.reward_total += chosen->reward;
-    result.weight_total += chosen->weight;
-    state = chosen->next;
+    result.reward_total += model.reward()[chosen];
+    result.weight_total += model.weight()[chosen];
+    state = model.next()[chosen];
   }
   result.steps = steps;
   return result;
+}
+
+ModelRolloutResult rollout_model(const Model& model, const Policy& policy,
+                                 StateId start, std::uint64_t steps, Rng& rng,
+                                 const robust::RunControl& control) {
+  return rollout_model(CompiledModel::compile(model), policy, start, steps,
+                       rng, control);
 }
 
 }  // namespace bvc::mdp

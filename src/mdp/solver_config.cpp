@@ -49,7 +49,21 @@ GainResult maximize_average_reward(const Model& model,
   return maximize_average_reward(model, config.average_reward_options());
 }
 
+GainResult maximize_average_reward(const CompiledModel& model,
+                                   const SolverConfig& config) {
+  return maximize_average_reward(model, config.average_reward_options());
+}
+
 GainResult maximize_average_reward(const Model& model,
+                                   std::span<const double> sa_rewards,
+                                   const SolverConfig& config,
+                                   const std::vector<double>* warm_start_bias) {
+  return maximize_average_reward(model, sa_rewards,
+                                 config.average_reward_options(),
+                                 warm_start_bias);
+}
+
+GainResult maximize_average_reward(const CompiledModel& model,
                                    std::span<const double> sa_rewards,
                                    const SolverConfig& config,
                                    const std::vector<double>* warm_start_bias) {
@@ -63,7 +77,17 @@ DiscountedResult solve_discounted(const Model& model,
   return solve_discounted(model, config.discounted_options());
 }
 
+DiscountedResult solve_discounted(const CompiledModel& model,
+                                  const SolverConfig& config) {
+  return solve_discounted(model, config.discounted_options());
+}
+
 PolicyIterationResult policy_iteration(const Model& model,
+                                       const SolverConfig& config) {
+  return policy_iteration(model, config.policy_iteration_options());
+}
+
+PolicyIterationResult policy_iteration(const CompiledModel& model,
                                        const SolverConfig& config) {
   return policy_iteration(model, config.policy_iteration_options());
 }
@@ -72,7 +96,18 @@ RatioResult maximize_ratio(const Model& model, const SolverConfig& config) {
   return maximize_ratio(model, config.ratio_options());
 }
 
+RatioResult maximize_ratio(const CompiledModel& model,
+                           const SolverConfig& config) {
+  return maximize_ratio(model, config.ratio_options());
+}
+
 RatioResult maximize_ratio_with_retry(const Model& model,
+                                      const SolverConfig& config,
+                                      const robust::RetryPolicy& retry) {
+  return maximize_ratio_with_retry(model, config.ratio_options(), retry);
+}
+
+RatioResult maximize_ratio_with_retry(const CompiledModel& model,
                                       const SolverConfig& config,
                                       const robust::RetryPolicy& retry) {
   return maximize_ratio_with_retry(model, config.ratio_options(), retry);

@@ -84,25 +84,43 @@ struct SolverConfig {
 };
 
 // The single SolverConfig overload of each solver. Results are identical to
-// calling the legacy overload with the corresponding lowered options.
+// calling the legacy overload with the corresponding lowered options. Every
+// solver also accepts a precompiled model (mdp::CompiledModel — e.g. a
+// ModelCache entry) so repeated solves skip recompilation; results are
+// bit-identical either way.
 
 [[nodiscard]] GainResult maximize_average_reward(const Model& model,
+                                                 const SolverConfig& config);
+[[nodiscard]] GainResult maximize_average_reward(const CompiledModel& model,
                                                  const SolverConfig& config);
 [[nodiscard]] GainResult maximize_average_reward(
     const Model& model, std::span<const double> sa_rewards,
     const SolverConfig& config,
     const std::vector<double>* warm_start_bias = nullptr);
+[[nodiscard]] GainResult maximize_average_reward(
+    const CompiledModel& model, std::span<const double> sa_rewards,
+    const SolverConfig& config,
+    const std::vector<double>* warm_start_bias = nullptr);
 
 [[nodiscard]] DiscountedResult solve_discounted(const Model& model,
+                                                const SolverConfig& config);
+[[nodiscard]] DiscountedResult solve_discounted(const CompiledModel& model,
                                                 const SolverConfig& config);
 
 [[nodiscard]] PolicyIterationResult policy_iteration(
     const Model& model, const SolverConfig& config);
+[[nodiscard]] PolicyIterationResult policy_iteration(
+    const CompiledModel& model, const SolverConfig& config);
 
 [[nodiscard]] RatioResult maximize_ratio(const Model& model,
                                          const SolverConfig& config);
+[[nodiscard]] RatioResult maximize_ratio(const CompiledModel& model,
+                                         const SolverConfig& config);
 [[nodiscard]] RatioResult maximize_ratio_with_retry(
     const Model& model, const SolverConfig& config,
+    const robust::RetryPolicy& retry = {});
+[[nodiscard]] RatioResult maximize_ratio_with_retry(
+    const CompiledModel& model, const SolverConfig& config,
     const robust::RetryPolicy& retry = {});
 
 }  // namespace bvc::mdp

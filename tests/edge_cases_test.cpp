@@ -132,7 +132,7 @@ TEST(EdgeCases, EbGameWithManyValuesStillConverges) {
   games::EbChoosingGame game({0.26, 0.25, 0.25, 0.24}, 6);
   Rng rng(5);
   const auto result = game.best_response_dynamics({0, 1, 2, 3}, rng, 500);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_TRUE(game.is_nash_equilibrium(result.profile));
 }
 

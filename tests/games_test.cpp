@@ -67,7 +67,7 @@ TEST(EbChoosing, DynamicsConvergeToConsensus) {
   Rng rng(1234);
   const EbChoosingGame::DynamicsResult result =
       game.best_response_dynamics({0, 1, 2, 1}, rng);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.converged());
   EXPECT_TRUE(game.is_nash_equilibrium(result.profile));
   for (const std::size_t choice : result.profile) {
     EXPECT_EQ(choice, result.profile.front());
@@ -99,7 +99,7 @@ TEST(EbChoosing, DynamicsSweepOverRandomStarts) {
       choice = rng.next_below(game.num_values());
     }
     const auto result = game.best_response_dynamics(start, rng, 200);
-    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(result.converged());
     EXPECT_TRUE(game.is_nash_equilibrium(result.profile));
   }
 }

@@ -1,0 +1,183 @@
+// ModelCache: content-addressed sharing of compiled models — hit/miss
+// accounting, key canonicalization, and cross-thread sharing (registered
+// under the `parallel` ctest label; the sharing test is the TSan target).
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bu/attack_model.hpp"
+#include "mdp/compiled_model.hpp"
+#include "mdp/model.hpp"
+#include "mdp/model_cache.hpp"
+
+namespace {
+
+using namespace bvc;
+
+mdp::Model tiny_model() {
+  mdp::ModelBuilder builder(2);
+  builder.begin_action(0, 0);
+  builder.add_outcome(1, 1.0, 1.0, 1.0);
+  builder.begin_action(1, 0);
+  builder.add_outcome(0, 1.0, 0.0, 1.0);
+  return std::move(builder).build();
+}
+
+TEST(ModelCache, MissThenHitSharesOneEntry) {
+  mdp::ModelCache cache;
+  int builds = 0;
+  const auto compile = [&] {
+    ++builds;
+    return mdp::CompiledModel::compile_shared(tiny_model());
+  };
+
+  const auto first = cache.get_or_compile("k1", compile);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(builds, 1);
+
+  const auto second = cache.get_or_compile("k1", compile);
+  EXPECT_EQ(second.get(), first.get());  // same immutable entry
+  EXPECT_EQ(builds, 1);                  // no recompilation on a hit
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ModelCache, DistinctKeysGetDistinctEntries) {
+  mdp::ModelCache cache;
+  const auto compile = [] {
+    return mdp::CompiledModel::compile_shared(tiny_model());
+  };
+  const auto a = cache.get_or_compile("a", compile);
+  const auto b = cache.get_or_compile("b", compile);
+  EXPECT_NE(a.get(), b.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ModelCache, FindProbesWithoutFillingOrCounting) {
+  mdp::ModelCache cache;
+  EXPECT_EQ(cache.find("missing"), nullptr);
+  const auto compile = [] {
+    return mdp::CompiledModel::compile_shared(tiny_model());
+  };
+  const auto entry = cache.get_or_compile("k", compile);
+  EXPECT_EQ(cache.find("k").get(), entry.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);  // find() counts neither hits nor misses
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ModelCache, ClearDropsEntriesButKeepsOutstandingModelsAlive) {
+  mdp::ModelCache cache;
+  const auto compile = [] {
+    return mdp::CompiledModel::compile_shared(tiny_model());
+  };
+  const auto held = cache.get_or_compile("k", compile);
+  cache.clear();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(cache.find("k"), nullptr);
+  // The caller's shared_ptr still owns a live model.
+  EXPECT_EQ(held->num_states(), 2u);
+}
+
+TEST(ModelCache, AppendKeyIsCanonical) {
+  std::string key;
+  mdp::append_key(key, "alpha", 0.1);
+  mdp::append_key(key, "ad", std::int64_t{6});
+  mdp::append_key(key, "wait", false);
+  std::string same;
+  mdp::append_key(same, "alpha", 0.1);
+  mdp::append_key(same, "ad", std::int64_t{6});
+  mdp::append_key(same, "wait", false);
+  EXPECT_EQ(key, same);
+
+  // Doubles that differ below printf's default precision must still get
+  // distinct keys (round-trip %.17g rendering).
+  std::string a;
+  std::string b;
+  mdp::append_key(a, "x", 0.1);
+  mdp::append_key(b, "x", 0.1 + 1e-16);
+  EXPECT_NE(a, b);
+}
+
+TEST(ModelCache, BuilderKeyCanonicalizesNormalizedInputs) {
+  // The orphaning utility forces allow_wait inside the builder, so the two
+  // parameter structs build the same model and must share one key.
+  bu::AttackParams with_wait;
+  with_wait.allow_wait = true;
+  bu::AttackParams without_wait;
+  without_wait.allow_wait = false;
+  EXPECT_EQ(bu::attack_model_cache_key(with_wait, bu::Utility::kOrphaning),
+            bu::attack_model_cache_key(without_wait, bu::Utility::kOrphaning));
+  // ...but stay distinct where the flag genuinely shapes the model.
+  EXPECT_NE(
+      bu::attack_model_cache_key(with_wait, bu::Utility::kRelativeRevenue),
+      bu::attack_model_cache_key(without_wait, bu::Utility::kRelativeRevenue));
+}
+
+TEST(ModelCache, CrossThreadLookupsShareOneCompilation) {
+  mdp::ModelCache cache;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kLookupsPerThread = 50;
+
+  std::vector<std::shared_ptr<const mdp::CompiledModel>> seen(
+      kThreads * kLookupsPerThread);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &seen, t] {
+      for (std::size_t i = 0; i < kLookupsPerThread; ++i) {
+        seen[t * kLookupsPerThread + i] = cache.get_or_compile("shared", [] {
+          return mdp::CompiledModel::compile_shared(tiny_model());
+        });
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  // Every lookup observed the same immutable entry (first insert wins).
+  for (const auto& entry : seen) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry.get(), seen[0].get());
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  // Racing fills may each count a miss, but accounting stays consistent:
+  // every lookup is classified exactly once.
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kLookupsPerThread);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(ModelCache, GlobalCacheServesTheModelBuilders) {
+  bu::AttackParams params;
+  params.alpha = 0.31;  // a cell no other test builds
+  params.beta = 0.35;
+  params.gamma = 0.34;
+  const std::string key =
+      bu::attack_model_cache_key(params, bu::Utility::kRelativeRevenue);
+
+  const bu::AttackModel first =
+      bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+  ASSERT_NE(first.compiled, nullptr);
+  EXPECT_EQ(mdp::ModelCache::global().find(key).get(), first.compiled.get());
+
+  const bu::AttackModel second =
+      bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+  EXPECT_EQ(second.compiled.get(), first.compiled.get());
+}
+
+}  // namespace
