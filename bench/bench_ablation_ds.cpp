@@ -18,6 +18,7 @@ using namespace bvc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const double alpha = args.get_double("alpha", 0.10);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
 

@@ -22,6 +22,7 @@ using namespace bvc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const double alpha = args.get_double("alpha", 0.25);
   const double beta = args.get_double("beta", 0.30);
   const double gamma = args.get_double("gamma", 0.45);

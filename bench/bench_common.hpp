@@ -1,6 +1,7 @@
 // Small shared helpers for the bench report generators.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -9,7 +10,11 @@
 #include <string>
 
 #include "mdp/batch.hpp"
+#include "mdp/model_cache.hpp"
 #include "mdp/solve_report.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "robust/run_control.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -24,13 +29,20 @@ struct CellParam {
 
 /// Renders a cell's parameter assignments ("alpha=0.2 gamma=0.45 AD=6") so
 /// a failing require_solved names the exact cell, not just its row label.
+/// Built into the string directly — a fixed intermediate buffer would
+/// silently truncate long parameter names (regression-tested in
+/// tests/bench_common_test.cpp).
 inline std::string describe_cell(std::initializer_list<CellParam> params) {
   std::string out;
-  char buffer[64];
   for (const CellParam& param : params) {
-    std::snprintf(buffer, sizeof(buffer), "%s%s=%g", out.empty() ? "" : " ",
-                  param.name, param.value);
-    out += buffer;
+    char value[32];
+    std::snprintf(value, sizeof(value), "%g", param.value);
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += param.name;
+    out += '=';
+    out += value;
   }
   return out;
 }
@@ -131,5 +143,121 @@ inline CsvSink open_csv(const CliArgs& args,
   sink.row(header);
   return sink;
 }
+
+/// One-line model-cache efficacy summary on stderr (stdout carries the
+/// reproduced table and must stay byte-stable). Works without --metrics-out:
+/// the cache keeps its own tally.
+inline void print_cache_stats(const char* bench_name) {
+  const mdp::ModelCache::Stats stats = mdp::ModelCache::global().stats();
+  const std::uint64_t lookups = stats.hits + stats.misses;
+  std::fprintf(stderr,
+               "[%s] model cache: %llu hits / %llu misses (%zu entries, "
+               "%.1f%% hit rate)\n",
+               bench_name, static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses), stats.entries,
+               lookups == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(stats.hits) /
+                         static_cast<double>(lookups));
+}
+
+/// Shared observability front door for every bench binary: the flags
+///
+///   --trace-out=FILE     span/instant trace, Chrome trace-event JSON
+///   --trace-jsonl=FILE   the same events as JSON Lines
+///   --metrics-out=FILE   final MetricsRegistry snapshot as JSON
+///   --manifest-out=FILE  run manifest (git SHA, args, metrics) as JSON
+///
+/// Construct one ObsSession at the top of main (before any solve) and let
+/// it run out of scope last: construction enables the tracer/metrics layer
+/// exactly when a sink was requested, destruction writes every requested
+/// file. With none of the flags present the instrumentation layer stays
+/// disabled and every obs call in the hot paths reduces to one relaxed
+/// atomic load — bench output is bit-identical to an uninstrumented build.
+class ObsSession {
+ public:
+  ObsSession(int argc, const char* const* argv)
+      : manifest_(obs::make_run_manifest(argc, argv)) {
+    const CliArgs args(argc, argv);
+    trace_path_ = args.get_string("trace-out", "");
+    jsonl_path_ = args.get_string("trace-jsonl", "");
+    metrics_path_ = args.get_string("metrics-out", "");
+    manifest_path_ = args.get_string("manifest-out", "");
+    if (!trace_path_.empty() || !jsonl_path_.empty()) {
+      obs::Tracer::global().enable();
+    }
+    if (!metrics_path_.empty() || !manifest_path_.empty()) {
+      obs::set_metrics_enabled(true);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Registers an output artifact (kind, path) for the run manifest, e.g.
+  /// ("csv", "table2.csv").
+  void note_output(std::string kind, std::string path) {
+    manifest_.outputs.emplace_back(std::move(kind), std::move(path));
+  }
+
+  ~ObsSession() {
+    const auto write_file = [](const std::string& path, const char* what,
+                               const auto& writer) {
+      if (path.empty()) {
+        return;
+      }
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "*** cannot open %s output file: %s\n", what,
+                     path.c_str());
+        return;
+      }
+      writer(out);
+      std::fprintf(stderr, "[obs] wrote %s: %s\n", what, path.c_str());
+    };
+
+    if (!trace_path_.empty() || !jsonl_path_.empty()) {
+      obs::Tracer& tracer = obs::Tracer::global();
+      write_file(trace_path_, "trace",
+                 [&](std::ostream& out) { tracer.write_chrome_trace(out); });
+      write_file(jsonl_path_, "trace-jsonl",
+                 [&](std::ostream& out) { tracer.write_jsonl(out); });
+      if (tracer.dropped_events() > 0) {
+        std::fprintf(stderr,
+                     "[obs] WARNING: %llu trace events dropped (ring full)\n",
+                     static_cast<unsigned long long>(tracer.dropped_events()));
+      }
+    }
+    if (!metrics_path_.empty() || !manifest_path_.empty()) {
+      const obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::global().snapshot();
+      write_file(metrics_path_, "metrics", [&](std::ostream& out) {
+        obs::write_metrics_json(out, snapshot);
+      });
+      if (!trace_path_.empty()) {
+        manifest_.outputs.emplace_back("trace", trace_path_);
+      }
+      if (!metrics_path_.empty()) {
+        manifest_.outputs.emplace_back("metrics", metrics_path_);
+      }
+      manifest_.elapsed_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_)
+              .count();
+      write_file(manifest_path_, "manifest", [&](std::ostream& out) {
+        obs::write_manifest_json(out, manifest_, snapshot);
+      });
+    }
+  }
+
+ private:
+  obs::RunManifest manifest_;
+  std::string trace_path_;
+  std::string jsonl_path_;
+  std::string metrics_path_;
+  std::string manifest_path_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+};
 
 }  // namespace bvc::bench

@@ -30,6 +30,7 @@ using namespace bvc::counter;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
 
   VoteRuleConfig rule;  // paper-scale: 2016-block epochs, 200-block delay

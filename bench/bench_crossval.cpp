@@ -18,6 +18,7 @@ using namespace bvc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   std::printf(
       "MDP <-> chain-semantics cross-validation (every step checked: any\n"

@@ -45,6 +45,7 @@ sim::NetworkConfig make_network() {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const long blocks_arg = args.get_long("blocks", 20'000);
   if (blocks_arg <= 0) {
     std::fprintf(stderr, "error: --blocks must be positive (got %ld)\n",

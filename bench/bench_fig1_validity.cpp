@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   // The shared bench flags are accepted (and validated) for CLI uniformity;
   // this trace replay has no iterative loop for the budget to bound.
   const bvc::CliArgs args(argc, argv);
+  bvc::bench::ObsSession obs(argc, argv);
   (void)bvc::bench::run_control_from_args(args);
   (void)bvc::bench::batch_config_from_args(args);
 

@@ -38,6 +38,7 @@ const char* verdict_name(ChainVerdict verdict) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   constexpr ByteSize kEbBob = 1 * kMegabyte;
   constexpr ByteSize kEbCarol = 8 * kMegabyte;
   BuParams bob_params;

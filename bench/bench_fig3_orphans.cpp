@@ -18,6 +18,7 @@ using namespace bvc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   // ---- The scripted Figure 3 trace, via the abstract step semantics ------
   bu::AttackParams params;
   params.alpha = 0.01;

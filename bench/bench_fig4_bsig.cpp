@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace bvc::games;
   const bvc::CliArgs args(argc, argv);
+  bvc::bench::ObsSession obs(argc, argv);
 
   const std::vector<MinerGroup> groups = {
       {0.10, 1.0}, {0.20, 2.0}, {0.30, 4.0}, {0.40, 8.0}};

@@ -54,6 +54,7 @@ std::vector<double> random_powers(Rng& rng, std::size_t n, double cap) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   Rng rng(20171213);
 

@@ -33,6 +33,7 @@ sim::NetMiner make_miner(std::string name, double power,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   // Bounds each simulated cell (one guard tick per simulated block).
   const robust::RunControl control = bench::run_control_from_args(args);
   std::printf(

@@ -430,6 +430,9 @@ int run_kernel_mode(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The session must outlive the benchmark run; constructed from the full
+  // argv so the manifest records every flag.
+  bvc::bench::ObsSession obs(argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--mode=kernel" ||
@@ -438,6 +441,32 @@ int main(int argc, char** argv) {
       return run_kernel_mode(argc, argv);
     }
   }
+  // Strip the shared obs flags before google-benchmark sees argv — it
+  // rejects arguments it does not recognize.
+  const auto is_obs_flag = [](std::string_view arg) {
+    for (const std::string_view prefix :
+         {"--trace-out", "--trace-jsonl", "--metrics-out", "--manifest-out"}) {
+      if (arg == prefix || (arg.size() > prefix.size() &&
+                            arg.substr(0, prefix.size()) == prefix &&
+                            arg[prefix.size()] == '=')) {
+        return true;
+      }
+    }
+    return false;
+  };
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (is_obs_flag(argv[i])) {
+      // `--flag value` form: swallow the value too.
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc &&
+          argv[i + 1][0] != '-') {
+        ++i;
+      }
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -66,6 +66,7 @@ std::optional<double> paper_value(const std::string& ratio, double alpha,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const unsigned ad = static_cast<unsigned>(args.get_long("ad", 6));
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
@@ -182,5 +183,6 @@ int main(int argc, char** argv) {
       "Reading: Alice gains unfair relative revenue exactly when\n"
       "alpha + gamma > beta (Analytical Result 1); Bitcoin always gives\n"
       "max u1 = alpha under compliance.\n");
+  bench::print_cache_stats("bench_table2");
   return 0;
 }

@@ -59,6 +59,7 @@ const double kPaperSetting2[5][7] = {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   bench::CsvSink csv = bench::open_csv(
@@ -206,5 +207,6 @@ int main(int argc, char** argv) {
       "Reading (Analytical Result 2): in BU even a 1%% miner profits from\n"
       "double-spending (u2 > alpha), whereas in Bitcoin double-spending is\n"
       "unprofitable below ~10%% mining power even when winning every tie.\n");
+  bench::print_cache_stats("bench_table3");
   return 0;
 }

@@ -25,6 +25,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::ObsSession obs(argc, argv);
   const bool quick = args.get_bool("quick", false);
   const double alpha = args.get_double("alpha", 0.01);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
@@ -113,5 +114,6 @@ int main(int argc, char** argv) {
       "attacker block by splitting Bob's and Carol's power; in Bitcoin the\n"
       "same utility never exceeds 1 (51%% attack), and selfish mining\n"
       "reaches 1 only with a strict propagation advantage.\n");
+  bench::print_cache_stats("bench_table4");
   return 0;
 }

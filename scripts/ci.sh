@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point: configure, build everything (libraries, tests,
+# bench binaries), run the full ctest suite, then smoke-test the
+# observability layer end to end — a real multithreaded bench run with
+# --trace-out/--metrics-out/--manifest-out, validated by
+# scripts/check_trace.sh (JSON well-formedness + spans from the solver,
+# batch/pool, and cache subsystems).
+#
+#   scripts/ci.sh                # everything, default build dir build-ci
+#   scripts/ci.sh -R Ratio       # forward extra args to ctest
+#   BVC_BUILD_DIR=build-dev scripts/ci.sh   # reuse an existing build dir
+#
+# Sanitizer tiers are separate (scripts/sanitize.sh); this script is the
+# fast gate every change must pass.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BVC_BUILD_DIR:-build-ci}"
+
+cmake -S "$repo" -B "$repo/$build" >/dev/null
+cmake --build "$repo/$build" -j "$(nproc)"
+
+ctest --test-dir "$repo/$build" --output-on-failure "$@"
+
+# Observability smoke: one quick two-threaded table run with every obs sink
+# enabled must produce loadable artifacts with spans from >= 3 subsystems.
+"$repo/scripts/check_trace.sh" "$repo/$build"
+
+echo "ci.sh: all checks passed"

@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,6 +55,12 @@ GainResult rvi_core(const CompiledModel& model,
   }
 
   const double tau = options.aperiodicity_tau;
+  // One span per RVI solve (not per sweep — a setting-2 solve runs tens of
+  // thousands of sweeps and would flood the ring); the sweep count and
+  // outcome land in the span args below and in the sweep counter.
+  obs::Span solve_span("rvi.solve", "solver");
+  solve_span.arg("states", static_cast<std::int64_t>(model.num_states()));
+  solve_span.arg("mode", policy != nullptr ? "evaluate" : "optimize");
   robust::RunGuard guard(options.control);
   GainResult result;
   if (warm_start_bias != nullptr && warm_start_bias->size() == n) {
@@ -231,6 +239,16 @@ GainResult rvi_core(const CompiledModel& model,
   result.gain = gain_estimate;
   result.iterations = sweep;
   result.wall_clock_ns = guard.elapsed_ns();
+  solve_span.arg("sweeps", static_cast<std::int64_t>(sweep));
+  solve_span.arg("status", robust::to_string(result.status));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& solves =
+        obs::MetricsRegistry::global().counter("mdp.rvi.solves");
+    static obs::Counter& sweeps =
+        obs::MetricsRegistry::global().counter("mdp.rvi.sweeps");
+    solves.add();
+    sweeps.add(static_cast<std::uint64_t>(std::max(0, sweep)));
+  }
   return result;
 }
 

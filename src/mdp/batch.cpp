@@ -8,6 +8,8 @@
 #include <mutex>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -82,7 +84,24 @@ BatchReport run_batch(
         skip_item(i, *skip);
         skipped.fetch_add(1, std::memory_order_relaxed);
         note_status(*skip);
+        if (obs::metrics_enabled()) {
+          static obs::Counter& skipped_items =
+              obs::MetricsRegistry::global().counter("mdp.batch.items_skipped");
+          skipped_items.add();
+        }
         continue;
+      }
+
+      // Queue wait: how long this item sat behind earlier items before a
+      // worker picked it up, measured from the batch's start. The gauge
+      // holds the worst wait seen, i.e. the batch's scheduling backlog.
+      if (obs::metrics_enabled()) {
+        static obs::Gauge& queue_wait = obs::MetricsRegistry::global().gauge(
+            "mdp.batch.max_queue_wait_seconds");
+        const double waited = seconds_since(start);
+        if (waited > queue_wait.value()) {
+          queue_wait.set(waited);
+        }
       }
 
       robust::RunControl item_control;
@@ -94,7 +113,14 @@ BatchReport run_batch(
             std::max(0.0, allowance - seconds_since(start)));
       }
       try {
+        obs::Span span("batch.item", "batch");
+        span.arg("index", static_cast<std::int64_t>(i));
         note_status(run_item(i, item_control));
+        if (obs::metrics_enabled()) {
+          static obs::Counter& items =
+              obs::MetricsRegistry::global().counter("mdp.batch.items_run");
+          items.add();
+        }
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::mdp {
@@ -14,6 +16,8 @@ DiscountedResult solve_discounted(const CompiledModel& model,
   BVC_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
 
   const StateId n = model.num_states();
+  obs::Span solve_span("discounted.solve", "solver");
+  solve_span.arg("states", static_cast<std::int64_t>(n));
   robust::RunGuard guard(options.control);
   DiscountedResult result;
   result.value.assign(n, 0.0);
@@ -60,6 +64,16 @@ DiscountedResult solve_discounted(const CompiledModel& model,
     }
   }
   result.wall_clock_ns = guard.elapsed_ns();
+  solve_span.arg("sweeps", static_cast<std::int64_t>(result.iterations));
+  solve_span.arg("status", robust::to_string(result.status));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& solves =
+        obs::MetricsRegistry::global().counter("mdp.discounted.solves");
+    static obs::Counter& sweeps =
+        obs::MetricsRegistry::global().counter("mdp.discounted.sweeps");
+    solves.add();
+    sweeps.add(static_cast<std::uint64_t>(std::max(0, result.iterations)));
+  }
   return result;
 }
 

@@ -1,10 +1,29 @@
 #include "mdp/model_cache.hpp"
 
+#include <array>
+#include <chrono>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::mdp {
+
+namespace {
+
+/// Mirrors the cache's own hit/miss tally into the metrics registry (the
+/// cache counters exist regardless so bench summaries work without
+/// --metrics-out; these only feed the JSON sink).
+void note_lookup(bool hit) {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("mdp.cache.hits");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("mdp.cache.misses");
+  (hit ? hits : misses).add();
+}
+
+}  // namespace
 
 std::shared_ptr<const CompiledModel> ModelCache::get_or_compile(
     const std::string& key,
@@ -14,20 +33,45 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_compile(
     const std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
       ++hits_;
+      note_lookup(true);
       return it->second;
     }
     ++misses_;
   }
+  note_lookup(false);
 
   // Compile outside the lock: a large model build must not serialize every
   // other lookup behind it.
-  std::shared_ptr<const CompiledModel> built = compile();
+  std::shared_ptr<const CompiledModel> built;
+  {
+    obs::Span span("cache.compile", "cache");
+    span.arg("key", std::string_view(key));
+    const bool timed = obs::metrics_enabled();
+    const auto begin = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+    built = compile();
+    if (timed) {
+      static constexpr std::array<double, 6> kBounds = {1e-4, 1e-3, 1e-2,
+                                                        0.1,  1.0,  10.0};
+      static obs::Histogram& compile_seconds =
+          obs::MetricsRegistry::global().histogram("mdp.cache.compile_seconds",
+                                                   kBounds);
+      compile_seconds.observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - begin)
+                                  .count());
+    }
+  }
   BVC_ENSURE(built != nullptr, "model compile callback returned null");
 
   const std::lock_guard<std::mutex> lock(mutex_);
   // First insert wins: if another thread filled the key while we compiled,
   // return its entry so every caller of one key shares one model.
   const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .gauge("mdp.cache.entries")
+        .set(static_cast<double>(entries_.size()));
+  }
   return it->second;
 }
 

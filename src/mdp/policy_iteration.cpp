@@ -1,8 +1,11 @@
 #include "mdp/policy_iteration.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::mdp {
@@ -119,6 +122,22 @@ PolicyIterationResult policy_iteration(
   Policy policy;
   policy.action.assign(n, 0);
 
+  obs::Span solve_span("policy_iteration.solve", "solver");
+  solve_span.arg("states", static_cast<std::int64_t>(n));
+  const auto note_finished = [&](const PolicyIterationResult& finished) {
+    solve_span.arg("improvements",
+                   static_cast<std::int64_t>(finished.iterations));
+    solve_span.arg("status", robust::to_string(finished.status));
+    if (obs::metrics_enabled()) {
+      static obs::Counter& solves =
+          obs::MetricsRegistry::global().counter("mdp.pi.solves");
+      static obs::Counter& improvements =
+          obs::MetricsRegistry::global().counter("mdp.pi.improvements");
+      solves.add();
+      improvements.add(
+          static_cast<std::uint64_t>(std::max(0, finished.iterations)));
+    }
+  };
   robust::RunGuard guard(options.control);
   PolicyIterationResult evaluated;
   for (int round = 0; round < options.max_improvements; ++round) {
@@ -130,6 +149,7 @@ PolicyIterationResult policy_iteration(
       }
       evaluated.status = *stop_status;
       evaluated.wall_clock_ns = guard.elapsed_ns();
+      note_finished(evaluated);
       return evaluated;
     }
     evaluated = evaluate_policy_exact(model, policy, sa_rewards, options);
@@ -168,11 +188,13 @@ PolicyIterationResult policy_iteration(
     if (!changed) {
       evaluated.status = robust::RunStatus::kConverged;
       evaluated.wall_clock_ns = guard.elapsed_ns();
+      note_finished(evaluated);
       return evaluated;
     }
   }
   evaluated.status = robust::RunStatus::kToleranceStalled;
   evaluated.wall_clock_ns = guard.elapsed_ns();
+  note_finished(evaluated);
   return evaluated;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::mdp {
@@ -35,6 +37,8 @@ RatioResult maximize_ratio(const CompiledModel& model,
   // options.inner.tolerance, so anything of that order is noise.
   const double gain_tol = std::max(10.0 * options.inner.tolerance, 1e-8);
 
+  obs::Span solve_span("ratio.solve", "solver");
+  solve_span.arg("states", static_cast<std::int64_t>(model.num_states()));
   robust::RunGuard guard(options.control);
   RatioResult result;
   double lo = options.lower_bound;  // ratio known to be achievable (or floor)
@@ -74,6 +78,7 @@ RatioResult maximize_ratio(const CompiledModel& model,
     ++result.diagnostics.outer_iterations;
     result.diagnostics.rho_trajectory.push_back(rho_now);
     result.diagnostics.residual_trajectory.push_back(hi - lo);
+    obs::trace_instant("ratio.outer", "solver", "rho", rho_now);
   };
 
   // Single exit point: fix up status, record timing, and make sure the
@@ -85,6 +90,31 @@ RatioResult maximize_ratio(const CompiledModel& model,
     result.status = status;
     result.wall_clock_ns = guard.elapsed_ns();
     result.diagnostics.elapsed_seconds = guard.elapsed_seconds();
+    // Span args mirror SolveDiagnostics so a trace alone explains the
+    // outer/inner effort split without the result object in hand.
+    solve_span.arg("outer_iterations",
+                   static_cast<std::int64_t>(
+                       result.diagnostics.outer_iterations));
+    solve_span.arg("inner_solves",
+                   static_cast<std::int64_t>(result.diagnostics.inner_solves));
+    solve_span.arg("inner_sweeps", result.diagnostics.inner_sweeps);
+    solve_span.arg("bisection",
+                   static_cast<std::int64_t>(result.used_bisection ? 1 : 0));
+    solve_span.arg("status", robust::to_string(status));
+    if (obs::metrics_enabled()) {
+      static obs::Counter& solves =
+          obs::MetricsRegistry::global().counter("mdp.ratio.solves");
+      static obs::Counter& outer = obs::MetricsRegistry::global().counter(
+          "mdp.ratio.outer_iterations");
+      static obs::Counter& bisections =
+          obs::MetricsRegistry::global().counter("mdp.ratio.bisection_solves");
+      solves.add();
+      outer.add(static_cast<std::uint64_t>(
+          std::max(0, result.diagnostics.outer_iterations)));
+      if (result.used_bisection) {
+        bisections.add();
+      }
+    }
     return result;
   };
 
@@ -265,6 +295,11 @@ RatioResult maximize_ratio_with_retry(const CompiledModel& model,
     }
   }
 
+  if (retries > 0 && obs::metrics_enabled()) {
+    static obs::Counter& retry_counter =
+        obs::MetricsRegistry::global().counter("mdp.ratio.retries");
+    retry_counter.add(static_cast<std::uint64_t>(retries));
+  }
   best.diagnostics.retries = retries;
   best.diagnostics.inner_solves = inner_solves;
   best.diagnostics.inner_sweeps = inner_sweeps;

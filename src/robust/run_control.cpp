@@ -1,8 +1,31 @@
 #include "robust/run_control.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bvc::robust {
+
+namespace {
+
+/// One instant event + counter the first time a guard stops its run. The
+/// per-tick cost stays a single relaxed load (the counter's enabled check);
+/// the event fires at most once per RunGuard.
+void note_guard_stop(const char* reason, std::int64_t ticks) {
+  static obs::Counter& stops =
+      obs::MetricsRegistry::global().counter("robust.guard.stops");
+  stops.add();
+  if (obs::trace_enabled()) {
+    char detail[32];
+    std::snprintf(detail, sizeof(detail), "ticks=%lld",
+                  static_cast<long long>(ticks));
+    obs::trace_instant(reason, "robust", "detail", detail);
+  }
+}
+
+}  // namespace
 
 std::string_view to_string(RunStatus status) noexcept {
   switch (status) {
@@ -30,10 +53,21 @@ RunGuard::RunGuard(const RunControl& control,
                     std::numeric_limits<double>::infinity()) {}
 
 std::optional<RunStatus> RunGuard::tick() noexcept {
+  static obs::Counter& tick_counter =
+      obs::MetricsRegistry::global().counter("robust.guard.ticks");
+  tick_counter.add();
   if (cancel_.cancel_requested()) {
+    if (!stop_reported_) {
+      stop_reported_ = true;
+      note_guard_stop("guard.cancelled", ticks_);
+    }
     return RunStatus::kCancelled;
   }
   if (ticks_ >= budget_.max_ticks) {
+    if (!stop_reported_) {
+      stop_reported_ = true;
+      note_guard_stop("guard.tick_cap", ticks_);
+    }
     return RunStatus::kBudgetExhausted;
   }
   if (expired_) {
@@ -42,6 +76,10 @@ std::optional<RunStatus> RunGuard::tick() noexcept {
   if (has_deadline_ && ticks_ % clock_stride_ == 0 &&
       elapsed_seconds() >= budget_.wall_clock_seconds) {
     expired_ = true;
+    if (!stop_reported_) {
+      stop_reported_ = true;
+      note_guard_stop("guard.deadline", ticks_);
+    }
     return RunStatus::kBudgetExhausted;
   }
   ++ticks_;

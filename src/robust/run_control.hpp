@@ -163,6 +163,7 @@ class RunGuard {
   std::int64_t clock_stride_ = 1;
   bool has_deadline_ = false;
   bool expired_ = false;
+  bool stop_reported_ = false;  ///< one obs event per guard, not per tick
 };
 
 /// Post-mortem record of one (possibly nested) solve, carried on solver

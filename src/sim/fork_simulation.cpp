@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::sim {
@@ -79,6 +81,9 @@ bool ForkSimulation::all_tips_equal() const {
 
 ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
                                   const robust::RunControl& control) {
+  obs::Span run_span("fork.run", "sim");
+  run_span.arg("miners", static_cast<std::int64_t>(config_.miners.size()));
+  run_span.arg("blocks", static_cast<std::int64_t>(blocks));
   robust::RunGuard guard(control);
   ForkSimResult result;
   result.locked_per_miner.assign(config_.miners.size(), 0);
@@ -158,6 +163,22 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
       reset_tree();
       credited_upto = tree_.genesis();
     }
+  }
+  run_span.arg("events", guard.ticks());
+  run_span.arg("status", robust::to_string(result.status));
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static obs::Counter& events = registry.counter("sim.fork.events");
+    static obs::Counter& mined = registry.counter("sim.fork.blocks_mined");
+    static obs::Counter& episodes =
+        registry.counter("sim.fork.fork_episodes");
+    static obs::Counter& orphaned =
+        registry.counter("sim.fork.orphaned_blocks");
+    events.add(static_cast<std::uint64_t>(std::max<std::int64_t>(
+        0, guard.ticks())));
+    mined.add(result.blocks_mined);
+    episodes.add(result.fork_episodes);
+    orphaned.add(result.orphaned_blocks);
   }
   return result;
 }

@@ -5,6 +5,8 @@
 #include <map>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::sim {
@@ -124,6 +126,9 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
     in_flight.push(Delivery{arrival, peer, block});
   };
 
+  obs::Span run_span("net.run", "sim");
+  run_span.arg("miners", static_cast<std::int64_t>(n));
+  run_span.arg("blocks", static_cast<std::int64_t>(blocks));
   robust::RunGuard guard(control);
   double now = 0.0;
   double next_find = rng.next_exponential(1.0 / config_.block_interval);
@@ -184,6 +189,30 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
   }
   result.blocks_mined = found;
   result.duration = now;
+  // Aggregate counters are published once per run (the per-event loop above
+  // stays untouched); the fault-injection tallies come straight from the
+  // result the loop already maintains.
+  run_span.arg("events", guard.ticks());
+  run_span.arg("status", robust::to_string(result.status));
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static obs::Counter& events = registry.counter("sim.net.events");
+    static obs::Counter& mined = registry.counter("sim.net.blocks_mined");
+    static obs::Counter& dropped =
+        registry.counter("sim.net.dropped_messages");
+    static obs::Counter& duplicated =
+        registry.counter("sim.net.duplicated_messages");
+    static obs::Counter& deferred =
+        registry.counter("sim.net.deferred_deliveries");
+    static obs::Counter& wasted = registry.counter("sim.net.wasted_finds");
+    events.add(static_cast<std::uint64_t>(std::max<std::int64_t>(
+        0, guard.ticks())));
+    mined.add(found);
+    dropped.add(result.dropped_messages);
+    duplicated.add(result.duplicated_messages);
+    deferred.add(result.deferred_deliveries);
+    wasted.add(result.wasted_finds);
+  }
 
   // --- final accounting ------------------------------------------------
   // Canonical tip: the tip backed by the most power; deepest on ties.

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bvc::util {
@@ -24,6 +26,22 @@ ThreadPool::~ThreadPool() {
   work_available_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
+  }
+  if (obs::metrics_enabled()) {
+    // Utilization over this pool's whole lifetime: busy worker-seconds over
+    // available worker-seconds. Short-lived pools (one per batch) overwrite
+    // the gauge, so the metrics snapshot reports the most recent pool.
+    const double lifetime = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - created_)
+                                .count();
+    const double available =
+        lifetime * static_cast<double>(workers_.size());
+    if (available > 0.0) {
+      obs::MetricsRegistry::global()
+          .gauge("util.pool.utilization")
+          .set(static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
+               1e-9 / available);
+    }
   }
 }
 
@@ -53,7 +71,29 @@ void ThreadPool::worker_loop() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    task();
+    if (obs::metrics_enabled() || obs::trace_enabled()) {
+      // Instrumented path: one span per task plus busy-time accounting for
+      // the destructor's utilization gauge. The clock reads happen only
+      // when observability is on; the default path runs the task bare.
+      static obs::Counter& tasks =
+          obs::MetricsRegistry::global().counter("util.pool.tasks");
+      static obs::Counter& busy_ns_total =
+          obs::MetricsRegistry::global().counter("util.pool.busy_ns");
+      const auto begin = std::chrono::steady_clock::now();
+      {
+        obs::Span span("pool.task", "pool");
+        task();
+      }
+      const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - begin)
+                               .count();
+      busy_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+      tasks.add();
+      busy_ns_total.add(static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, elapsed)));
+    } else {
+      task();
+    }
     lock.lock();
     --in_flight_;
     if (in_flight_ == 0) {

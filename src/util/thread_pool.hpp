@@ -15,8 +15,11 @@
 //     of how many workers the pool has.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -72,6 +75,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;  // queued + currently running
   bool stopping_ = false;
+  // Observability only (docs/OBSERVABILITY.md): total nanoseconds workers
+  // spent inside tasks, accumulated per task completion when metrics or
+  // tracing are enabled. Read at destruction to publish the pool's
+  // utilization gauge; never consulted by scheduling.
+  std::atomic<std::int64_t> busy_ns_{0};
+  std::chrono::steady_clock::time_point created_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace bvc::util

@@ -1,0 +1,129 @@
+// Tests for the shared bench helpers (bench/bench_common.hpp): the
+// describe_cell formatter (regression: long parameter names used to be
+// silently truncated by a fixed 64-byte intermediate buffer) and the
+// ObsSession flag-driven observability front door every bench binary uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace bvc;
+
+TEST(DescribeCell, FormatsNameValuePairs) {
+  EXPECT_EQ(bench::describe_cell({{"alpha", 0.2}, {"gamma", 0.45}, {"AD", 6}}),
+            "alpha=0.2 gamma=0.45 AD=6");
+  EXPECT_EQ(bench::describe_cell({}), "");
+  EXPECT_EQ(bench::describe_cell({{"x", 0.5}}), "x=0.5");
+}
+
+TEST(DescribeCell, LongParameterNamesAreNotTruncated) {
+  // Regression: the old implementation rendered into a fixed char[64] and
+  // lost everything past it. A cell description exists to make a failing
+  // sweep reproducible, so every byte of every name must survive.
+  const std::string long_name(100, 'p');
+  const std::string other_name(80, 'q');
+  const std::string text = bench::describe_cell(
+      {{long_name.c_str(), 1.5}, {other_name.c_str(), 2.5}});
+  EXPECT_EQ(text, long_name + "=1.5 " + other_name + "=2.5");
+  EXPECT_GT(text.size(), 64u);
+}
+
+TEST(DescribeCell, ValuesUseCompactFloatFormat) {
+  // %g: no trailing zeros, scientific only when warranted — matches what
+  // the tables print, so a cell description can be grepped from the output.
+  EXPECT_EQ(bench::describe_cell({{"EB", 1000000}}), "EB=1e+06");
+  EXPECT_EQ(bench::describe_cell({{"tol", 0.000001}}), "tol=1e-06");
+  EXPECT_EQ(bench::describe_cell({{"n", 3}}), "n=3");
+}
+
+TEST(ObsSession, NoFlagsLeavesInstrumentationDisabled) {
+  const char* argv[] = {"bench_fake", "--threads", "2"};
+  {
+    bench::ObsSession session(3, argv);
+    EXPECT_FALSE(obs::metrics_enabled());
+    EXPECT_FALSE(obs::trace_enabled());
+  }
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_FALSE(obs::trace_enabled());
+}
+
+TEST(ObsSession, TraceFlagEnablesTracerAndWritesChromeTraceOnExit) {
+  const std::string path =
+      testing::TempDir() + "bvc_obs_session_trace_test.json";
+  const std::string flag = "--trace-out=" + path;
+  const char* argv[] = {"bench_fake", flag.c_str()};
+  obs::Tracer::global().reset();
+  {
+    bench::ObsSession session(2, argv);
+    ASSERT_TRUE(obs::trace_enabled());
+    obs::Span span("bench_common_test.work", "test");
+  }
+  obs::Tracer::global().disable();
+  obs::Tracer::global().reset();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "ObsSession did not write " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bench_common_test.work\""),
+            std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsSession, MetricsFlagEnablesMetricsAndWritesSnapshotOnExit) {
+  const std::string path =
+      testing::TempDir() + "bvc_obs_session_metrics_test.json";
+  const std::string flag = "--metrics-out=" + path;
+  const char* argv[] = {"bench_fake", flag.c_str()};
+  {
+    bench::ObsSession session(2, argv);
+    ASSERT_TRUE(obs::metrics_enabled());
+    obs::MetricsRegistry::global()
+        .counter("bench_common_test.sessions")
+        .add();
+  }
+  obs::set_metrics_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "ObsSession did not write " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench_common_test.sessions\""), std::string::npos);
+}
+
+TEST(ObsSession, ManifestRecordsNotedOutputs) {
+  const std::string path =
+      testing::TempDir() + "bvc_obs_session_manifest_test.json";
+  const std::string flag = "--manifest-out=" + path;
+  const char* argv[] = {"bench_fake", flag.c_str(), "--quick"};
+  {
+    bench::ObsSession session(3, argv);
+    session.note_output("csv", "out/table.csv");
+  }
+  obs::set_metrics_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "ObsSession did not write " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"binary\""), std::string::npos);
+  EXPECT_NE(json.find("--quick"), std::string::npos);
+  EXPECT_NE(json.find("out/table.csv"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace

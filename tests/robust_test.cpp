@@ -4,8 +4,10 @@
 // rollout, and both simulators).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bu/attack_analysis.hpp"
@@ -153,6 +155,55 @@ TEST(RunGuard, ClockStrideStillCountsTicks) {
     ++allowed;
   }
   EXPECT_EQ(allowed, 10);  // the tick cap must not be amortized away
+}
+
+TEST(RunGuard, ClockStrideActuallySkipsClockReads) {
+  // With stride 4 the deadline is only consulted when ticks_ % 4 == 0,
+  // i.e. on the 1st call (ticks_ = 0) and the 5th (ticks_ = 4). Sleeping
+  // past the deadline after the 1st call must therefore go unnoticed for
+  // exactly three more ticks — if any of them stopped, the stride would be
+  // reading the clock it promised to skip.
+  RunControl control;
+  control.budget = RunBudget::deadline(0.05);
+  RunGuard guard(control, /*clock_stride=*/4);
+  ASSERT_FALSE(guard.tick().has_value());  // ticks_ = 0: clock read, fresh
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(guard.tick().has_value());  // ticks_ = 1: skipped
+  EXPECT_FALSE(guard.tick().has_value());  // ticks_ = 2: skipped
+  EXPECT_FALSE(guard.tick().has_value());  // ticks_ = 3: skipped
+  const auto stopped = guard.tick();       // ticks_ = 4: clock read again
+  ASSERT_TRUE(stopped.has_value());
+  EXPECT_EQ(*stopped, RunStatus::kBudgetExhausted);
+  // Once expired, the guard keeps reporting exhaustion without strides.
+  EXPECT_EQ(guard.tick(), std::optional<RunStatus>(
+                              RunStatus::kBudgetExhausted));
+}
+
+TEST(RunGuard, ElapsedNanosecondsAndSecondsAgree) {
+  RunGuard guard(RunControl{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double before = guard.elapsed_seconds();
+  const std::int64_t ns = guard.elapsed_ns();
+  const double after = guard.elapsed_seconds();
+  // Both views read the same steady clock, so the ns reading taken between
+  // the two seconds readings must land between them (modulo 1ns rounding).
+  EXPECT_GE(static_cast<double>(ns) * 1e-9, before - 1e-6);
+  EXPECT_LE(static_cast<double>(ns) * 1e-9, after + 1e-6);
+  EXPECT_GE(before, 0.009);  // sleep_for guarantees at least the request
+  EXPECT_GE(ns, 9'000'000);
+}
+
+TEST(RunGuard, RemainingNeverGoesNegative) {
+  RunControl control;
+  control.budget = RunBudget::deadline(0.001);
+  RunGuard guard(control);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const RunBudget rest = guard.remaining();
+  // Past the deadline the remaining allowance clamps at zero; a negative
+  // allowance handed to a nested solve would be interpreted as "no
+  // deadline was configured at all" by downstream arithmetic.
+  EXPECT_GE(rest.wall_clock_seconds, 0.0);
+  EXPECT_EQ(rest.wall_clock_seconds, 0.0);
 }
 
 // ---------------------------------------------------------- MDP solvers ---
