@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ad.dir/bench_ablation_ad.cpp.o"
+  "CMakeFiles/bench_ablation_ad.dir/bench_ablation_ad.cpp.o.d"
+  "bench_ablation_ad"
+  "bench_ablation_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

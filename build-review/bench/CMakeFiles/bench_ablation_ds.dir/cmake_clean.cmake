@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ds.dir/bench_ablation_ds.cpp.o"
+  "CMakeFiles/bench_ablation_ds.dir/bench_ablation_ds.cpp.o.d"
+  "bench_ablation_ds"
+  "bench_ablation_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_gate.cpp" "bench/CMakeFiles/bench_ablation_gate.dir/bench_ablation_gate.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_gate.dir/bench_ablation_gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/bu/CMakeFiles/bvc_bu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/btc/CMakeFiles/bvc_btc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bvc_chain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/counter/CMakeFiles/bvc_counter.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/games/CMakeFiles/bvc_games.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mdp/CMakeFiles/bvc_mdp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/bvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

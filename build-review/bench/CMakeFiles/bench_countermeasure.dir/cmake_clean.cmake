@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_countermeasure.dir/bench_countermeasure.cpp.o"
+  "CMakeFiles/bench_countermeasure.dir/bench_countermeasure.cpp.o.d"
+  "bench_countermeasure"
+  "bench_countermeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_countermeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

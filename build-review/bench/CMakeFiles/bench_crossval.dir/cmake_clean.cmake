@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossval.dir/bench_crossval.cpp.o"
+  "CMakeFiles/bench_crossval.dir/bench_crossval.cpp.o.d"
+  "bench_crossval"
+  "bench_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

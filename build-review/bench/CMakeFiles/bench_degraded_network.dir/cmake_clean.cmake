@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_network.dir/bench_degraded_network.cpp.o"
+  "CMakeFiles/bench_degraded_network.dir/bench_degraded_network.cpp.o.d"
+  "bench_degraded_network"
+  "bench_degraded_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_validity.dir/bench_fig1_validity.cpp.o"
+  "CMakeFiles/bench_fig1_validity.dir/bench_fig1_validity.cpp.o.d"
+  "bench_fig1_validity"
+  "bench_fig1_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

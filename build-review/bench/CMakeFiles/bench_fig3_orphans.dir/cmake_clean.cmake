@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_orphans.dir/bench_fig3_orphans.cpp.o"
+  "CMakeFiles/bench_fig3_orphans.dir/bench_fig3_orphans.cpp.o.d"
+  "bench_fig3_orphans"
+  "bench_fig3_orphans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_orphans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bsig.dir/bench_fig4_bsig.cpp.o"
+  "CMakeFiles/bench_fig4_bsig.dir/bench_fig4_bsig.cpp.o.d"
+  "bench_fig4_bsig"
+  "bench_fig4_bsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

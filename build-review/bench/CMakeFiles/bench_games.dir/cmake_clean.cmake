@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_games.dir/bench_games.cpp.o"
+  "CMakeFiles/bench_games.dir/bench_games.cpp.o.d"
+  "bench_games"
+  "bench_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

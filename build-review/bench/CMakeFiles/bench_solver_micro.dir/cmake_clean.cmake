@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_micro.dir/bench_solver_micro.cpp.o"
+  "CMakeFiles/bench_solver_micro.dir/bench_solver_micro.cpp.o.d"
+  "bench_solver_micro"
+  "bench_solver_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasure_vote.dir/countermeasure_vote.cpp.o"
+  "CMakeFiles/countermeasure_vote.dir/countermeasure_vote.cpp.o.d"
+  "countermeasure_vote"
+  "countermeasure_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasure_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_spend_planner.dir/double_spend_planner.cpp.o"
+  "CMakeFiles/double_spend_planner.dir/double_spend_planner.cpp.o.d"
+  "double_spend_planner"
+  "double_spend_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_spend_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergent_consensus.dir/emergent_consensus.cpp.o"
+  "CMakeFiles/emergent_consensus.dir/emergent_consensus.cpp.o.d"
+  "emergent_consensus"
+  "emergent_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergent_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

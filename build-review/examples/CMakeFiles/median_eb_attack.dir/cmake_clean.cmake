@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/median_eb_attack.dir/median_eb_attack.cpp.o"
+  "CMakeFiles/median_eb_attack.dir/median_eb_attack.cpp.o.d"
+  "median_eb_attack"
+  "median_eb_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/median_eb_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

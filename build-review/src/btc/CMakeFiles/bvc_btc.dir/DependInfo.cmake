@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btc/honest.cpp" "src/btc/CMakeFiles/bvc_btc.dir/honest.cpp.o" "gcc" "src/btc/CMakeFiles/bvc_btc.dir/honest.cpp.o.d"
+  "/root/repo/src/btc/selfish_mining.cpp" "src/btc/CMakeFiles/bvc_btc.dir/selfish_mining.cpp.o" "gcc" "src/btc/CMakeFiles/bvc_btc.dir/selfish_mining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/bu/CMakeFiles/bvc_bu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mdp/CMakeFiles/bvc_mdp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

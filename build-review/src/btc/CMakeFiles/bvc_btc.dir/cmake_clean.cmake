@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_btc.dir/honest.cpp.o"
+  "CMakeFiles/bvc_btc.dir/honest.cpp.o.d"
+  "CMakeFiles/bvc_btc.dir/selfish_mining.cpp.o"
+  "CMakeFiles/bvc_btc.dir/selfish_mining.cpp.o.d"
+  "libbvc_btc.a"
+  "libbvc_btc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_btc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

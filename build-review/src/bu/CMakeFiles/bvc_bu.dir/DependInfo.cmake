@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bu/attack_analysis.cpp" "src/bu/CMakeFiles/bvc_bu.dir/attack_analysis.cpp.o" "gcc" "src/bu/CMakeFiles/bvc_bu.dir/attack_analysis.cpp.o.d"
+  "/root/repo/src/bu/attack_model.cpp" "src/bu/CMakeFiles/bvc_bu.dir/attack_model.cpp.o" "gcc" "src/bu/CMakeFiles/bvc_bu.dir/attack_model.cpp.o.d"
+  "/root/repo/src/bu/attack_state.cpp" "src/bu/CMakeFiles/bvc_bu.dir/attack_state.cpp.o" "gcc" "src/bu/CMakeFiles/bvc_bu.dir/attack_state.cpp.o.d"
+  "/root/repo/src/bu/multi_eb.cpp" "src/bu/CMakeFiles/bvc_bu.dir/multi_eb.cpp.o" "gcc" "src/bu/CMakeFiles/bvc_bu.dir/multi_eb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mdp/CMakeFiles/bvc_mdp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_bu.dir/attack_analysis.cpp.o"
+  "CMakeFiles/bvc_bu.dir/attack_analysis.cpp.o.d"
+  "CMakeFiles/bvc_bu.dir/attack_model.cpp.o"
+  "CMakeFiles/bvc_bu.dir/attack_model.cpp.o.d"
+  "CMakeFiles/bvc_bu.dir/attack_state.cpp.o"
+  "CMakeFiles/bvc_bu.dir/attack_state.cpp.o.d"
+  "CMakeFiles/bvc_bu.dir/multi_eb.cpp.o"
+  "CMakeFiles/bvc_bu.dir/multi_eb.cpp.o.d"
+  "libbvc_bu.a"
+  "libbvc_bu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_bu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bvc_bu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/bitcoin_validity.cpp" "src/chain/CMakeFiles/bvc_chain.dir/bitcoin_validity.cpp.o" "gcc" "src/chain/CMakeFiles/bvc_chain.dir/bitcoin_validity.cpp.o.d"
+  "/root/repo/src/chain/block_tree.cpp" "src/chain/CMakeFiles/bvc_chain.dir/block_tree.cpp.o" "gcc" "src/chain/CMakeFiles/bvc_chain.dir/block_tree.cpp.o.d"
+  "/root/repo/src/chain/bu_validity.cpp" "src/chain/CMakeFiles/bvc_chain.dir/bu_validity.cpp.o" "gcc" "src/chain/CMakeFiles/bvc_chain.dir/bu_validity.cpp.o.d"
+  "/root/repo/src/chain/selection.cpp" "src/chain/CMakeFiles/bvc_chain.dir/selection.cpp.o" "gcc" "src/chain/CMakeFiles/bvc_chain.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_chain.dir/bitcoin_validity.cpp.o"
+  "CMakeFiles/bvc_chain.dir/bitcoin_validity.cpp.o.d"
+  "CMakeFiles/bvc_chain.dir/block_tree.cpp.o"
+  "CMakeFiles/bvc_chain.dir/block_tree.cpp.o.d"
+  "CMakeFiles/bvc_chain.dir/bu_validity.cpp.o"
+  "CMakeFiles/bvc_chain.dir/bu_validity.cpp.o.d"
+  "CMakeFiles/bvc_chain.dir/selection.cpp.o"
+  "CMakeFiles/bvc_chain.dir/selection.cpp.o.d"
+  "libbvc_chain.a"
+  "libbvc_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counter/dynamic_limit.cpp" "src/counter/CMakeFiles/bvc_counter.dir/dynamic_limit.cpp.o" "gcc" "src/counter/CMakeFiles/bvc_counter.dir/dynamic_limit.cpp.o.d"
+  "/root/repo/src/counter/dynamic_validity.cpp" "src/counter/CMakeFiles/bvc_counter.dir/dynamic_validity.cpp.o" "gcc" "src/counter/CMakeFiles/bvc_counter.dir/dynamic_validity.cpp.o.d"
+  "/root/repo/src/counter/voting_simulation.cpp" "src/counter/CMakeFiles/bvc_counter.dir/voting_simulation.cpp.o" "gcc" "src/counter/CMakeFiles/bvc_counter.dir/voting_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/chain/CMakeFiles/bvc_chain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mdp/CMakeFiles/bvc_mdp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_counter.dir/dynamic_limit.cpp.o"
+  "CMakeFiles/bvc_counter.dir/dynamic_limit.cpp.o.d"
+  "CMakeFiles/bvc_counter.dir/dynamic_validity.cpp.o"
+  "CMakeFiles/bvc_counter.dir/dynamic_validity.cpp.o.d"
+  "CMakeFiles/bvc_counter.dir/voting_simulation.cpp.o"
+  "CMakeFiles/bvc_counter.dir/voting_simulation.cpp.o.d"
+  "libbvc_counter.a"
+  "libbvc_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/games/block_size_game.cpp" "src/games/CMakeFiles/bvc_games.dir/block_size_game.cpp.o" "gcc" "src/games/CMakeFiles/bvc_games.dir/block_size_game.cpp.o.d"
+  "/root/repo/src/games/eb_choosing.cpp" "src/games/CMakeFiles/bvc_games.dir/eb_choosing.cpp.o" "gcc" "src/games/CMakeFiles/bvc_games.dir/eb_choosing.cpp.o.d"
+  "/root/repo/src/games/fee_market.cpp" "src/games/CMakeFiles/bvc_games.dir/fee_market.cpp.o" "gcc" "src/games/CMakeFiles/bvc_games.dir/fee_market.cpp.o.d"
+  "/root/repo/src/games/game_batch.cpp" "src/games/CMakeFiles/bvc_games.dir/game_batch.cpp.o" "gcc" "src/games/CMakeFiles/bvc_games.dir/game_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mdp/CMakeFiles/bvc_mdp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_games.dir/block_size_game.cpp.o"
+  "CMakeFiles/bvc_games.dir/block_size_game.cpp.o.d"
+  "CMakeFiles/bvc_games.dir/eb_choosing.cpp.o"
+  "CMakeFiles/bvc_games.dir/eb_choosing.cpp.o.d"
+  "CMakeFiles/bvc_games.dir/fee_market.cpp.o"
+  "CMakeFiles/bvc_games.dir/fee_market.cpp.o.d"
+  "CMakeFiles/bvc_games.dir/game_batch.cpp.o"
+  "CMakeFiles/bvc_games.dir/game_batch.cpp.o.d"
+  "libbvc_games.a"
+  "libbvc_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

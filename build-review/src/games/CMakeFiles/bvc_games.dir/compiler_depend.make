@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bvc_games.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdp/average_reward.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/average_reward.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/average_reward.cpp.o.d"
+  "/root/repo/src/mdp/batch.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/batch.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/batch.cpp.o.d"
+  "/root/repo/src/mdp/compiled_model.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/compiled_model.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/compiled_model.cpp.o.d"
+  "/root/repo/src/mdp/discounted.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/discounted.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/discounted.cpp.o.d"
+  "/root/repo/src/mdp/model.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/model.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/model.cpp.o.d"
+  "/root/repo/src/mdp/model_cache.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/model_cache.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/model_cache.cpp.o.d"
+  "/root/repo/src/mdp/policy_iteration.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/policy_iteration.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/policy_iteration.cpp.o.d"
+  "/root/repo/src/mdp/ratio.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/ratio.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/ratio.cpp.o.d"
+  "/root/repo/src/mdp/rollout.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/rollout.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/rollout.cpp.o.d"
+  "/root/repo/src/mdp/solver_config.cpp" "src/mdp/CMakeFiles/bvc_mdp.dir/solver_config.cpp.o" "gcc" "src/mdp/CMakeFiles/bvc_mdp.dir/solver_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

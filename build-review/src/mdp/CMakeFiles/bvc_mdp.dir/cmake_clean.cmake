@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_mdp.dir/average_reward.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/average_reward.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/batch.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/batch.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/compiled_model.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/compiled_model.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/discounted.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/discounted.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/model.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/model.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/model_cache.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/model_cache.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/policy_iteration.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/policy_iteration.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/ratio.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/ratio.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/rollout.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/rollout.cpp.o.d"
+  "CMakeFiles/bvc_mdp.dir/solver_config.cpp.o"
+  "CMakeFiles/bvc_mdp.dir/solver_config.cpp.o.d"
+  "libbvc_mdp.a"
+  "libbvc_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

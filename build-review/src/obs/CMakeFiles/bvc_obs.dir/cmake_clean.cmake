@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_obs.dir/manifest.cpp.o"
+  "CMakeFiles/bvc_obs.dir/manifest.cpp.o.d"
+  "CMakeFiles/bvc_obs.dir/metrics.cpp.o"
+  "CMakeFiles/bvc_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/bvc_obs.dir/trace.cpp.o"
+  "CMakeFiles/bvc_obs.dir/trace.cpp.o.d"
+  "libbvc_obs.a"
+  "libbvc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

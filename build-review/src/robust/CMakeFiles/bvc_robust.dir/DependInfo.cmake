@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/fault_plan.cpp" "src/robust/CMakeFiles/bvc_robust.dir/fault_plan.cpp.o" "gcc" "src/robust/CMakeFiles/bvc_robust.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/robust/run_control.cpp" "src/robust/CMakeFiles/bvc_robust.dir/run_control.cpp.o" "gcc" "src/robust/CMakeFiles/bvc_robust.dir/run_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

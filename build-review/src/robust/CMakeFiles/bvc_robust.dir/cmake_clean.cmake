@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_robust.dir/fault_plan.cpp.o"
+  "CMakeFiles/bvc_robust.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/bvc_robust.dir/run_control.cpp.o"
+  "CMakeFiles/bvc_robust.dir/run_control.cpp.o.d"
+  "libbvc_robust.a"
+  "libbvc_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attack_scenario.cpp" "src/sim/CMakeFiles/bvc_sim.dir/attack_scenario.cpp.o" "gcc" "src/sim/CMakeFiles/bvc_sim.dir/attack_scenario.cpp.o.d"
+  "/root/repo/src/sim/fork_simulation.cpp" "src/sim/CMakeFiles/bvc_sim.dir/fork_simulation.cpp.o" "gcc" "src/sim/CMakeFiles/bvc_sim.dir/fork_simulation.cpp.o.d"
+  "/root/repo/src/sim/network_sim.cpp" "src/sim/CMakeFiles/bvc_sim.dir/network_sim.cpp.o" "gcc" "src/sim/CMakeFiles/bvc_sim.dir/network_sim.cpp.o.d"
+  "/root/repo/src/sim/node_view.cpp" "src/sim/CMakeFiles/bvc_sim.dir/node_view.cpp.o" "gcc" "src/sim/CMakeFiles/bvc_sim.dir/node_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/bu/CMakeFiles/bvc_bu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bvc_chain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mdp/CMakeFiles/bvc_mdp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bvc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/robust/CMakeFiles/bvc_robust.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bvc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

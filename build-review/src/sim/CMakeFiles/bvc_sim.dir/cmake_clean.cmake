@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_sim.dir/attack_scenario.cpp.o"
+  "CMakeFiles/bvc_sim.dir/attack_scenario.cpp.o.d"
+  "CMakeFiles/bvc_sim.dir/fork_simulation.cpp.o"
+  "CMakeFiles/bvc_sim.dir/fork_simulation.cpp.o.d"
+  "CMakeFiles/bvc_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/bvc_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/bvc_sim.dir/node_view.cpp.o"
+  "CMakeFiles/bvc_sim.dir/node_view.cpp.o.d"
+  "libbvc_sim.a"
+  "libbvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvc_util.dir/check.cpp.o"
+  "CMakeFiles/bvc_util.dir/check.cpp.o.d"
+  "CMakeFiles/bvc_util.dir/cli.cpp.o"
+  "CMakeFiles/bvc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/bvc_util.dir/csv.cpp.o"
+  "CMakeFiles/bvc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bvc_util.dir/rng.cpp.o"
+  "CMakeFiles/bvc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bvc_util.dir/stats.cpp.o"
+  "CMakeFiles/bvc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bvc_util.dir/table.cpp.o"
+  "CMakeFiles/bvc_util.dir/table.cpp.o.d"
+  "CMakeFiles/bvc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bvc_util.dir/thread_pool.cpp.o.d"
+  "libbvc_util.a"
+  "libbvc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

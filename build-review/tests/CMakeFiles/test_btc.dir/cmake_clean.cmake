@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btc.dir/btc_test.cpp.o"
+  "CMakeFiles/test_btc.dir/btc_test.cpp.o.d"
+  "test_btc"
+  "test_btc.pdb"
+  "test_btc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bu_analysis.dir/bu_analysis_test.cpp.o"
+  "CMakeFiles/test_bu_analysis.dir/bu_analysis_test.cpp.o.d"
+  "test_bu_analysis"
+  "test_bu_analysis.pdb"
+  "test_bu_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bu_model.dir/bu_model_test.cpp.o"
+  "CMakeFiles/test_bu_model.dir/bu_model_test.cpp.o.d"
+  "test_bu_model"
+  "test_bu_model.pdb"
+  "test_bu_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

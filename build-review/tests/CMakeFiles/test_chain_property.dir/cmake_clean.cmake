@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_property.dir/chain_property_test.cpp.o"
+  "CMakeFiles/test_chain_property.dir/chain_property_test.cpp.o.d"
+  "test_chain_property"
+  "test_chain_property.pdb"
+  "test_chain_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

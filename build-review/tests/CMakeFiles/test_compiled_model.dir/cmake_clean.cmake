@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled_model.dir/compiled_model_test.cpp.o"
+  "CMakeFiles/test_compiled_model.dir/compiled_model_test.cpp.o.d"
+  "test_compiled_model"
+  "test_compiled_model.pdb"
+  "test_compiled_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter.dir/counter_test.cpp.o"
+  "CMakeFiles/test_counter.dir/counter_test.cpp.o.d"
+  "test_counter"
+  "test_counter.pdb"
+  "test_counter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

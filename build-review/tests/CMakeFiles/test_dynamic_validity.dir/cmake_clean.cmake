@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_validity.dir/dynamic_validity_test.cpp.o"
+  "CMakeFiles/test_dynamic_validity.dir/dynamic_validity_test.cpp.o.d"
+  "test_dynamic_validity"
+  "test_dynamic_validity.pdb"
+  "test_dynamic_validity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fee_market.dir/fee_market_test.cpp.o"
+  "CMakeFiles/test_fee_market.dir/fee_market_test.cpp.o.d"
+  "test_fee_market"
+  "test_fee_market.pdb"
+  "test_fee_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fee_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

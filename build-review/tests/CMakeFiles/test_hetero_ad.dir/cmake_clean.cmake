@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_ad.dir/hetero_ad_test.cpp.o"
+  "CMakeFiles/test_hetero_ad.dir/hetero_ad_test.cpp.o.d"
+  "test_hetero_ad"
+  "test_hetero_ad.pdb"
+  "test_hetero_ad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

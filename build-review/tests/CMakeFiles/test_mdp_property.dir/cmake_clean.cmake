@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdp_property.dir/mdp_property_test.cpp.o"
+  "CMakeFiles/test_mdp_property.dir/mdp_property_test.cpp.o.d"
+  "test_mdp_property"
+  "test_mdp_property.pdb"
+  "test_mdp_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_eb.dir/multi_eb_test.cpp.o"
+  "CMakeFiles/test_multi_eb.dir/multi_eb_test.cpp.o.d"
+  "test_multi_eb"
+  "test_multi_eb.pdb"
+  "test_multi_eb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_eb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_view.dir/node_view_test.cpp.o"
+  "CMakeFiles/test_node_view.dir/node_view_test.cpp.o.d"
+  "test_node_view"
+  "test_node_view.pdb"
+  "test_node_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

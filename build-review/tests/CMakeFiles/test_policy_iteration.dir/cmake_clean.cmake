@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_iteration.dir/policy_iteration_test.cpp.o"
+  "CMakeFiles/test_policy_iteration.dir/policy_iteration_test.cpp.o.d"
+  "test_policy_iteration"
+  "test_policy_iteration.pdb"
+  "test_policy_iteration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
