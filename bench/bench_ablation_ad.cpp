@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
 #include "sim/attack_scenario.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -27,10 +28,11 @@ using namespace bvc;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::ObsSession obs(argc, argv);
+  bench::SweepSession sweep(argc, argv, obs, "bench_ablation_ad");
   const double alpha = args.get_double("alpha", 0.25);
   const double beta = args.get_double("beta", 0.30);
   const double gamma = args.get_double("gamma", 0.45);
-  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+  const mdp::BatchConfig batch = sweep.batch_config(args);
 
   std::printf(
       "Ablation — acceptance depth AD (alpha=%.2f, beta=%.2f, gamma=%.2f,\n"
@@ -60,8 +62,14 @@ int main(int argc, char** argv) {
     orphan_params.gamma = gamma * scale;
     jobs.push_back({orphan_params, bu::Utility::kOrphaning});
   }
+  bu::AnalysisCheckpoint ckpt;
+  ckpt.journal = sweep.journal();
+  ckpt.include = sweep.include_next(jobs.size());
+  // The print loop replays each u1-optimal policy through the scenario
+  // simulator, so resumed cells must carry their policies.
+  ckpt.persist_policy = true;
   const std::vector<bu::AnalysisResult> results =
-      bu::analyze_batch(jobs, {}, batch);
+      bu::analyze_batch(jobs, {}, batch, ckpt);
 
   for (std::size_t i = 0; i < ads.size(); ++i) {
     const unsigned ad = ads[i];
@@ -77,20 +85,25 @@ int main(int argc, char** argv) {
     const bu::AttackModel u1_model =
         bu::build_attack_model(jobs[2 * i].params,
                                bu::Utility::kRelativeRevenue);
-    sim::ScenarioOptions options;
-    sim::AttackScenarioSim simulator(u1_model, options);
-    Rng rng(ad);
-    const sim::ScenarioResult sim_result =
-        simulator.run(u1.policy, 300'000, rng);
+    // A shard worker's excluded cells (and budget-skipped cells) carry no
+    // policy; its rendering is scratch, so print a placeholder instead of
+    // feeding the simulator a policy that does not cover the state space.
+    std::string takeover_cell = "-";
+    if (u1.policy.action.size() == u1_model.space.size()) {
+      sim::ScenarioOptions options;
+      sim::AttackScenarioSim simulator(u1_model, options);
+      Rng rng(ad);
+      const sim::ScenarioResult sim_result =
+          simulator.run(u1.policy, 300'000, rng);
+      takeover_cell =
+          format_fixed(1000.0 * static_cast<double>(sim_result.chain2_wins) /
+                           static_cast<double>(sim_result.steps),
+                       2);
+    }
 
     table.add_row(
         {std::to_string(ad), format_percent(u1.utility_value),
-         format_fixed(u3, 3),
-         format_fixed(1000.0 *
-                          static_cast<double>(sim_result.chain2_wins) /
-                          static_cast<double>(sim_result.steps),
-                      2),
-         std::to_string(ad)});
+         format_fixed(u3, 3), std::move(takeover_cell), std::to_string(ad)});
     std::printf(".");
     std::fflush(stdout);
   }
@@ -129,8 +142,11 @@ int main(int argc, char** argv) {
     orphan.gamma = gamma * scale;
     hetero_jobs.push_back({orphan, bu::Utility::kOrphaning});
   }
+  bu::AnalysisCheckpoint hetero_ckpt;
+  hetero_ckpt.journal = sweep.journal();
+  hetero_ckpt.include = sweep.include_next(hetero_jobs.size());
   const std::vector<bu::AnalysisResult> hetero_results =
-      bu::analyze_batch(hetero_jobs, {}, batch);
+      bu::analyze_batch(hetero_jobs, {}, batch, hetero_ckpt);
 
   for (std::size_t i = 0; i < std::size(pairs); ++i) {
     const auto& pair = pairs[i];

@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "btc/selfish_mining.hpp"
 #include "bu/attack_analysis.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -19,8 +20,9 @@ using namespace bvc;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::ObsSession obs(argc, argv);
+  bench::SweepSession sweep(argc, argv, obs, "bench_ablation_ds");
   const double alpha = args.get_double("alpha", 0.10);
-  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+  const mdp::BatchConfig batch = sweep.batch_config(args);
 
   std::printf(
       "Ablation — double-spend parameters (alpha=%.2f, beta:gamma=1:1)\n\n",
@@ -46,10 +48,16 @@ int main(int argc, char** argv) {
       sm.confirmations = conf;
       sm_jobs.push_back({sm, bu::Utility::kAbsoluteReward, 1e-5});
     }
+    bu::AnalysisCheckpoint bu_ckpt;
+    bu_ckpt.journal = sweep.journal();
+    bu_ckpt.include = sweep.include_next(bu_jobs.size());
     const std::vector<bu::AnalysisResult> bu_results =
-        bu::analyze_batch(bu_jobs, {}, batch);
+        bu::analyze_batch(bu_jobs, {}, batch, bu_ckpt);
+    btc::SmCheckpoint sm_ckpt;
+    sm_ckpt.journal = sweep.journal();
+    sm_ckpt.include = sweep.include_next(sm_jobs.size());
     const std::vector<btc::SmResult> sm_results =
-        btc::analyze_sm_batch(sm_jobs, batch);
+        btc::analyze_sm_batch(sm_jobs, batch, sm_ckpt);
 
     for (std::size_t i = 0; i < confs.size(); ++i) {
       const unsigned conf = confs[i];
@@ -91,10 +99,16 @@ int main(int argc, char** argv) {
       sm.rds = rds;
       sm_jobs.push_back({sm, bu::Utility::kAbsoluteReward, 1e-5});
     }
+    bu::AnalysisCheckpoint bu_ckpt;
+    bu_ckpt.journal = sweep.journal();
+    bu_ckpt.include = sweep.include_next(bu_jobs.size());
     const std::vector<bu::AnalysisResult> bu_results =
-        bu::analyze_batch(bu_jobs, {}, batch);
+        bu::analyze_batch(bu_jobs, {}, batch, bu_ckpt);
+    btc::SmCheckpoint sm_ckpt;
+    sm_ckpt.journal = sweep.journal();
+    sm_ckpt.include = sweep.include_next(sm_jobs.size());
     const std::vector<btc::SmResult> sm_results =
-        btc::analyze_sm_batch(sm_jobs, batch);
+        btc::analyze_sm_batch(sm_jobs, batch, sm_ckpt);
 
     for (std::size_t i = 0; i < rds_values.size(); ++i) {
       const double rds = rds_values[i];

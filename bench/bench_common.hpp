@@ -152,9 +152,10 @@ inline void print_cache_stats(const char* bench_name) {
   const std::uint64_t lookups = stats.hits + stats.misses;
   std::fprintf(stderr,
                "[%s] model cache: %llu hits / %llu misses (%zu entries, "
-               "%.1f%% hit rate)\n",
+               "%.1f MB resident, %.1f%% hit rate)\n",
                bench_name, static_cast<unsigned long long>(stats.hits),
                static_cast<unsigned long long>(stats.misses), stats.entries,
+               static_cast<double>(stats.bytes_resident) / 1e6,
                lookups == 0
                    ? 0.0
                    : 100.0 * static_cast<double>(stats.hits) /
@@ -198,6 +199,13 @@ class ObsSession {
   /// ("csv", "table2.csv").
   void note_output(std::string kind, std::string path) {
     manifest_.outputs.emplace_back(std::move(kind), std::move(path));
+  }
+
+  /// Stamps a free-form provenance note (key, value) into the manifest —
+  /// the sweep layer records shard counts, restarts, and resume tallies
+  /// here so a recovered run is distinguishable from a straight-through one.
+  void annotate(std::string key, std::string value) {
+    manifest_.annotations.emplace_back(std::move(key), std::move(value));
   }
 
   ~ObsSession() {

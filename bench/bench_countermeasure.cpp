@@ -19,6 +19,7 @@
 #include "bench_common.hpp"
 #include "counter/dynamic_limit.hpp"
 #include "counter/voting_simulation.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -31,7 +32,8 @@ using namespace bvc::counter;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::ObsSession obs(argc, argv);
-  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+  bench::SweepSession sweep(argc, argv, obs, "bench_countermeasure");
+  const mdp::BatchConfig batch = sweep.batch_config(args);
 
   VoteRuleConfig rule;  // paper-scale: 2016-block epochs, 200-block delay
   rule.epoch_length = 2016;
@@ -71,7 +73,11 @@ int main(int argc, char** argv) {
   scenario("4. consensus shrinks back to 0.5 MB",
            {{1.0, 500'000, false}}, 20);
 
-  const std::vector<VotingSimResult> results = run_voting_batch(jobs, batch);
+  VotingCheckpoint ckpt;
+  ckpt.journal = sweep.journal();
+  ckpt.include = sweep.include_next(jobs.size());
+  const std::vector<VotingSimResult> results =
+      run_voting_batch(jobs, batch, ckpt);
 
   TextTable table({"scenario", "epochs", "final limit", "increases",
                    "decreases"});

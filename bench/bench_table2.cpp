@@ -7,8 +7,10 @@
 // paper's reference value next to ours.
 //
 // Flags: --quick (skip setting 2), --threads N (batch-solve workers;
-// 0 = all hardware threads). --alphas 0.1,0.25 style overrides are
-// intentionally not provided — the grid is the paper's.
+// 0 = all hardware threads), plus the crash-safe sweep flags
+// (--checkpoint/--resume/--shards, see sweep_session.hpp). --alphas
+// 0.1,0.25 style overrides are intentionally not provided — the grid is
+// the paper's.
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -18,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -67,9 +70,10 @@ std::optional<double> paper_value(const std::string& ratio, double alpha,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::ObsSession obs(argc, argv);
+  bench::SweepSession sweep(argc, argv, obs, "bench_table2");
   const bool quick = args.get_bool("quick", false);
   const unsigned ad = static_cast<unsigned>(args.get_long("ad", 6));
-  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+  const mdp::BatchConfig batch = sweep.batch_config(args);
   bench::CsvSink csv = bench::open_csv(
       args, {"setting", "beta", "gamma", "alpha", "u1", "paper"});
 
@@ -133,8 +137,11 @@ int main(int argc, char** argv) {
         cells.push_back({r, alpha, beta, gamma});
       }
     }
+    bu::AnalysisCheckpoint ckpt;
+    ckpt.journal = sweep.journal();
+    ckpt.include = sweep.include_next(jobs.size());
     const std::vector<bu::AnalysisResult> results =
-        bu::analyze_batch(jobs, {}, batch);
+        bu::analyze_batch(jobs, {}, batch, ckpt);
 
     std::size_t next_cell = 0;
     for (std::size_t r = 0; r < ratios.size(); ++r) {

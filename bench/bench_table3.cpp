@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "btc/selfish_mining.hpp"
 #include "bu/attack_analysis.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -60,8 +61,9 @@ const double kPaperSetting2[5][7] = {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::ObsSession obs(argc, argv);
+  bench::SweepSession sweep(argc, argv, obs, "bench_table3");
   const bool quick = args.get_bool("quick", false);
-  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+  const mdp::BatchConfig batch = sweep.batch_config(args);
   bench::CsvSink csv = bench::open_csv(
       args,
       {"protocol", "setting_or_tiewin", "beta", "gamma", "alpha", "u2",
@@ -118,8 +120,11 @@ int main(int argc, char** argv) {
         cells.push_back({ai, ri, beta, gamma});
       }
     }
+    bu::AnalysisCheckpoint ckpt;
+    ckpt.journal = sweep.journal();
+    ckpt.include = sweep.include_next(jobs.size());
     const std::vector<bu::AnalysisResult> results =
-        bu::analyze_batch(jobs, {}, batch);
+        bu::analyze_batch(jobs, {}, batch, ckpt);
 
     std::size_t next_cell = 0;
     for (std::size_t ai = 0; ai < kAlphas.size(); ++ai) {
@@ -179,8 +184,11 @@ int main(int argc, char** argv) {
       sm_jobs.push_back({sm_params, bu::Utility::kAbsoluteReward, 1e-5});
     }
   }
+  btc::SmCheckpoint sm_ckpt;
+  sm_ckpt.journal = sweep.journal();
+  sm_ckpt.include = sweep.include_next(sm_jobs.size());
   const std::vector<btc::SmResult> sm_results =
-      btc::analyze_sm_batch(sm_jobs, batch);
+      btc::analyze_sm_batch(sm_jobs, batch, sm_ckpt);
 
   for (std::size_t ti = 0; ti < ties.size(); ++ti) {
     const double tie = ties[ti];

@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "bu/attack_analysis.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -26,9 +27,10 @@ struct Row {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::ObsSession obs(argc, argv);
+  bench::SweepSession sweep(argc, argv, obs, "bench_table4");
   const bool quick = args.get_bool("quick", false);
   const double alpha = args.get_double("alpha", 0.01);
-  const mdp::BatchConfig batch = bench::batch_config_from_args(args);
+  const mdp::BatchConfig batch = sweep.batch_config(args);
   bench::CsvSink csv = bench::open_csv(
       args, {"setting", "beta", "gamma", "alpha", "u3", "paper"});
 
@@ -63,8 +65,11 @@ int main(int argc, char** argv) {
       jobs.push_back({params, bu::Utility::kOrphaning});
     }
   }
+  bu::AnalysisCheckpoint ckpt;
+  ckpt.journal = sweep.journal();
+  ckpt.include = sweep.include_next(jobs.size());
   const std::vector<bu::AnalysisResult> results =
-      bu::analyze_batch(jobs, {}, batch);
+      bu::analyze_batch(jobs, {}, batch, ckpt);
 
   TextTable table({"beta:gamma", "Setting 1", "Setting 2"});
   std::size_t next_job = 0;

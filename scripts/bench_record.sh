@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Re-records the committed kernel microbenchmark baseline: builds
+# bench_solver_micro, runs its --mode=kernel AoS-vs-SoA sweep comparison,
+# and rewrites BENCH_kernel.json at the repo root. Run on a quiet machine
+# (the bench takes best-of-5, but a loaded box still skews the numbers)
+# and commit the refreshed JSON together with the change that moved them.
+#
+#   scripts/bench_record.sh              # default build dir build-ci
+#   BVC_BUILD_DIR=build scripts/bench_record.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BVC_BUILD_DIR:-build-ci}"
+
+cmake -S "$repo" -B "$repo/$build" >/dev/null
+cmake --build "$repo/$build" -j "$(nproc)" --target bench_solver_micro
+
+"$repo/$build/bench/bench_solver_micro" --mode=kernel \
+  --out="$repo/BENCH_kernel.json"
+
+echo "bench_record.sh: wrote $repo/BENCH_kernel.json"

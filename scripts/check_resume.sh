@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Crash-safe sweep end-to-end test (registered as the `shard`-labeled ctest
+# case check_resume): proves the ISSUE's acceptance scenario on a real bench
+# binary —
+#
+#   1. an uninterrupted bench_table2 run is the baseline stdout;
+#   2. a checkpointed run is SIGKILLed mid-sweep via the deterministic
+#      crash hook (BVC_CRASH_AFTER_CELLS), leaving a well-formed journal
+#      with exactly the cells that finished;
+#   3. resuming from that journal replays the finished cells and computes
+#      the rest — stdout must be BYTE-IDENTICAL to the baseline;
+#   4. a sharded run (--shards 2) whose worker 0 is crash-injected is
+#      restarted by the supervisor, completes with zero lost cells, again
+#      byte-identical, and the merged manifest records the restart.
+#
+# Usage: scripts/check_resume.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+[[ -d "$build" ]] || build="$repo/$1"
+bench="$build/bench/bench_table2"
+[[ -x "$bench" ]] || {
+  echo "check_resume.sh: $bench not built" >&2
+  exit 1
+}
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+# The injection hooks must never leak in from the caller's environment.
+unset BVC_CRASH_AFTER_CELLS BVC_CRASH_SHARD
+
+flags=(--quick --ad 3 --threads 2)
+
+# 1. Baseline: one uninterrupted run.
+"$bench" "${flags[@]}" >"$out/baseline.txt" 2>"$out/baseline.err"
+
+# 2. Kill the sweep after 5 completed cells (SIGKILL, as the OOM killer
+# would). The journal must survive, well-formed, with exactly 5 records.
+set +e
+BVC_CRASH_AFTER_CELLS=5 "$bench" "${flags[@]}" \
+  --checkpoint "$out/ck.jsonl" >"$out/crashed.txt" 2>"$out/crashed.err"
+status=$?
+set -e
+[[ $status -eq 137 ]] || {
+  echo "check_resume.sh: expected SIGKILL death (137), got $status" >&2
+  cat "$out/crashed.err" >&2
+  exit 1
+}
+[[ -f "$out/ck.jsonl" ]] || {
+  echo "check_resume.sh: crashed run left no journal" >&2
+  exit 1
+}
+cells=$(wc -l <"$out/ck.jsonl")
+[[ $cells -eq 5 ]] || {
+  echo "check_resume.sh: journal has $cells cells, expected 5" >&2
+  exit 1
+}
+
+# 3. Resume: the 5 journaled cells replay, the rest compute; output must be
+# byte-identical to the uninterrupted baseline.
+"$bench" "${flags[@]}" --checkpoint "$out/ck.jsonl" --resume \
+  >"$out/resumed.txt" 2>"$out/resumed.err"
+diff -u "$out/baseline.txt" "$out/resumed.txt" || {
+  echo "check_resume.sh: resumed output differs from baseline" >&2
+  exit 1
+}
+
+# 4. Sharded sweep with a crash-injected worker: shard 0's first
+# incarnation dies after 3 cells; the supervisor restarts it (respawns
+# scrub the injection env), every cell lands in the merged journal, and the
+# parent's render pass reproduces the baseline byte-for-byte.
+BVC_CRASH_AFTER_CELLS=3 BVC_CRASH_SHARD=0 "$bench" "${flags[@]}" \
+  --shards 2 --checkpoint "$out/ck2.jsonl" \
+  >"$out/sharded.txt" 2>"$out/sharded.err"
+diff -u "$out/baseline.txt" "$out/sharded.txt" || {
+  echo "check_resume.sh: sharded output differs from baseline" >&2
+  cat "$out/sharded.err" >&2
+  exit 1
+}
+
+python3 - "$out/ck2.jsonl.merged.json" <<'EOF'
+import json, sys
+
+manifest = json.load(open(sys.argv[1]))
+assert manifest["shards"] == 2, manifest
+assert manifest["total_restarts"] >= 1, \
+    f"injected crash not recorded: {manifest['total_restarts']} restarts"
+assert not manifest["cancelled"], manifest
+assert not manifest["degraded"], manifest
+assert manifest["merge"]["records"] > 0, manifest
+outcomes = {s["index"]: s for s in manifest["shard_outcomes"]}
+assert outcomes[0]["restarts"] >= 1, outcomes  # the crashed shard
+assert all(s["completed"] for s in outcomes.values()), outcomes
+print(f"check_resume: merged {manifest['merge']['records']} cells from "
+      f"{manifest['shards']} shards, {manifest['total_restarts']} restart(s)")
+EOF
+
+echo "check_resume.sh: OK (resume and sharded outputs byte-identical)"

@@ -26,4 +26,10 @@ ctest --test-dir "$repo/$build" --output-on-failure "$@"
 # enabled must produce loadable artifacts with spans from >= 3 subsystems.
 "$repo/scripts/check_trace.sh" "$repo/$build"
 
+# Crash-safety gate, surfaced as its own named step: the shard-labeled
+# tests (journal/supervisor unit tests + scripts/check_resume.sh, which
+# SIGKILLs bench_table2 mid-sweep and demands a byte-identical recovery)
+# must pass in isolation, not just inside the full suite above.
+ctest --test-dir "$repo/$build" --output-on-failure -L shard
+
 echo "ci.sh: all checks passed"

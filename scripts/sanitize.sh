@@ -16,7 +16,10 @@
 # Every tier runs the FULL ctest suite, so the CompiledModel/Model
 # equivalence tests (test_compiled_model) run under each sanitizer, and the
 # thread tier additionally exercises the shared ModelCache under concurrent
-# lookups via the parallel-labeled test_model_cache.
+# lookups via the parallel-labeled test_model_cache. The address tier also
+# covers the shard-labeled crash-safety suite (test_checkpoint +
+# check_resume): the kill-mid-sweep -> resume scenario runs once under
+# ASan/UBSan here, on top of the plain-build run in ci.sh.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"

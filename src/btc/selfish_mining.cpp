@@ -296,11 +296,75 @@ SmResult analyze_sm(const SmParams& params, bu::Utility utility,
   return result;
 }
 
+std::string sm_job_key(const SmJob& job) {
+  std::string key = sm_model_cache_key(job.params, job.utility);
+  mdp::append_key(key, "tol", job.tolerance);
+  return key;
+}
+
+robust::CheckpointRecord sm_record(const std::string& key,
+                                   const SmResult& result,
+                                   bool persist_policy) {
+  robust::CheckpointRecord record;
+  record.key = key;
+  record.status = result.status;
+  record.values = {
+      {"utility_value", result.utility_value},
+      {"iterations", static_cast<double>(result.iterations)},
+      {"wall_clock_ns", static_cast<double>(result.wall_clock_ns)},
+  };
+  if (persist_policy) {
+    record.policy.assign(result.policy.action.begin(),
+                         result.policy.action.end());
+  }
+  return record;
+}
+
+bool sm_restore(const robust::CheckpointRecord& record, SmResult& result) {
+  if (!record.has_value("utility_value")) {
+    return false;
+  }
+  result = SmResult{};
+  result.status = record.status;
+  result.utility_value = record.value_or("utility_value", 0.0);
+  result.iterations = static_cast<int>(record.value_or("iterations", 0.0));
+  result.wall_clock_ns =
+      static_cast<std::int64_t>(record.value_or("wall_clock_ns", 0.0));
+  result.policy.action.assign(record.policy.begin(), record.policy.end());
+  return true;
+}
+
 std::vector<SmResult> analyze_sm_batch(std::span<const SmJob> jobs,
-                                       const mdp::BatchConfig& batch) {
+                                       const mdp::BatchConfig& batch,
+                                       const SmCheckpoint& checkpoint) {
   std::vector<SmResult> results(jobs.size());
+
+  mdp::BatchCheckpoint engine;
+  std::vector<std::string> keys;
+  if (checkpoint.journal != nullptr && checkpoint.journal->enabled()) {
+    keys.reserve(jobs.size());
+    for (const SmJob& job : jobs) {
+      keys.push_back(sm_job_key(job));
+    }
+    engine.journal = checkpoint.journal;
+    engine.cell_key = [&keys](std::size_t i) { return keys[i]; };
+    engine.restore = [&results](std::size_t i,
+                                const robust::CheckpointRecord& record) {
+      return sm_restore(record, results[i]);
+    };
+    engine.snapshot = [&results, &keys,
+                       persist = checkpoint.persist_policy](std::size_t i) {
+      return sm_record(keys[i], results[i], persist);
+    };
+  }
+  engine.include = checkpoint.include;
+  engine.exclude = [&results](std::size_t i) {
+    results[i] = SmResult{};
+    results[i].status = robust::RunStatus::kConverged;
+  };
+
   (void)mdp::run_batch(
-      jobs.size(), batch,
+      jobs.size(), batch, engine,
       [&](std::size_t i, const robust::RunControl& control) {
         results[i] = analyze_sm(jobs[i].params, jobs[i].utility,
                                 jobs[i].tolerance, control);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "mdp/average_reward.hpp"
+#include "mdp/model_cache.hpp"
 #include "util/check.hpp"
 
 namespace bvc::bu {
@@ -69,12 +70,97 @@ AnalysisResult analyze(const AttackParams& params, Utility utility,
   return analyze(build_attack_model(params, utility), options);
 }
 
+std::string analysis_job_key(const AnalysisJob& job,
+                             const AnalysisOptions& options) {
+  // The model key covers (params, utility); the solver knobs below are the
+  // remaining inputs that shape the reported numbers. RunControl budgets are
+  // deliberately NOT part of the key: a cell that converged under one budget
+  // is the same result under any other.
+  std::string key = attack_model_cache_key(job.params, job.utility);
+  mdp::append_key(key, "tol", options.tolerance);
+  mdp::append_key(key, "itol", options.inner.tolerance);
+  mdp::append_key(key, "isweeps",
+                  static_cast<std::int64_t>(options.inner.max_sweeps));
+  mdp::append_key(key, "itau", options.inner.aperiodicity_tau);
+  return key;
+}
+
+robust::CheckpointRecord analysis_record(const std::string& key,
+                                         const AnalysisResult& result,
+                                         bool persist_policy) {
+  robust::CheckpointRecord record;
+  record.key = key;
+  record.status = result.status;
+  record.values = {
+      {"utility_value", result.utility_value},
+      {"honest_baseline", result.honest_baseline},
+      {"beats_honest", result.attack_beats_honest ? 1.0 : 0.0},
+      {"reward_rate", result.reward_rate},
+      {"weight_rate", result.weight_rate},
+      {"iterations", static_cast<double>(result.iterations)},
+      {"wall_clock_ns", static_cast<double>(result.wall_clock_ns)},
+  };
+  if (persist_policy) {
+    record.policy.assign(result.policy.action.begin(),
+                         result.policy.action.end());
+  }
+  return record;
+}
+
+bool analysis_restore(const robust::CheckpointRecord& record,
+                      AnalysisResult& result) {
+  if (!record.has_value("utility_value") ||
+      !record.has_value("honest_baseline")) {
+    return false;
+  }
+  result = AnalysisResult{};
+  result.status = record.status;
+  result.utility_value = record.value_or("utility_value", 0.0);
+  result.honest_baseline = record.value_or("honest_baseline", 0.0);
+  result.attack_beats_honest = record.value_or("beats_honest", 0.0) != 0.0;
+  result.reward_rate = record.value_or("reward_rate", 0.0);
+  result.weight_rate = record.value_or("weight_rate", 0.0);
+  result.iterations = static_cast<int>(record.value_or("iterations", 0.0));
+  result.wall_clock_ns =
+      static_cast<std::int64_t>(record.value_or("wall_clock_ns", 0.0));
+  result.policy.action.assign(record.policy.begin(), record.policy.end());
+  return true;
+}
+
 std::vector<AnalysisResult> analyze_batch(std::span<const AnalysisJob> jobs,
                                           const AnalysisOptions& options,
-                                          const mdp::BatchConfig& batch) {
+                                          const mdp::BatchConfig& batch,
+                                          const AnalysisCheckpoint& checkpoint) {
   std::vector<AnalysisResult> results(jobs.size());
+
+  mdp::BatchCheckpoint engine;
+  std::vector<std::string> keys;
+  if (checkpoint.journal != nullptr && checkpoint.journal->enabled()) {
+    keys.reserve(jobs.size());
+    for (const AnalysisJob& job : jobs) {
+      keys.push_back(analysis_job_key(job, options));
+    }
+    engine.journal = checkpoint.journal;
+    engine.cell_key = [&keys](std::size_t i) { return keys[i]; };
+    engine.restore = [&results](std::size_t i,
+                                const robust::CheckpointRecord& record) {
+      return analysis_restore(record, results[i]);
+    };
+    engine.snapshot = [&results, &keys,
+                       persist = checkpoint.persist_policy](std::size_t i) {
+      return analysis_record(keys[i], results[i], persist);
+    };
+  }
+  engine.include = checkpoint.include;
+  // Excluded cells belong to another shard: stamp them solved-looking so a
+  // worker's own (scratch) rendering passes require_solved.
+  engine.exclude = [&results](std::size_t i) {
+    results[i] = AnalysisResult{};
+    results[i].status = robust::RunStatus::kConverged;
+  };
+
   (void)mdp::run_batch(
-      jobs.size(), batch,
+      jobs.size(), batch, engine,
       [&](std::size_t i, const robust::RunControl& control) {
         AnalysisOptions item_options = options;
         item_options.control = control;

@@ -69,14 +69,47 @@ struct AnalysisJob {
   Utility utility = Utility::kRelativeRevenue;
 };
 
+/// Canonical checkpoint key of one sweep cell: the ModelCache key of the
+/// effective (params, utility) model plus every solver knob that shapes the
+/// reported value — two cells share a journal entry iff they are guaranteed
+/// to produce identical results.
+[[nodiscard]] std::string analysis_job_key(const AnalysisJob& job,
+                                           const AnalysisOptions& options);
+
+/// Crash-safe sweep plumbing for analyze_batch (see mdp::BatchCheckpoint
+/// for the cell lifecycle). Cells excluded by the shard filter get
+/// default-constructed results stamped kConverged: a shard worker's own
+/// table rendering is scratch (the supervisor redirects it to a log file);
+/// only its journal is merged.
+struct AnalysisCheckpoint {
+  robust::CheckpointJournal* journal = nullptr;
+  /// Shard filter over the job index; null = every cell owned.
+  std::function<bool(std::size_t)> include;
+  /// Persist the optimal policy per cell so resumed consumers can replay it
+  /// (the ablation scenario simulations need this; the plain tables do not
+  /// — policies dominate journal size, so this is opt-in).
+  bool persist_policy = false;
+};
+
 /// Batched analyze(): solves every job across mdp::run_batch's thread pool
 /// under the shared budget in `batch.control` (per-item budgets in
 /// `options.control` are ignored — the engine stamps each item with the
 /// batch's remaining allowance). Results are input-ordered and independent
 /// of the thread count; skipped items carry kBudgetExhausted / kCancelled.
+/// With a checkpoint journal, completed cells are journaled as they finish
+/// and journaled cells are restored instead of re-solved.
 [[nodiscard]] std::vector<AnalysisResult> analyze_batch(
     std::span<const AnalysisJob> jobs, const AnalysisOptions& options = {},
-    const mdp::BatchConfig& batch = {});
+    const mdp::BatchConfig& batch = {},
+    const AnalysisCheckpoint& checkpoint = {});
+
+/// Journal (de)serialization of one analysis cell, exposed for the resume
+/// tests. restore returns false on a record missing required fields (schema
+/// drift) — the caller then recomputes the cell.
+[[nodiscard]] robust::CheckpointRecord analysis_record(
+    const std::string& key, const AnalysisResult& result, bool persist_policy);
+[[nodiscard]] bool analysis_restore(const robust::CheckpointRecord& record,
+                                    AnalysisResult& result);
 
 /// Convenience wrappers, one per table.
 [[nodiscard]] double max_relative_revenue(double alpha, double beta,

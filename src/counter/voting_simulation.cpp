@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mdp/model_cache.hpp"
 #include "util/check.hpp"
 
 namespace bvc::counter {
@@ -85,11 +86,103 @@ VotingSimResult run_voting_simulation(const VotingSimConfig& config,
   return run_voting_simulation(config, epochs, rng, mdp::SolverConfig{});
 }
 
+std::string voting_job_key(const VotingJob& job) {
+  const VoteRuleConfig& rule = job.config.rule;
+  std::string key = "voting-sim";
+  mdp::append_key(key, "epoch_len", static_cast<std::int64_t>(rule.epoch_length));
+  mdp::append_key(key, "adjust", rule.adjust_threshold);
+  mdp::append_key(key, "veto", rule.veto_threshold);
+  mdp::append_key(key, "delay",
+                  static_cast<std::int64_t>(rule.activation_delay));
+  mdp::append_key(key, "step", static_cast<std::int64_t>(rule.step));
+  mdp::append_key(key, "init", static_cast<std::int64_t>(rule.initial_limit));
+  mdp::append_key(key, "min", static_cast<std::int64_t>(rule.min_limit));
+  mdp::append_key(key, "max", static_cast<std::int64_t>(rule.max_limit));
+  for (const VoterCohort& cohort : job.config.cohorts) {
+    mdp::append_key(key, "pow", cohort.power);
+    mdp::append_key(key, "pref",
+                    static_cast<std::int64_t>(cohort.preferred_limit));
+    mdp::append_key(key, "adv", cohort.adversarial);
+  }
+  mdp::append_key(key, "epochs", static_cast<std::int64_t>(job.epochs));
+  mdp::append_key(key, "seed", static_cast<std::int64_t>(job.seed));
+  return key;
+}
+
+robust::CheckpointRecord voting_record(const std::string& key,
+                                       const VotingSimResult& result) {
+  robust::CheckpointRecord record;
+  record.key = key;
+  record.status = result.status;
+  record.values = {
+      {"final_limit", static_cast<double>(result.final_limit)},
+      {"increases", static_cast<double>(result.increases)},
+      {"decreases", static_cast<double>(result.decreases)},
+      {"blocks", static_cast<double>(result.blocks)},
+      {"iterations", static_cast<double>(result.iterations)},
+      {"wall_clock_ns", static_cast<double>(result.wall_clock_ns)},
+  };
+  for (const ByteSize limit : result.limit_per_epoch) {
+    record.values.emplace_back("limit_per_epoch", static_cast<double>(limit));
+  }
+  return record;
+}
+
+bool voting_restore(const robust::CheckpointRecord& record,
+                    VotingSimResult& result) {
+  if (!record.has_value("final_limit") || !record.has_value("blocks")) {
+    return false;
+  }
+  result = VotingSimResult{};
+  result.status = record.status;
+  result.final_limit =
+      static_cast<ByteSize>(record.value_or("final_limit", 0.0));
+  result.increases =
+      static_cast<std::size_t>(record.value_or("increases", 0.0));
+  result.decreases =
+      static_cast<std::size_t>(record.value_or("decreases", 0.0));
+  result.blocks = static_cast<std::uint64_t>(record.value_or("blocks", 0.0));
+  result.iterations = static_cast<int>(record.value_or("iterations", 0.0));
+  result.wall_clock_ns =
+      static_cast<std::int64_t>(record.value_or("wall_clock_ns", 0.0));
+  for (const auto& [name, value] : record.values) {
+    if (name == "limit_per_epoch") {
+      result.limit_per_epoch.push_back(static_cast<ByteSize>(value));
+    }
+  }
+  return true;
+}
+
 std::vector<VotingSimResult> run_voting_batch(std::span<const VotingJob> jobs,
-                                              const mdp::BatchConfig& batch) {
+                                              const mdp::BatchConfig& batch,
+                                              const VotingCheckpoint& checkpoint) {
   std::vector<VotingSimResult> results(jobs.size());
+
+  mdp::BatchCheckpoint engine;
+  std::vector<std::string> keys;
+  if (checkpoint.journal != nullptr && checkpoint.journal->enabled()) {
+    keys.reserve(jobs.size());
+    for (const VotingJob& job : jobs) {
+      keys.push_back(voting_job_key(job));
+    }
+    engine.journal = checkpoint.journal;
+    engine.cell_key = [&keys](std::size_t i) { return keys[i]; };
+    engine.restore = [&results](std::size_t i,
+                                const robust::CheckpointRecord& record) {
+      return voting_restore(record, results[i]);
+    };
+    engine.snapshot = [&results, &keys](std::size_t i) {
+      return voting_record(keys[i], results[i]);
+    };
+  }
+  engine.include = checkpoint.include;
+  engine.exclude = [&results](std::size_t i) {
+    results[i] = VotingSimResult{};
+    results[i].status = robust::RunStatus::kConverged;
+  };
+
   (void)mdp::run_batch(
-      jobs.size(), batch,
+      jobs.size(), batch, engine,
       [&](std::size_t i, const robust::RunControl& control) {
         mdp::SolverConfig solver = jobs[i].solver;
         solver.control = control;

@@ -65,10 +65,31 @@ struct VotingJob {
   mdp::SolverConfig solver;
 };
 
+/// Canonical checkpoint key of one simulation cell: every input the result
+/// is a pure function of — the vote rule, the cohort roster, epochs, and
+/// the RNG seed. Solver knobs are not keyed (the sim only reads control).
+[[nodiscard]] std::string voting_job_key(const VotingJob& job);
+
+/// Crash-safe sweep plumbing for run_voting_batch — same lifecycle as
+/// bu::AnalysisCheckpoint (see mdp::BatchCheckpoint).
+struct VotingCheckpoint {
+  robust::CheckpointJournal* journal = nullptr;
+  std::function<bool(std::size_t)> include;
+};
+
 /// Runs every job across the pool (each with Rng(job.seed)). Items skipped
 /// by the shared budget carry status kBudgetExhausted / kCancelled and
-/// empty traces.
+/// empty traces. With a checkpoint journal, completed cells are journaled
+/// (including the per-epoch limit trace) and restored instead of re-run.
 [[nodiscard]] std::vector<VotingSimResult> run_voting_batch(
-    std::span<const VotingJob> jobs, const mdp::BatchConfig& batch = {});
+    std::span<const VotingJob> jobs, const mdp::BatchConfig& batch = {},
+    const VotingCheckpoint& checkpoint = {});
+
+/// Journal (de)serialization of one simulation cell. The per-epoch limit
+/// trace is stored as repeated "limit_per_epoch" values (order preserved).
+[[nodiscard]] robust::CheckpointRecord voting_record(
+    const std::string& key, const VotingSimResult& result);
+[[nodiscard]] bool voting_restore(const robust::CheckpointRecord& record,
+                                  VotingSimResult& result);
 
 }  // namespace bvc::counter

@@ -30,8 +30,22 @@ BatchReport run_batch(
     const std::function<robust::RunStatus(std::size_t,
                                           const robust::RunControl&)>& run_item,
     const std::function<void(std::size_t, robust::RunStatus)>& skip_item) {
+  return run_batch(count, config, BatchCheckpoint{}, run_item, skip_item);
+}
+
+BatchReport run_batch(
+    std::size_t count, const BatchConfig& config,
+    const BatchCheckpoint& checkpoint,
+    const std::function<robust::RunStatus(std::size_t,
+                                          const robust::RunControl&)>& run_item,
+    const std::function<void(std::size_t, robust::RunStatus)>& skip_item) {
   BVC_REQUIRE(run_item != nullptr, "run_batch requires a run_item callback");
   BVC_REQUIRE(skip_item != nullptr, "run_batch requires a skip_item callback");
+  if (checkpoint.enabled()) {
+    BVC_REQUIRE(checkpoint.cell_key != nullptr && checkpoint.restore != nullptr &&
+                    checkpoint.snapshot != nullptr,
+                "a journaling BatchCheckpoint needs cell_key/restore/snapshot");
+  }
 
   const int threads =
       config.threads == 0
@@ -49,6 +63,8 @@ BatchReport run_batch(
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> converged{0};
   std::atomic<std::size_t> skipped{0};
+  std::atomic<std::size_t> resumed{0};
+  std::atomic<std::size_t> excluded{0};
   std::atomic<std::uint8_t> worst{
       static_cast<std::uint8_t>(robust::RunStatus::kConverged)};
   std::mutex error_mutex;
@@ -73,6 +89,35 @@ BatchReport run_batch(
   const auto drain = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      // Shard exclusion first: another process owns this cell; it neither
+      // runs, resumes, nor burns this shard's budget.
+      if (checkpoint.include != nullptr && !checkpoint.include(i)) {
+        if (checkpoint.exclude != nullptr) {
+          checkpoint.exclude(i);
+        }
+        excluded.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
+      // Resume next, before any budget check: replaying a finished cell
+      // from the journal costs microseconds and must not be starved by a
+      // deadline the original run would have beaten.
+      if (checkpoint.enabled()) {
+        const std::optional<robust::CheckpointRecord> record =
+            checkpoint.journal->lookup(checkpoint.cell_key(i));
+        if (record.has_value() && checkpoint.restore(i, *record)) {
+          note_status(record->status);
+          resumed.fetch_add(1, std::memory_order_relaxed);
+          if (obs::metrics_enabled()) {
+            static obs::Counter& resumed_items =
+                obs::MetricsRegistry::global().counter(
+                    "mdp.batch.items_resumed");
+            resumed_items.add();
+          }
+          continue;
+        }
+      }
+
       std::optional<robust::RunStatus> skip;
       if (abort_token.cancel_requested()) {
         skip = robust::RunStatus::kCancelled;
@@ -115,7 +160,13 @@ BatchReport run_batch(
       try {
         obs::Span span("batch.item", "batch");
         span.arg("index", static_cast<std::int64_t>(i));
-        note_status(run_item(i, item_control));
+        const robust::RunStatus status = run_item(i, item_control);
+        note_status(status);
+        // Only completed cells are journaled: a resumed sweep retries
+        // failures instead of replaying them.
+        if (checkpoint.enabled() && robust::is_success(status)) {
+          checkpoint.journal->append(checkpoint.snapshot(i));
+        }
         if (obs::metrics_enabled()) {
           static obs::Counter& items =
               obs::MetricsRegistry::global().counter("mdp.batch.items_run");
@@ -159,6 +210,8 @@ BatchReport run_batch(
   report.items = count;
   report.items_converged = converged.load(std::memory_order_relaxed);
   report.items_skipped = skipped.load(std::memory_order_relaxed);
+  report.items_resumed = resumed.load(std::memory_order_relaxed);
+  report.items_excluded = excluded.load(std::memory_order_relaxed);
   report.elapsed_seconds = seconds_since(start);
   return report;
 }

@@ -30,6 +30,7 @@
 #include "mdp/compiled_model.hpp"
 #include "mdp/ratio.hpp"
 #include "mdp/solver_config.hpp"
+#include "robust/checkpoint.hpp"
 #include "robust/retry.hpp"
 #include "robust/run_control.hpp"
 
@@ -47,17 +48,57 @@ struct BatchConfig {
 
 /// Aggregate outcome of one batch run.
 struct BatchReport {
-  /// Worst per-item status (RunStatus is ordered best-to-worst);
-  /// kConverged for an empty batch.
+  /// Worst per-item status (RunStatus is ordered best-to-worst) over the
+  /// items this process was responsible for; kConverged for an empty batch.
+  /// Excluded items (another shard's cells) never contribute.
   robust::RunStatus status = robust::RunStatus::kConverged;
   std::size_t items = 0;            ///< total items submitted
   std::size_t items_converged = 0;  ///< items with is_success(status)
   std::size_t items_skipped = 0;    ///< items never started (budget/cancel)
+  /// Checkpoint/shard accounting (zero without a BatchCheckpoint):
+  std::size_t items_resumed = 0;    ///< restored from the journal, not run
+  std::size_t items_excluded = 0;   ///< another shard's cells, not run
   double elapsed_seconds = 0.0;
 
   [[nodiscard]] bool all_converged() const noexcept {
     return items_converged == items;
   }
+};
+
+/// Checkpoint/shard plumbing for run_batch. All callbacks are optional in
+/// the sense that a default-constructed BatchCheckpoint (null journal)
+/// disables the whole layer; with a journal set, `cell_key`, `restore` and
+/// `snapshot` must be provided. Per item i, in pickup order:
+///
+///   1. `include(i)` false (another shard's cell) -> `exclude(i)` stamps
+///      the caller's slot however it likes; the item counts only in
+///      items_excluded (never in the worst-status aggregate).
+///   2. journal has `cell_key(i)` and `restore(i, record)` returns true ->
+///      the cell is resumed: counted via its recorded status, not re-run.
+///      A restore returning false (schema drift, truncated record) falls
+///      through to a normal solve — a stale journal degrades to recompute,
+///      never to wrong results.
+///   3. Otherwise the item runs; if its status is_success, `snapshot(i)`
+///      is appended to the journal (failures are NOT journaled: a resumed
+///      sweep retries them instead of replaying the failure).
+///
+/// Restores bypass the shared budget on purpose: replaying a finished cell
+/// costs microseconds and must not be starved by a deadline that the
+/// original (computing) run would have beaten.
+struct BatchCheckpoint {
+  robust::CheckpointJournal* journal = nullptr;
+  std::function<std::string(std::size_t)> cell_key;
+  std::function<bool(std::size_t, const robust::CheckpointRecord&)> restore;
+  std::function<robust::CheckpointRecord(std::size_t)> snapshot;
+  /// Shard filter; null means every cell is owned by this process.
+  std::function<bool(std::size_t)> include;
+  /// Stamp for excluded cells; null leaves the caller's slot untouched.
+  std::function<void(std::size_t)> exclude;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return journal != nullptr && journal->enabled();
+  }
+  [[nodiscard]] bool sharded() const noexcept { return include != nullptr; }
 };
 
 /// One ratio-maximization work item. Exactly one of `model` / `compiled`
@@ -99,6 +140,16 @@ struct RatioBatchResult {
 /// on pool threads but never concurrently for the same `i`.
 [[nodiscard]] BatchReport run_batch(
     std::size_t count, const BatchConfig& config,
+    const std::function<robust::RunStatus(std::size_t,
+                                          const robust::RunControl&)>& run_item,
+    const std::function<void(std::size_t, robust::RunStatus)>& skip_item);
+
+/// run_batch with the crash-safe checkpoint/shard layer (see
+/// BatchCheckpoint). With a disabled checkpoint this is exactly the plain
+/// overload. The journal outlives the call; the caller flushes/merges it.
+[[nodiscard]] BatchReport run_batch(
+    std::size_t count, const BatchConfig& config,
+    const BatchCheckpoint& checkpoint,
     const std::function<robust::RunStatus(std::size_t,
                                           const robust::RunControl&)>& run_item,
     const std::function<void(std::size_t, robust::RunStatus)>& skip_item);

@@ -113,6 +113,20 @@ class CompiledModel {
   /// Human-readable structural summary (state/action/outcome counts).
   [[nodiscard]] std::string summary() const;
 
+  /// Bytes held by the SoA columns (payload only, by element count — not
+  /// allocator slack). Feeds the cache's bytes_resident accounting so a
+  /// sweep can see how much model memory it keeps live.
+  [[nodiscard]] std::size_t bytes_resident() const noexcept {
+    return state_begin_.size() * sizeof(SaIndex) +
+           action_labels_.size() * sizeof(ActionLabel) +
+           outcome_begin_.size() * sizeof(std::size_t) +
+           next_.size() * sizeof(StateId) +
+           (prob_.size() + damped_prob_.size() + reward_.size() +
+            weight_.size() + expected_reward_.size() +
+            expected_weight_.size()) *
+               sizeof(double);
+  }
+
  private:
   CompiledModel() = default;
 

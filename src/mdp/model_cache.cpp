@@ -67,10 +67,16 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_compile(
   // First insert wins: if another thread filled the key while we compiled,
   // return its entry so every caller of one key shares one model.
   const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  if (inserted) {
+    bytes_resident_ += it->second->bytes_resident();
+  }
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry::global()
         .gauge("mdp.cache.entries")
         .set(static_cast<double>(entries_.size()));
+    obs::MetricsRegistry::global()
+        .gauge("mdp.cache.bytes_resident")
+        .set(static_cast<double>(bytes_resident_));
   }
   return it->second;
 }
@@ -84,7 +90,7 @@ std::shared_ptr<const CompiledModel> ModelCache::find(
 
 ModelCache::Stats ModelCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_, entries_.size(), bytes_resident_};
 }
 
 void ModelCache::clear() {
@@ -92,6 +98,11 @@ void ModelCache::clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  bytes_resident_ = 0;
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global().gauge("mdp.cache.entries").set(0.0);
+    obs::MetricsRegistry::global().gauge("mdp.cache.bytes_resident").set(0.0);
+  }
 }
 
 ModelCache& ModelCache::global() {

@@ -39,6 +39,10 @@ class ModelCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::size_t entries = 0;
+    /// Total CompiledModel::bytes_resident over the cached entries (also
+    /// exported as the `mdp.cache.bytes_resident` gauge when metrics are
+    /// on) — how much model memory the cache keeps live for the sweep.
+    std::size_t bytes_resident = 0;
   };
 
   /// Returns the cached compilation for `key`, or runs `compile` (outside
@@ -71,6 +75,7 @@ class ModelCache {
       entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::size_t bytes_resident_ = 0;  ///< running sum over entries_
 };
 
 /// Appends `|name=value` to `key` with doubles rendered round-trip exactly;

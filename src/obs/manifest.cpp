@@ -95,6 +95,13 @@ void write_manifest_json(std::ostream& out, const RunManifest& manifest,
     out << ": ";
     write_json_string(out, manifest.outputs[i].second);
   }
+  out << "},\n  \"annotations\": {";
+  for (std::size_t i = 0; i < manifest.annotations.size(); ++i) {
+    out << (i == 0 ? "" : ", ");
+    write_json_string(out, manifest.annotations[i].first);
+    out << ": ";
+    write_json_string(out, manifest.annotations[i].second);
+  }
   out << "},\n  \"metrics\": ";
   // Indentation mismatch with the nested writer is cosmetic; the payload
   // is for machines first.

@@ -1,0 +1,539 @@
+#include "robust/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace bvc::robust {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Minimal cursor over one journal line. The grammar is the fixed flat
+/// schema to_jsonl emits (plus arbitrary whitespace), not general JSON —
+/// anything else is rejected, which is exactly the torn-line tolerance
+/// load() wants.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (code > 0x7f) {
+            return false;  // the writer only escapes control characters
+          }
+          out += static_cast<char>(code);
+        } else if (esc == '"' || esc == '\\') {
+          out += esc;
+        } else {
+          return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool parse_double(double& out) {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtod(begin, &end);
+    if (end == begin || errno == ERANGE) {
+      return false;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  [[nodiscard]] bool parse_int(std::int64_t& out) {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtoll(begin, &end, 10);
+    if (end == begin || errno == ERANGE) {
+      return false;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<RunStatus> status_from_string(std::string_view text) {
+  for (const RunStatus status :
+       {RunStatus::kConverged, RunStatus::kToleranceStalled,
+        RunStatus::kBudgetExhausted, RunStatus::kCancelled,
+        RunStatus::kDegenerateModel}) {
+    if (text == to_string(status)) {
+      return status;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Writes `content` to `path` atomically: <path>.tmp + fsync + rename.
+bool write_file_atomically(const std::string& path,
+                           const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  const char* data = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  // fsync before rename: the rename must never land ahead of the data.
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double CheckpointRecord::value_or(std::string_view name,
+                                  double fallback) const noexcept {
+  for (const auto& [key, value] : values) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+bool CheckpointRecord::has_value(std::string_view name) const noexcept {
+  for (const auto& [key, value] : values) {
+    if (key == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_jsonl(const CheckpointRecord& record) {
+  std::string out = "{\"key\":";
+  append_json_string(out, record.key);
+  out += ",\"status\":";
+  append_json_string(out, to_string(record.status));
+  out += ",\"values\":{";
+  for (std::size_t i = 0; i < record.values.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    append_json_string(out, record.values[i].first);
+    out += ':';
+    char buffer[40];
+    // %.17g round-trips every finite double: a resumed cell renders the
+    // exact bits the original solve produced (the bitwise-identical-output
+    // guarantee rests on this).
+    std::snprintf(buffer, sizeof(buffer), "%.17g", record.values[i].second);
+    out += buffer;
+  }
+  out += '}';
+  if (!record.policy.empty()) {
+    out += ",\"policy\":[";
+    for (std::size_t i = 0; i < record.policy.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      char buffer[16];
+      std::snprintf(buffer, sizeof(buffer), "%" PRId32, record.policy[i]);
+      out += buffer;
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<CheckpointRecord> parse_jsonl_line(std::string_view line) {
+  LineParser parser(line);
+  CheckpointRecord record;
+  std::string field;
+  if (!parser.eat('{') || !parser.parse_string(field) || field != "key" ||
+      !parser.eat(':') || !parser.parse_string(record.key) ||
+      !parser.eat(',') || !parser.parse_string(field) || field != "status" ||
+      !parser.eat(':')) {
+    return std::nullopt;
+  }
+  std::string status_text;
+  if (!parser.parse_string(status_text)) {
+    return std::nullopt;
+  }
+  const std::optional<RunStatus> status = status_from_string(status_text);
+  if (!status) {
+    return std::nullopt;
+  }
+  record.status = *status;
+  if (!parser.eat(',') || !parser.parse_string(field) || field != "values" ||
+      !parser.eat(':') || !parser.eat('{')) {
+    return std::nullopt;
+  }
+  if (!parser.eat('}')) {
+    while (true) {
+      std::string name;
+      double value = 0.0;
+      if (!parser.parse_string(name) || !parser.eat(':') ||
+          !parser.parse_double(value)) {
+        return std::nullopt;
+      }
+      record.values.emplace_back(std::move(name), value);
+      if (parser.eat('}')) {
+        break;
+      }
+      if (!parser.eat(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (parser.eat(',')) {
+    if (!parser.parse_string(field) || field != "policy" ||
+        !parser.eat(':') || !parser.eat('[')) {
+      return std::nullopt;
+    }
+    if (!parser.eat(']')) {
+      while (true) {
+        std::int64_t action = 0;
+        if (!parser.parse_int(action)) {
+          return std::nullopt;
+        }
+        record.policy.push_back(static_cast<std::int32_t>(action));
+        if (parser.eat(']')) {
+          break;
+        }
+        if (!parser.eat(',')) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  if (!parser.eat('}') || !parser.at_end()) {
+    return std::nullopt;
+  }
+  return record;
+}
+
+CrashPlan crash_plan_from_env() {
+  CrashPlan plan;
+  if (const char* cells = std::getenv("BVC_CRASH_AFTER_CELLS");
+      cells != nullptr && *cells != '\0') {
+    plan.crash_after_appends =
+        static_cast<std::size_t>(std::strtoull(cells, nullptr, 10));
+  }
+  if (const char* shard = std::getenv("BVC_CRASH_SHARD");
+      shard != nullptr && *shard != '\0') {
+    plan.only_shard = static_cast<int>(std::strtol(shard, nullptr, 10));
+  }
+  return plan;
+}
+
+CheckpointJournal::CheckpointJournal(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  BVC_REQUIRE(!path_.empty(), "CheckpointJournal needs a non-empty path");
+  if (options_.fsync_batch == 0) {
+    options_.fsync_batch = 1;
+  }
+}
+
+CheckpointJournal::~CheckpointJournal() { flush(); }
+
+std::size_t CheckpointJournal::load() {
+  if (!enabled()) {
+    return 0;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ifstream in(path_);
+  if (!in) {
+    return 0;  // no journal yet: fresh sweep
+  }
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::optional<CheckpointRecord> record = parse_jsonl_line(line);
+    if (!record) {
+      ++skipped_lines_;
+      continue;
+    }
+    const auto [it, inserted] =
+        index_.try_emplace(record->key, records_.size());
+    if (inserted) {
+      records_.push_back(std::move(*record));
+    } else {
+      records_[it->second] = std::move(*record);  // last record wins
+    }
+    ++loaded;
+  }
+  if (skipped_lines_ > 0) {
+    std::fprintf(stderr,
+                 "[checkpoint] WARNING: skipped %zu malformed line(s) in %s\n",
+                 skipped_lines_, path_.c_str());
+  }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .gauge("robust.checkpoint.cells_loaded")
+        .set(static_cast<double>(records_.size()));
+  }
+  return loaded;
+}
+
+bool CheckpointJournal::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const CheckpointRecord* CheckpointJournal::find(const std::string& key) const {
+  if (!enabled()) {
+    return nullptr;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+std::optional<CheckpointRecord> CheckpointJournal::lookup(
+    const std::string& key) const {
+  if (!enabled()) {
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return records_[it->second];
+}
+
+void CheckpointJournal::append(CheckpointRecord record) {
+  if (!enabled()) {
+    return;
+  }
+  bool crash_now = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        index_.try_emplace(record.key, records_.size());
+    if (inserted) {
+      records_.push_back(std::move(record));
+    } else {
+      records_[it->second] = std::move(record);
+    }
+    ++appended_;
+    ++unflushed_;
+    if (unflushed_ >= options_.fsync_batch) {
+      flush_locked();
+    }
+    if (options_.crash.armed_for(options_.shard_index) &&
+        appended_ >= options_.crash.crash_after_appends) {
+      flush_locked();  // the journal the next run resumes from is complete
+      crash_now = true;
+    }
+    if (obs::metrics_enabled()) {
+      static obs::Counter& appended_cells =
+          obs::MetricsRegistry::global().counter(
+              "robust.checkpoint.cells_appended");
+      appended_cells.add();
+    }
+  }
+  if (crash_now) {
+    std::fprintf(stderr,
+                 "[checkpoint] crash injection: SIGKILL after %zu cells\n",
+                 appended_);
+    std::fflush(stderr);
+    ::raise(SIGKILL);  // simulate an external hard kill (OOM killer)
+  }
+}
+
+bool CheckpointJournal::flush() {
+  if (!enabled()) {
+    return true;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return flush_locked();
+}
+
+bool CheckpointJournal::flush_locked() {
+  if (unflushed_ == 0) {
+    return !write_failed_;
+  }
+  std::string content;
+  for (const CheckpointRecord& record : records_) {
+    content += to_jsonl(record);
+    content += '\n';
+  }
+  if (!write_file_atomically(path_, content)) {
+    if (!write_failed_) {
+      std::fprintf(stderr,
+                   "[checkpoint] WARNING: cannot write journal %s (%s); "
+                   "continuing without durability\n",
+                   path_.c_str(), std::strerror(errno));
+      write_failed_ = true;
+    }
+    return false;
+  }
+  unflushed_ = 0;
+  return true;
+}
+
+std::size_t CheckpointJournal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::size_t CheckpointJournal::appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::size_t CheckpointJournal::skipped_lines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return skipped_lines_;
+}
+
+MergeReport merge_journals(std::span<const std::string> shard_paths,
+                           const std::string& out_path) {
+  MergeReport report;
+  std::string content;
+  std::unordered_map<std::string, bool> seen;
+  for (const std::string& path : shard_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      continue;  // a shard that never completed a cell has no journal
+    }
+    ++report.inputs;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      std::optional<CheckpointRecord> record = parse_jsonl_line(line);
+      if (!record) {
+        ++report.malformed_lines;
+        continue;
+      }
+      if (!seen.try_emplace(record->key, true).second) {
+        ++report.duplicates;
+        continue;  // first occurrence wins
+      }
+      ++report.records;
+      content += line;
+      content += '\n';
+    }
+  }
+  if (!write_file_atomically(out_path, content)) {
+    std::fprintf(stderr, "[checkpoint] WARNING: cannot write merged journal %s\n",
+                 out_path.c_str());
+  }
+  return report;
+}
+
+}  // namespace bvc::robust

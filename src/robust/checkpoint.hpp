@@ -1,0 +1,181 @@
+// Crash-safe sweep checkpointing: a JSONL journal of completed cell results.
+//
+// The table/ablation/countermeasure sweeps are hours-long batches of
+// independent cells; without persistence one crash, OOM kill, or exhausted
+// budget throws the whole sweep away. A CheckpointJournal records each
+// COMPLETED cell as one JSON line keyed by the cell's canonical parameter
+// key (the same ModelCache-style key vocabulary from mdp::append_key), so
+// an interrupted run can be resumed skipping everything already solved.
+//
+// Durability protocol (docs/ROBUSTNESS.md §6):
+//
+//   * Appends are buffered in memory and flushed every `fsync_batch`
+//     records (default 1: every cell is durable the moment its append
+//     returns). A flush serializes the ENTIRE journal to `<path>.tmp`,
+//     fsyncs it, and renames it over `<path>` — readers therefore never
+//     observe a torn line, and a crash at any instant leaves either the
+//     previous journal or the new one, both well-formed. Journals are
+//     small (one short line per cell), so the rewrite is cheap next to the
+//     seconds-long solves it checkpoints.
+//   * load() additionally tolerates journals written by foreign tools or a
+//     pre-rename crash of the raw-append kind: malformed lines are counted
+//     and skipped, never fatal — a half-usable journal resumes half the
+//     sweep instead of none of it.
+//   * Only SUCCESSFUL cells are journaled (the checkpointed batch engine
+//     enforces this): a resumed sweep retries failed or skipped cells
+//     rather than replaying their failure.
+//
+// Deterministic crash injection: Options::crash_after_appends kills the
+// process (SIGKILL, as an external OOM killer would) after the Nth append,
+// AFTER that append's flush. crash_plan_from_env() reads the hook from
+//   BVC_CRASH_AFTER_CELLS=<N>   (0/unset disables)
+//   BVC_CRASH_SHARD=<i>         (optional: only shard i crashes)
+// so tests and the shard supervisor can stage a kill-mid-sweep → resume →
+// bitwise-identical-output scenario without patching any bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "robust/run_control.hpp"
+
+namespace bvc::robust {
+
+/// One completed sweep cell: the canonical parameter key, how the solve
+/// ended, named result values (doubles, round-tripped exactly via %.17g),
+/// and an optional policy (local action indices) for sweeps whose consumers
+/// replay the optimal policy (e.g. the ablation scenario simulations).
+struct CheckpointRecord {
+  std::string key;
+  RunStatus status = RunStatus::kConverged;
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<std::int32_t> policy;  ///< empty = not persisted
+
+  /// First value named `name`, or `fallback`.
+  [[nodiscard]] double value_or(std::string_view name,
+                                double fallback) const noexcept;
+  [[nodiscard]] bool has_value(std::string_view name) const noexcept;
+};
+
+/// Serializes one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const CheckpointRecord& record);
+
+/// Parses one journal line; std::nullopt on any malformed input (torn
+/// write, foreign content). Never throws.
+[[nodiscard]] std::optional<CheckpointRecord> parse_jsonl_line(
+    std::string_view line);
+
+/// Deterministic crash-injection plan (see file comment). Inert by default.
+struct CrashPlan {
+  std::size_t crash_after_appends = 0;  ///< 0 disables
+  int only_shard = -1;                  ///< -1 = any process
+
+  [[nodiscard]] bool armed_for(int shard_index) const noexcept {
+    return crash_after_appends > 0 &&
+           (only_shard < 0 || only_shard == shard_index);
+  }
+};
+
+/// Reads BVC_CRASH_AFTER_CELLS / BVC_CRASH_SHARD.
+[[nodiscard]] CrashPlan crash_plan_from_env();
+
+/// Journal knobs (namespace-scope so `= {}` default arguments work — a
+/// nested class's member initializers are late-parsed).
+struct JournalOptions {
+  /// Flush (serialize + fsync + rename) every N appends. 1 = every cell
+  /// durable immediately; larger values batch the fsync cost at the price
+  /// of recomputing up to N-1 cells after a crash.
+  std::size_t fsync_batch = 1;
+  /// Crash injection, applied at append time (after the flush the append
+  /// triggered, so the journal the next run resumes from is well-formed).
+  CrashPlan crash;
+  /// This process's shard index for CrashPlan::only_shard matching
+  /// (-1 for unsharded runs and the supervisor itself).
+  int shard_index = -1;
+};
+
+class CheckpointJournal {
+ public:
+  using Options = JournalOptions;
+
+  /// Disabled journal: contains() is false, append() and flush() are no-ops.
+  CheckpointJournal() = default;
+  explicit CheckpointJournal(std::string path, Options options = {});
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Flushes any buffered records (errors already reported on stderr).
+  ~CheckpointJournal();
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Loads the journal file into the in-memory index (duplicate keys: last
+  /// record wins). Missing file is an empty journal, not an error. Returns
+  /// the number of records loaded; malformed lines are skipped and counted
+  /// in skipped_lines().
+  std::size_t load();
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Pointer into the journal's index — stable until the next non-const
+  /// call. Null when absent. Prefer lookup() when appends may run
+  /// concurrently (batch workers).
+  [[nodiscard]] const CheckpointRecord* find(const std::string& key) const;
+  /// Copy of the record for `key`, safe against concurrent append().
+  [[nodiscard]] std::optional<CheckpointRecord> lookup(
+      const std::string& key) const;
+
+  /// Records a completed cell (thread-safe; batch workers call this
+  /// concurrently). The record joins the in-memory index immediately and
+  /// becomes durable at the next flush (every fsync_batch appends).
+  void append(CheckpointRecord record);
+
+  /// Serialize + fsync + rename now (no-op when nothing is buffered since
+  /// the last flush). Returns false when the write failed (reported once on
+  /// stderr; the sweep continues — checkpointing degrades, work goes on).
+  bool flush();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t appended() const;       ///< via append() only
+  [[nodiscard]] std::size_t skipped_lines() const;  ///< malformed on load
+
+ private:
+  bool flush_locked();
+
+  std::string path_;
+  Options options_;
+  mutable std::mutex mutex_;
+  /// Insertion-ordered records; index_ maps key -> position (last wins).
+  std::vector<CheckpointRecord> records_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t appended_ = 0;
+  std::size_t unflushed_ = 0;
+  std::size_t skipped_lines_ = 0;
+  bool write_failed_ = false;  ///< report the first failure only
+};
+
+/// Tallies of one journal merge.
+struct MergeReport {
+  std::size_t inputs = 0;          ///< journal files read (missing excluded)
+  std::size_t records = 0;         ///< distinct keys in the merged output
+  std::size_t duplicates = 0;      ///< records dropped as duplicate keys
+  std::size_t malformed_lines = 0; ///< skipped while loading inputs
+};
+
+/// Combines per-shard journals into `out_path` (atomic write-then-rename;
+/// first occurrence of a key wins, input order = shard order then line
+/// order). The output is itself a valid journal, so the merged sweep can be
+/// resumed or re-rendered from it.
+MergeReport merge_journals(std::span<const std::string> shard_paths,
+                           const std::string& out_path);
+
+}  // namespace bvc::robust

@@ -1,0 +1,45 @@
+#include "robust/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace bvc::robust {
+
+double BackoffPolicy::delay_for_attempt(int attempt) const noexcept {
+  if (attempt < 0 || initial_delay_seconds <= 0.0) {
+    return 0.0;
+  }
+  double delay = initial_delay_seconds;
+  for (int i = 0; i < attempt; ++i) {
+    delay *= multiplier;
+    if (delay >= max_delay_seconds) {
+      return std::max(0.0, max_delay_seconds);  // saturated: stop compounding
+    }
+  }
+  return std::min(delay, std::max(0.0, max_delay_seconds));
+}
+
+bool backoff_wait(const BackoffPolicy& policy, int attempt,
+                  const CancelToken& cancel) {
+  using Clock = std::chrono::steady_clock;
+  const double delay = policy.delay_for_attempt(attempt);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(delay));
+  // Poll in short slices so a cancellation fired mid-backoff is honoured
+  // within ~50 ms rather than after the (possibly capped-at-seconds) sleep.
+  constexpr std::chrono::milliseconds kSlice{50};
+  while (!cancel.cancel_requested()) {
+    const Clock::time_point now = Clock::now();
+    if (now >= deadline) {
+      return true;
+    }
+    const Clock::duration left = deadline - now;
+    std::this_thread::sleep_for(
+        left < Clock::duration(kSlice) ? left : Clock::duration(kSlice));
+  }
+  return false;
+}
+
+}  // namespace bvc::robust

@@ -1,0 +1,276 @@
+#include "robust/supervisor.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace bvc::robust {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Forks and execs one worker. Returns the child pid, or -1 on fork
+/// failure. `scrub_crash_env` removes the crash-injection variables in the
+/// child so an injected crash fires only in the first incarnation.
+pid_t spawn_worker(const WorkerSpawn& spawn, bool scrub_crash_env) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;  // parent (or fork error)
+  }
+
+  // Child. Only exec-adjacent calls from here on.
+  if (!spawn.log_path.empty()) {
+    const int fd =
+        ::open(spawn.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) {
+        ::close(fd);
+      }
+    }
+  }
+  if (scrub_crash_env) {
+    ::unsetenv("BVC_CRASH_AFTER_CELLS");
+    ::unsetenv("BVC_CRASH_SHARD");
+  }
+  std::vector<char*> argv;
+  argv.reserve(spawn.argv.size() + 1);
+  for (const std::string& arg : spawn.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  std::fprintf(stderr, "[supervisor] exec %s failed: %s\n", argv[0],
+               std::strerror(errno));
+  ::_exit(127);
+}
+
+/// Journal size as the heartbeat signal; 0 when the file does not exist
+/// yet (a worker that has not completed a cell is given the full stall
+/// allowance from its spawn time).
+std::size_t journal_size(const std::string& path) {
+  struct stat st{};
+  if (path.empty() || ::stat(path.c_str(), &st) != 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(st.st_size);
+}
+
+}  // namespace
+
+std::optional<ShardSpec> ShardSpec::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const std::string head(text.substr(0, slash));
+  const std::string tail(text.substr(slash + 1));
+  errno = 0;
+  const long index = std::strtol(head.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  errno = 0;
+  const long count = std::strtol(tail.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  if (count < 1 || index < 0 || index >= count) {
+    return std::nullopt;
+  }
+  return ShardSpec{static_cast<int>(index), static_cast<int>(count)};
+}
+
+std::string ShardSpec::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::string self_executable_path(const char* argv0) {
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len > 0) {
+    buffer[len] = '\0';
+    return buffer;
+  }
+  return argv0 != nullptr ? argv0 : "";
+}
+
+SupervisorReport supervise_shards(std::span<const WorkerSpawn> workers,
+                                  const SupervisorOptions& options) {
+  /// Per-shard supervision state machine: running -> (exit 0: done) |
+  /// (crash/stall: backing-off -> running ...) | (budget spent: gave up).
+  struct ShardState {
+    const WorkerSpawn* spawn = nullptr;
+    pid_t pid = -1;                    ///< -1 = not currently running
+    bool done = false;
+    bool gave_up = false;
+    Clock::time_point restart_at{};    ///< valid while backing off
+    bool backing_off = false;
+    std::size_t last_heartbeat = 0;    ///< journal size at last progress
+    Clock::time_point last_progress{};
+    ShardOutcome outcome;
+  };
+
+  SupervisorReport report;
+  std::vector<ShardState> shards(workers.size());
+  const Clock::time_point start = Clock::now();
+
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    shards[i].spawn = &workers[i];
+    shards[i].outcome.index = static_cast<int>(i);
+    shards[i].pid = spawn_worker(workers[i], /*scrub_crash_env=*/false);
+    shards[i].last_heartbeat = journal_size(workers[i].journal_path);
+    shards[i].last_progress = start;
+    if (shards[i].pid < 0) {
+      std::fprintf(stderr, "[supervisor] fork failed for shard %zu: %s\n", i,
+                   std::strerror(errno));
+      shards[i].gave_up = true;
+      shards[i].outcome.gave_up = true;
+    }
+  }
+
+  const auto handle_death = [&](ShardState& shard, int wait_status,
+                                bool stalled) {
+    shard.pid = -1;
+    if (WIFEXITED(wait_status)) {
+      shard.outcome.last_exit_code = WEXITSTATUS(wait_status);
+      shard.outcome.last_signal = 0;
+    } else if (WIFSIGNALED(wait_status)) {
+      shard.outcome.last_exit_code = 0;
+      shard.outcome.last_signal = WTERMSIG(wait_status);
+    }
+    if (!stalled && WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
+      shard.done = true;
+      shard.outcome.completed = true;
+      return;
+    }
+    if (shard.outcome.restarts >= options.backoff.max_retries) {
+      shard.gave_up = true;
+      shard.outcome.gave_up = true;
+      std::fprintf(stderr,
+                   "[supervisor] shard %d: retry budget exhausted after %d "
+                   "restart(s); degrading to in-process recovery\n",
+                   shard.outcome.index, shard.outcome.restarts);
+      return;
+    }
+    const double delay =
+        options.backoff.delay_for_attempt(shard.outcome.restarts);
+    shard.backing_off = true;
+    shard.restart_at =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(delay));
+    std::fprintf(
+        stderr,
+        "[supervisor] shard %d died (%s %d)%s; restart %d/%d in %.2fs\n",
+        shard.outcome.index,
+        shard.outcome.last_signal != 0 ? "signal" : "exit",
+        shard.outcome.last_signal != 0 ? shard.outcome.last_signal
+                                       : shard.outcome.last_exit_code,
+        stalled ? " [stalled heartbeat]" : "", shard.outcome.restarts + 1,
+        options.backoff.max_retries, delay);
+  };
+
+  while (true) {
+    bool any_pending = false;
+    for (ShardState& shard : shards) {
+      if (shard.done || shard.gave_up) {
+        continue;
+      }
+      any_pending = true;
+
+      if (shard.backing_off) {
+        if (Clock::now() >= shard.restart_at) {
+          shard.backing_off = false;
+          ++shard.outcome.restarts;
+          ++report.total_restarts;
+          if (obs::metrics_enabled()) {
+            static obs::Counter& restarts =
+                obs::MetricsRegistry::global().counter(
+                    "robust.supervisor.restarts");
+            restarts.add();
+          }
+          // Respawns scrub the crash-injection env: injected crashes are
+          // one-shot by design (the restarted worker must make progress).
+          shard.pid = spawn_worker(*shard.spawn, /*scrub_crash_env=*/true);
+          shard.last_heartbeat = journal_size(shard.spawn->journal_path);
+          shard.last_progress = Clock::now();
+          if (shard.pid < 0) {
+            shard.gave_up = true;
+            shard.outcome.gave_up = true;
+          }
+        }
+        continue;
+      }
+
+      int wait_status = 0;
+      const pid_t reaped = ::waitpid(shard.pid, &wait_status, WNOHANG);
+      if (reaped == shard.pid) {
+        handle_death(shard, wait_status, /*stalled=*/false);
+        continue;
+      }
+
+      // Heartbeat: journal growth is progress. A live worker whose journal
+      // froze past the stall timeout is killed and handled as a crash.
+      if (options.stall_timeout_seconds > 0.0) {
+        const std::size_t beat = journal_size(shard.spawn->journal_path);
+        const Clock::time_point now = Clock::now();
+        if (beat != shard.last_heartbeat) {
+          shard.last_heartbeat = beat;
+          shard.last_progress = now;
+        } else if (std::chrono::duration<double>(now - shard.last_progress)
+                       .count() > options.stall_timeout_seconds) {
+          ++shard.outcome.stall_kills;
+          ::kill(shard.pid, SIGKILL);
+          ::waitpid(shard.pid, &wait_status, 0);
+          handle_death(shard, wait_status, /*stalled=*/true);
+        }
+      }
+    }
+
+    if (!any_pending) {
+      break;
+    }
+    if (options.cancel.cancel_requested()) {
+      report.cancelled = true;
+      for (ShardState& shard : shards) {
+        if (shard.pid > 0) {
+          ::kill(shard.pid, SIGTERM);
+          int wait_status = 0;
+          ::waitpid(shard.pid, &wait_status, 0);
+          shard.pid = -1;
+        }
+        if (!shard.done) {
+          shard.gave_up = true;
+          shard.outcome.gave_up = true;
+        }
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::max(0.001, options.poll_interval_seconds)));
+  }
+
+  report.shards.reserve(shards.size());
+  for (ShardState& shard : shards) {
+    report.shards.push_back(shard.outcome);
+  }
+  return report;
+}
+
+}  // namespace bvc::robust

@@ -1,0 +1,117 @@
+// Multi-process shard supervisor: fork/exec N workers over disjoint cell
+// partitions, monitor them, restart the ones that crash or stall, and
+// report per-shard outcomes instead of letting one dead process kill an
+// hours-long sweep.
+//
+// The supervisor is deliberately dumb about WHAT the workers compute: a
+// worker is an argv to exec (typically this same binary re-invoked with
+// `--shard i/N --checkpoint <file>.shard-i --resume`), plus the journal
+// file whose growth doubles as the worker's liveness heartbeat. Policy:
+//
+//   * Exit 0            — shard completed; its journal holds every cell.
+//   * Nonzero / signal  — crashed. Restart after an exponential backoff
+//     (BackoffPolicy, bounded retry budget). Restarted workers resume from
+//     their own journal, so a crash costs at most the unflushed tail.
+//     Respawns scrub the BVC_CRASH_* injection env vars — an injected
+//     crash fires once, not on every incarnation.
+//   * Alive but journal frozen past stall_timeout — treated as hung
+//     (livelock, NFS wedge): SIGKILLed, then the crash path applies.
+//   * Retry budget exhausted — the shard is reported gave_up; the caller
+//     degrades gracefully by computing that shard's remaining cells
+//     in-process from the merged journal (sweep_session.hpp does exactly
+//     this) instead of aborting the sweep.
+//
+// Cancellation: a fired CancelToken SIGTERMs every live worker, reaps
+// them, and returns — the partial journals remain resumable.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "robust/retry.hpp"
+#include "robust/run_control.hpp"
+
+namespace bvc::robust {
+
+/// Identity of one shard worker, parsed from `--shard i/N`. The cell
+/// partition is round-robin by global cell index: cheap, deterministic for
+/// any enumeration order, and balanced when neighboring cells have similar
+/// cost (adjacent grid cells do).
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  /// Parses "i/N" with 0 <= i < N; std::nullopt on anything else.
+  [[nodiscard]] static std::optional<ShardSpec> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool owns(std::size_t cell_index) const noexcept {
+    return count <= 1 ||
+           static_cast<int>(cell_index % static_cast<std::size_t>(count)) ==
+               index;
+  }
+};
+
+/// One worker process to launch and babysit.
+struct WorkerSpawn {
+  /// argv[0] is the executable path (exec'd directly, no PATH search).
+  std::vector<std::string> argv;
+  /// Worker stdout+stderr both land here (the worker's table rendering is
+  /// scratch — only its journal matters). Empty inherits the supervisor's.
+  std::string log_path;
+  /// The worker's checkpoint journal; its growth is the heartbeat.
+  std::string journal_path;
+};
+
+struct SupervisorOptions {
+  /// Restart budget and delays, shared by every shard.
+  BackoffPolicy backoff;
+  /// Kill-and-restart a live worker whose journal has not grown for this
+  /// long (seconds). <= 0 disables stall detection (cells of wildly uneven
+  /// cost would otherwise trip false positives).
+  double stall_timeout_seconds = 0.0;
+  /// Child / heartbeat poll cadence.
+  double poll_interval_seconds = 0.05;
+  /// Fired token: SIGTERM all workers and return early.
+  CancelToken cancel;
+};
+
+struct ShardOutcome {
+  int index = 0;
+  bool completed = false;   ///< some incarnation exited 0
+  bool gave_up = false;     ///< retry budget exhausted (or cancelled)
+  int restarts = 0;         ///< respawns beyond the first launch
+  int stall_kills = 0;      ///< restarts caused by a frozen heartbeat
+  int last_exit_code = 0;   ///< of the final incarnation (if it exited)
+  int last_signal = 0;      ///< terminating signal of the final incarnation
+};
+
+struct SupervisorReport {
+  std::vector<ShardOutcome> shards;
+  int total_restarts = 0;
+  bool cancelled = false;
+
+  [[nodiscard]] bool all_completed() const noexcept {
+    for (const ShardOutcome& shard : shards) {
+      if (!shard.completed) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Launches every worker and supervises until each has completed or
+/// exhausted its retry budget. Workers run concurrently; restarts respect
+/// the backoff without blocking the monitoring of other shards.
+[[nodiscard]] SupervisorReport supervise_shards(
+    std::span<const WorkerSpawn> workers, const SupervisorOptions& options);
+
+/// Absolute path of the currently executing binary (/proc/self/exe), with
+/// `argv0` as the fallback when the proc link is unreadable.
+[[nodiscard]] std::string self_executable_path(const char* argv0);
+
+}  // namespace bvc::robust

@@ -92,6 +92,29 @@ TEST(ModelCache, ClearDropsEntriesButKeepsOutstandingModelsAlive) {
   EXPECT_EQ(held->num_states(), 2u);
 }
 
+TEST(ModelCache, BytesResidentTracksInsertionsAndClear) {
+  mdp::ModelCache cache;
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+
+  const auto model = mdp::CompiledModel::compile_shared(tiny_model());
+  const std::size_t per_model = model->bytes_resident();
+  EXPECT_GT(per_model, 0u);  // the SoA columns of a 2-state model
+
+  const auto compile = [] {
+    return mdp::CompiledModel::compile_shared(tiny_model());
+  };
+  (void)cache.get_or_compile("a", compile);
+  EXPECT_EQ(cache.stats().bytes_resident, per_model);
+  // A hit shares the existing entry: no new resident bytes.
+  (void)cache.get_or_compile("a", compile);
+  EXPECT_EQ(cache.stats().bytes_resident, per_model);
+  (void)cache.get_or_compile("b", compile);
+  EXPECT_EQ(cache.stats().bytes_resident, 2 * per_model);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+}
+
 TEST(ModelCache, AppendKeyIsCanonical) {
   std::string key;
   mdp::append_key(key, "alpha", 0.1);
