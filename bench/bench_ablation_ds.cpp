@@ -18,7 +18,13 @@ using namespace bvc;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_ablation_ds", "Ablation: double-spend confirmations and reward (Sect. 4.3)");
+  bench::add_standard_bench_args(parser);
+  bench::add_sweep_args(parser);
+  parser.add({
+      {"alpha", util::ArgType::kDouble, "X", "attacker hash-rate share", "0.10"},
+  });
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   bench::SweepSession sweep(argc, argv, obs, "bench_ablation_ds");
   const double alpha = args.get_double("alpha", 0.10);

@@ -21,7 +21,14 @@ using namespace bvc;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_ablation_gate", "Ablation: sticky-gate period vs utility (Sect. 6.2)");
+  bench::add_standard_bench_args(parser);
+  parser.add({
+      {"alpha", util::ArgType::kDouble, "X", "attacker hash-rate share", "0.25"},
+      {"beta", util::ArgType::kDouble, "X", "Bob group hash-rate share", "0.30"},
+      {"gamma", util::ArgType::kDouble, "X", "Carol group hash-rate share", "0.45"},
+  });
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   const double alpha = args.get_double("alpha", 0.25);
   const double beta = args.get_double("beta", 0.30);

@@ -16,10 +16,61 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "robust/run_control.hpp"
+#include "util/arg_spec.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 
 namespace bvc::bench {
+
+/// The flag vocabulary every bench binary shares, declared once for
+/// util::ArgParser. Split into the groups the helpers below consume:
+/// budget (run_control_from_args), batch (batch_config_from_args), csv
+/// (open_csv), and obs (ObsSession). add_standard_bench_args is the union;
+/// benches that wrap a SweepSession also call add_sweep_args
+/// (bench/sweep_session.hpp). Per-bench flags are add()ed at each main.
+
+inline void add_budget_args(util::ArgParser& parser) {
+  parser.add({
+      {"wall-clock-ms", util::ArgType::kLong, "MS",
+       "abort solving after this wall-clock budget", "unlimited"},
+      {"max-ticks", util::ArgType::kLong, "N",
+       "abort solving after N solver iterations", "unlimited"},
+  });
+}
+
+inline void add_batch_args(util::ArgParser& parser) {
+  add_budget_args(parser);
+  parser.add({
+      {"threads", util::ArgType::kLong, "N",
+       "batch solver threads; 0 = all hardware threads", "0"},
+  });
+}
+
+inline void add_csv_args(util::ArgParser& parser) {
+  parser.add({
+      {"csv", util::ArgType::kString, "FILE",
+       "also write the table as CSV rows", ""},
+  });
+}
+
+inline void add_obs_args(util::ArgParser& parser) {
+  parser.add({
+      {"trace-out", util::ArgType::kString, "FILE",
+       "write a Chrome trace-event JSON span trace", ""},
+      {"trace-jsonl", util::ArgType::kString, "FILE",
+       "write the same trace events as JSON Lines", ""},
+      {"metrics-out", util::ArgType::kString, "FILE",
+       "write the final metrics snapshot as JSON", ""},
+      {"manifest-out", util::ArgType::kString, "FILE",
+       "write the run manifest (git SHA, args, metrics)", ""},
+  });
+}
+
+inline void add_standard_bench_args(util::ArgParser& parser) {
+  add_batch_args(parser);
+  add_csv_args(parser);
+  add_obs_args(parser);
+}
 
 /// One named parameter of a table/figure cell, for diagnostics.
 struct CellParam {

@@ -30,7 +30,10 @@ using namespace bvc::counter;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_countermeasure", "Block-size-increase voting countermeasure study (Sect. 6.3)");
+  bench::add_standard_bench_args(parser);
+  bench::add_sweep_args(parser);
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   bench::SweepSession sweep(argc, argv, obs, "bench_countermeasure");
   const mdp::BatchConfig batch = sweep.batch_config(args);

@@ -17,7 +17,9 @@ using namespace bvc;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_crossval", "MDP optima vs chain-semantics simulator cross-validation");
+  bench::add_standard_bench_args(parser);
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   std::printf(

@@ -44,7 +44,13 @@ sim::NetworkConfig make_network() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_degraded_network", "Consensus damage under message loss/delay/duplication");
+  bench::add_standard_bench_args(parser);
+  parser.add({
+      {"blocks", util::ArgType::kLong, "N", "simulated blocks per cell", "20000"},
+      {"seed", util::ArgType::kLong, "N", "simulation RNG seed", "20170406"},
+  });
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   const long blocks_arg = args.get_long("blocks", 20'000);
   if (blocks_arg <= 0) {

@@ -37,7 +37,9 @@ const char* verdict_name(ChainVerdict verdict) {
 int main(int argc, char** argv) {
   // The shared bench flags are accepted (and validated) for CLI uniformity;
   // this trace replay has no iterative loop for the budget to bound.
-  const bvc::CliArgs args(argc, argv);
+  bvc::util::ArgParser parser("bench_fig1_validity", "Regenerate Figure 1: BU parent-block choice (AD = 3)");
+  bvc::bench::add_standard_bench_args(parser);
+  const bvc::CliArgs args = parser.parse(argc, argv);
   bvc::bench::ObsSession obs(argc, argv);
   (void)bvc::bench::run_control_from_args(args);
   (void)bvc::bench::batch_config_from_args(args);

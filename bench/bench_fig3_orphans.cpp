@@ -17,7 +17,9 @@ using namespace bvc;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_fig3_orphans", "Regenerate Figure 3: one Alice block orphaning two blocks");
+  bench::add_standard_bench_args(parser);
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   // ---- The scripted Figure 3 trace, via the abstract step semantics ------
   bu::AttackParams params;

@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace bvc::games;
-  const bvc::CliArgs args(argc, argv);
+  bvc::util::ArgParser parser("bench_fig4_bsig", "Regenerate Figure 4: the block size increasing game");
+  bvc::bench::add_standard_bench_args(parser);
+  const bvc::CliArgs args = parser.parse(argc, argv);
   bvc::bench::ObsSession obs(argc, argv);
 
   const std::vector<MinerGroup> groups = {

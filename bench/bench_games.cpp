@@ -53,7 +53,9 @@ std::vector<double> random_powers(Rng& rng, std::size_t n, double cap) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_games", "EB-choosing and block-size-increasing games at scale");
+  bench::add_standard_bench_args(parser);
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   const mdp::BatchConfig batch = bench::batch_config_from_args(args);
   Rng rng(20171213);

@@ -32,7 +32,9 @@ sim::NetMiner make_miner(std::string name, double power,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_propagation", "Orphan rate vs block size and network capacity (Sect. 6.4)");
+  bench::add_standard_bench_args(parser);
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   // Bounds each simulated cell (one guard tick per simulated block).
   const robust::RunControl control = bench::run_control_from_args(args);

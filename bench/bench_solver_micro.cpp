@@ -63,12 +63,12 @@ BENCHMARK(BM_BuildAttackModelSetting2);
 void BM_RviSweepSetting2(benchmark::State& state) {
   const bu::AttackModel model = bu::build_attack_model(
       grid_params(bu::Setting::kStickyGate), bu::Utility::kRelativeRevenue);
-  mdp::AverageRewardOptions options;
-  options.max_sweeps = static_cast<int>(state.range(0));
-  options.tolerance = 1e-30;  // force exactly max_sweeps sweeps
+  mdp::SolverConfig config;
+  config.average_reward.max_sweeps = static_cast<int>(state.range(0));
+  config.average_reward.tolerance = 1e-30;  // force exactly max_sweeps sweeps
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        mdp::maximize_average_reward(model.model, options));
+        mdp::maximize_average_reward(model.model, config));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) *
                           model.model.num_states());
@@ -82,13 +82,13 @@ BENCHMARK(BM_RviSweepSetting2)->Arg(10);
 void BM_RviParallelSweepSetting2(benchmark::State& state) {
   const bu::AttackModel model = bu::build_attack_model(
       grid_params(bu::Setting::kStickyGate), bu::Utility::kRelativeRevenue);
-  mdp::AverageRewardOptions options;
-  options.max_sweeps = 10;
-  options.tolerance = 1e-30;  // force exactly max_sweeps sweeps
-  options.threads = static_cast<int>(state.range(0));
+  mdp::SolverConfig config;
+  config.average_reward.max_sweeps = 10;
+  config.average_reward.tolerance = 1e-30;  // force exactly max_sweeps sweeps
+  config.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        mdp::maximize_average_reward(model.model, options));
+        mdp::maximize_average_reward(model.model, config));
   }
   state.SetItemsProcessed(state.iterations() * 10 *
                           model.model.num_states());
@@ -430,6 +430,24 @@ int run_kernel_mode(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bvc::util::ArgParser parser(
+      "bench_solver_micro",
+      "google-benchmark microbenchmarks of the numerical core");
+  bvc::bench::add_budget_args(parser);
+  bvc::bench::add_obs_args(parser);
+  parser.add({
+      {"mode", bvc::util::ArgType::kString, "kernel",
+       "run the standalone kernel-sweep comparison instead of "
+       "google-benchmark", ""},
+      {"out", bvc::util::ArgType::kString, "FILE",
+       "kernel mode: JSON results path", "BENCH_kernel.json"},
+      {"sweeps", bvc::util::ArgType::kLong, "N",
+       "kernel mode: sweeps per repetition", "200"},
+  });
+  // Everything else belongs to google-benchmark (--benchmark_filter etc.).
+  parser.allow_prefix("benchmark_").allow_prefix("v");
+  (void)parser.parse(argc, argv);
+
   // The session must outlive the benchmark run; constructed from the full
   // argv so the manifest records every flag.
   bvc::bench::ObsSession obs(argc, argv);

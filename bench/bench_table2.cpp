@@ -68,7 +68,14 @@ std::optional<double> paper_value(const std::string& ratio, double alpha,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_table2", "Reproduce Table 2: relative revenue u1, settings 1+2");
+  bench::add_standard_bench_args(parser);
+  bench::add_sweep_args(parser);
+  parser.add({
+      {"quick", util::ArgType::kFlag, "", "solve setting 1 only", ""},
+      {"ad", util::ArgType::kLong, "N", "attack duration (excessive-block depth)", "6"},
+  });
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   bench::SweepSession sweep(argc, argv, obs, "bench_table2");
   const bool quick = args.get_bool("quick", false);

@@ -59,7 +59,13 @@ const double kPaperSetting2[5][7] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_table3", "Reproduce Table 3: absolute revenue u2 with double-spending");
+  bench::add_standard_bench_args(parser);
+  bench::add_sweep_args(parser);
+  parser.add({
+      {"quick", util::ArgType::kFlag, "", "solve the reduced grid only", ""},
+  });
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   bench::SweepSession sweep(argc, argv, obs, "bench_table3");
   const bool quick = args.get_bool("quick", false);

@@ -25,7 +25,14 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  util::ArgParser parser("bench_table4", "Reproduce Table 4: orphaned blocks per Alice block (u3)");
+  bench::add_standard_bench_args(parser);
+  bench::add_sweep_args(parser);
+  parser.add({
+      {"quick", util::ArgType::kFlag, "", "solve the reduced grid only", ""},
+      {"alpha", util::ArgType::kDouble, "X", "attacker hash-rate share", "0.01"},
+  });
+  const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
   bench::SweepSession sweep(argc, argv, obs, "bench_table4");
   const bool quick = args.get_bool("quick", false);

@@ -45,6 +45,24 @@
 
 namespace bvc::bench {
 
+/// ArgParser declarations for the SweepSession flag family above.
+inline void add_sweep_args(util::ArgParser& parser) {
+  parser.add({
+      {"checkpoint", util::ArgType::kString, "FILE",
+       "journal completed cells to FILE (JSONL)", ""},
+      {"resume", util::ArgType::kFlag, "",
+       "skip cells already journaled in the checkpoint file", ""},
+      {"shards", util::ArgType::kLong, "N",
+       "split the sweep over N supervised worker processes", "0"},
+      {"shard", util::ArgType::kString, "i/N",
+       "(internal) run as shard worker i of N", ""},
+      {"worker-retries", util::ArgType::kLong, "K",
+       "restarts per crashed/stalled worker", "2"},
+      {"stall-timeout-ms", util::ArgType::kLong, "T",
+       "kill a worker whose journal is frozen for T ms", "0 = disabled"},
+  });
+}
+
 /// Per-shard journal path: `<checkpoint>.shard-<i>`.
 inline std::string shard_journal_path(const std::string& checkpoint_path,
                                       int shard) {

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Solve-service end-to-end test (registered as the `svc`-labeled ctest case
+# check_service): proves the service stack serves the SAME numbers as the
+# in-process bench, including across a real daemon kill —
+#
+#   1. an uninterrupted `bench_table2 --quick --ad 3` run produces the
+#      baseline CSV (setting 1, 21 grid cells);
+#   2. bvcd is started on an ephemeral port, the same grid is submitted as
+#      one job through bvc-cli, and the polled result's utility values must
+#      match the baseline CSV cell for cell;
+#   3. a second daemon is crash-injected via BVC_CRASH_AFTER_CELLS: it is
+#      SIGKILLed by the journal hook mid-grid, leaving exactly N journaled
+#      cells; a restarted daemon on the same state dir RESUMES the job, and
+#      the final records must be identical to the uninterrupted service
+#      run's (wall_clock_ns aside — replayed cells keep their original
+#      timings, resumed-then-solved cells measure their own).
+#
+# Usage: scripts/check_service.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+[[ -d "$build" ]] || build="$repo/$1"
+bench="$build/bench/bench_table2"
+bvcd="$build/src/svc/bvcd"
+cli="$build/src/svc/bvc-cli"
+for bin in "$bench" "$bvcd" "$cli"; do
+  [[ -x "$bin" ]] || {
+    echo "check_service.sh: $bin not built" >&2
+    exit 1
+  }
+done
+
+out="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$out"
+}
+trap cleanup EXIT
+
+# The injection hook must never leak in from the caller's environment.
+unset BVC_CRASH_AFTER_CELLS BVC_CRASH_SHARD
+
+# The same grid, twice: once through the bench, once through the service.
+cat >"$out/job.json" <<'EOF'
+{"kind": "bu-attack",
+ "utility": "relative-revenue",
+ "grid": {"alphas": [0.10, 0.15, 0.20, 0.25],
+          "ratios": [[3, 2], [1, 1], [2, 3], [1, 2], [1, 3], [1, 4]],
+          "ad": 3, "setting": 1}}
+EOF
+
+# 1. Baseline: the in-process bench with the identical grid.
+"$bench" --quick --ad 3 --threads 2 --csv "$out/baseline.csv" \
+  >"$out/baseline.txt" 2>/dev/null
+
+start_daemon() {  # start_daemon <state-dir> [env VAR=...]
+  local state="$1"; shift
+  rm -f "$out/port.txt"
+  env "$@" "$bvcd" --port-file "$out/port.txt" --state-dir "$state" \
+    --threads 2 >>"$out/bvcd.log" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$out/port.txt" ]] && return 0
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "check_service.sh: bvcd did not start" >&2
+  cat "$out/bvcd.log" >&2
+  exit 1
+}
+
+stop_daemon() {
+  kill "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+}
+
+# 2. Serve the grid and diff against the baseline CSV.
+start_daemon "$out/state1"
+"$cli" submit --port-file "$out/port.txt" --file "$out/job.json" \
+  >"$out/submit1.json"
+"$cli" result j1 --port-file "$out/port.txt" --timeout 600 \
+  >"$out/result1.json"
+stop_daemon
+
+python3 - "$out/baseline.csv" "$out/result1.json" <<'EOF'
+import csv, json, sys
+
+# Baseline cells keyed by (alpha, beta) to 4 decimals, u1 to 6 decimals.
+baseline = {}
+with open(sys.argv[1]) as f:
+    for row in csv.DictReader(f):
+        if row["setting"] == "1":
+            baseline[(row["alpha"], row["beta"])] = float(row["u1"])
+assert len(baseline) == 21, f"expected 21 baseline cells, got {len(baseline)}"
+
+result = json.load(open(sys.argv[2]))
+assert result["state"] == "done", result["state"]
+assert result["completed"] == 21, result
+for record in result["records"]:
+    fields = dict(part.split("=", 1)
+                  for part in record["key"].split("|")[1:] if "=" in part)
+    key = (f"{float(fields['alpha']):.4f}", f"{float(fields['beta']):.4f}")
+    value = dict(record["values"])["utility_value"]
+    assert key in baseline, f"service cell {key} not in baseline CSV"
+    assert abs(value - baseline[key]) < 5e-7, \
+        f"cell {key}: service {value!r} vs bench {baseline[key]!r}"
+print(f"check_service: {len(result['records'])} service cells match the "
+      "bench CSV")
+EOF
+
+# 3. Crash leg: the journal hook SIGKILLs the daemon after 5 journaled
+# cells; the job is mid-grid when the process dies.
+start_daemon "$out/state2" BVC_CRASH_AFTER_CELLS=5
+"$cli" submit --port-file "$out/port.txt" --file "$out/job.json" \
+  >"$out/submit2.json"
+set +e
+wait "$daemon_pid"
+status=$?
+set -e
+daemon_pid=""
+[[ $status -eq 137 ]] || {
+  echo "check_service.sh: expected SIGKILL death (137), got $status" >&2
+  cat "$out/bvcd.log" >&2
+  exit 1
+}
+cells=$(wc -l <"$out/state2/job-j1.cells.jsonl")
+[[ $cells -eq 5 ]] || {
+  echo "check_service.sh: journal has $cells cells, expected 5" >&2
+  exit 1
+}
+
+# Restart WITHOUT the injection env: the daemon must resume j1 from the
+# journal and finish the remaining cells.
+start_daemon "$out/state2"
+"$cli" result j1 --port-file "$out/port.txt" --timeout 600 \
+  >"$out/result2.json"
+stop_daemon
+
+python3 - "$out/result1.json" "$out/result2.json" <<'EOF'
+import json, sys
+
+def canonical(path):
+    result = json.load(open(path))
+    assert result["state"] == "done", (path, result["state"])
+    cells = {}
+    for record in result["records"]:
+        values = [(n, v) for n, v in record["values"] if n != "wall_clock_ns"]
+        cells[record["key"]] = (record["status"], values)
+    return result, cells
+
+first, first_cells = canonical(sys.argv[1])
+second, second_cells = canonical(sys.argv[2])
+assert second["resumed"] >= 5, \
+    f"restarted daemon resumed {second['resumed']} cells, expected >= 5"
+assert first_cells == second_cells, "post-crash results differ"
+print(f"check_service: kill/restart reproduced all {len(second_cells)} "
+      f"cells ({second['resumed']} resumed from the journal)")
+EOF
+
+echo "check_service.sh: OK (service matches bench; crash/restart resumes)"

@@ -17,7 +17,12 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BVC_BUILD_DIR:-build-ci}"
 
-cmake -S "$repo" -B "$repo/$build" >/dev/null
+# -Werror=deprecated-declarations keeps the retired per-solver option
+# structs (AverageRewardOptions & co., now [[deprecated]] aliases in
+# mdp/solver_config.hpp) from creeping back into the tree: any in-repo use
+# fails this gate, while out-of-tree builds still get a plain warning.
+cmake -S "$repo" -B "$repo/$build" \
+  -DCMAKE_CXX_FLAGS="-Werror=deprecated-declarations" >/dev/null
 cmake --build "$repo/$build" -j "$(nproc)"
 
 ctest --test-dir "$repo/$build" --output-on-failure "$@"

@@ -266,7 +266,7 @@ SmResult analyze_sm(const SmParams& params, bu::Utility utility,
                     double tolerance, const robust::RunControl& control) {
   const SmModel model = build_sm_model(params, utility);
 
-  mdp::RatioOptions options;
+  mdp::RatioKnobs options;
   options.tolerance = tolerance;
   options.control = control;
   options.lower_bound = 0.0;

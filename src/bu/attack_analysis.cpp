@@ -32,7 +32,7 @@ double utility_upper_bound(const AttackModel& model) {
 
 AnalysisResult analyze(const AttackModel& model,
                        const AnalysisOptions& options) {
-  mdp::RatioOptions ratio_options;
+  mdp::RatioKnobs ratio_options;
   ratio_options.inner = options.inner;
   ratio_options.tolerance = options.tolerance;
   ratio_options.lower_bound = 0.0;

@@ -18,8 +18,8 @@ struct AnalysisOptions {
   /// Accuracy of the reported utility value. The paper solves to 1e-4; we
   /// default one decade tighter.
   double tolerance = 1e-5;
-  mdp::AverageRewardOptions inner = [] {
-    mdp::AverageRewardOptions o;
+  mdp::AverageRewardKnobs inner = [] {
+    mdp::AverageRewardKnobs o;
     o.tolerance = 2e-7;
     o.max_sweeps = 30000;
     o.aperiodicity_tau = 0.999;

@@ -40,7 +40,7 @@ namespace {
 ///     Gauss-Seidel sweep to the same fixed point.
 GainResult rvi_core(const CompiledModel& model,
                     std::span<const double> sa_rewards, const Policy* policy,
-                    const AverageRewardOptions& options,
+                    const AverageRewardKnobs& options,
                     const std::vector<double>* warm_start_bias) {
   const StateId n = model.num_states();
   BVC_REQUIRE(sa_rewards.size() == model.num_state_actions(),
@@ -256,42 +256,42 @@ GainResult rvi_core(const CompiledModel& model,
 
 GainResult maximize_average_reward(const CompiledModel& model,
                                    std::span<const double> sa_rewards,
-                                   const AverageRewardOptions& options,
+                                   const AverageRewardKnobs& options,
                                    const std::vector<double>* warm_start_bias) {
   return rvi_core(model, sa_rewards, nullptr, options, warm_start_bias);
 }
 
 GainResult maximize_average_reward(const Model& model,
                                    std::span<const double> sa_rewards,
-                                   const AverageRewardOptions& options,
+                                   const AverageRewardKnobs& options,
                                    const std::vector<double>* warm_start_bias) {
   return rvi_core(CompiledModel::compile(model), sa_rewards, nullptr, options,
                   warm_start_bias);
 }
 
 GainResult maximize_average_reward(const CompiledModel& model,
-                                   const AverageRewardOptions& options) {
+                                   const AverageRewardKnobs& options) {
   const std::span<const double> rewards{model.expected_reward(),
                                         model.num_state_actions()};
   return rvi_core(model, rewards, nullptr, options, nullptr);
 }
 
 GainResult maximize_average_reward(const Model& model,
-                                   const AverageRewardOptions& options) {
+                                   const AverageRewardKnobs& options) {
   return maximize_average_reward(CompiledModel::compile(model), options);
 }
 
 GainResult evaluate_policy_stream(const CompiledModel& model,
                                   const Policy& policy,
                                   std::span<const double> sa_rewards,
-                                  const AverageRewardOptions& options,
+                                  const AverageRewardKnobs& options,
                                   const std::vector<double>* warm_start_bias) {
   return rvi_core(model, sa_rewards, &policy, options, warm_start_bias);
 }
 
 GainResult evaluate_policy_stream(const Model& model, const Policy& policy,
                                   std::span<const double> sa_rewards,
-                                  const AverageRewardOptions& options,
+                                  const AverageRewardKnobs& options,
                                   const std::vector<double>* warm_start_bias) {
   return rvi_core(CompiledModel::compile(model), sa_rewards, &policy, options,
                   warm_start_bias);
@@ -299,7 +299,7 @@ GainResult evaluate_policy_stream(const Model& model, const Policy& policy,
 
 PolicyGains evaluate_policy_average(const CompiledModel& model,
                                     const Policy& policy,
-                                    const AverageRewardOptions& options,
+                                    const AverageRewardKnobs& options,
                                     std::vector<double>* reward_bias,
                                     std::vector<double>* weight_bias) {
   const std::size_t actions = model.num_state_actions();
@@ -323,7 +323,7 @@ PolicyGains evaluate_policy_average(const CompiledModel& model,
 }
 
 PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
-                                    const AverageRewardOptions& options,
+                                    const AverageRewardKnobs& options,
                                     std::vector<double>* reward_bias,
                                     std::vector<double>* weight_bias) {
   return evaluate_policy_average(CompiledModel::compile(model), policy,

@@ -28,11 +28,12 @@ struct Policy {
   [[nodiscard]] bool operator==(const Policy&) const = default;
 };
 
-/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
-/// (solver_config.hpp), the unified configuration all four solvers accept;
-/// prefer passing a SolverConfig. The struct is kept as a thin alias for
-/// existing call sites and as SolverConfig's nested field type.
-struct AverageRewardOptions {
+/// The relative-value-iteration knob block. Not a front door: callers
+/// configure solves through mdp::SolverConfig (solver_config.hpp), which
+/// nests this struct as its `average_reward` field and stamps `control` /
+/// `threads` when lowering. The pre-SolverConfig name AverageRewardOptions
+/// survives only as a [[deprecated]] alias in solver_config.hpp.
+struct AverageRewardKnobs {
   /// Stopping threshold on the span seminorm of successive value differences;
   /// bounds the gain error by the same amount.
   double tolerance = 1e-8;
@@ -79,18 +80,18 @@ struct GainResult : SolveReport {
 /// compilation from mdp::ModelCache — and call the compiled overloads.
 [[nodiscard]] GainResult maximize_average_reward(
     const CompiledModel& model, std::span<const double> sa_rewards,
-    const AverageRewardOptions& options = {},
+    const AverageRewardKnobs& options = {},
     const std::vector<double>* warm_start_bias = nullptr);
 [[nodiscard]] GainResult maximize_average_reward(
     const Model& model, std::span<const double> sa_rewards,
-    const AverageRewardOptions& options = {},
+    const AverageRewardKnobs& options = {},
     const std::vector<double>* warm_start_bias = nullptr);
 
 /// Convenience overloads using the model's primary reward stream.
 [[nodiscard]] GainResult maximize_average_reward(
-    const CompiledModel& model, const AverageRewardOptions& options = {});
+    const CompiledModel& model, const AverageRewardKnobs& options = {});
 [[nodiscard]] GainResult maximize_average_reward(
-    const Model& model, const AverageRewardOptions& options = {});
+    const Model& model, const AverageRewardKnobs& options = {});
 
 /// Long-run rates of both reward streams under a fixed policy.
 struct PolicyGains {
@@ -111,12 +112,12 @@ struct PolicyGains {
 [[nodiscard]] GainResult evaluate_policy_stream(
     const CompiledModel& model, const Policy& policy,
     std::span<const double> sa_rewards,
-    const AverageRewardOptions& options = {},
+    const AverageRewardKnobs& options = {},
     const std::vector<double>* warm_start_bias = nullptr);
 [[nodiscard]] GainResult evaluate_policy_stream(
     const Model& model, const Policy& policy,
     std::span<const double> sa_rewards,
-    const AverageRewardOptions& options = {},
+    const AverageRewardKnobs& options = {},
     const std::vector<double>* warm_start_bias = nullptr);
 
 /// Evaluates a fixed deterministic policy (both streams simultaneously).
@@ -125,12 +126,12 @@ struct PolicyGains {
 /// evaluations of slowly-changing policies (Dinkelbach iterations) cheap.
 [[nodiscard]] PolicyGains evaluate_policy_average(
     const CompiledModel& model, const Policy& policy,
-    const AverageRewardOptions& options = {},
+    const AverageRewardKnobs& options = {},
     std::vector<double>* reward_bias = nullptr,
     std::vector<double>* weight_bias = nullptr);
 [[nodiscard]] PolicyGains evaluate_policy_average(
     const Model& model, const Policy& policy,
-    const AverageRewardOptions& options = {},
+    const AverageRewardKnobs& options = {},
     std::vector<double>* reward_bias = nullptr,
     std::vector<double>* weight_bias = nullptr);
 

@@ -1,5 +1,8 @@
 #include "mdp/compiled_model.hpp"
 
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -52,6 +55,126 @@ CompiledModel CompiledModel::compile(const Model& model, double tau) {
 std::shared_ptr<const CompiledModel> CompiledModel::compile_shared(
     const Model& model, double tau) {
   return std::make_shared<const CompiledModel>(compile(model, tau));
+}
+
+namespace {
+
+// Disk-tier wire format: magic, layout fingerprint, tau, then each column
+// as (element count, raw bytes). Native endianness — the file never leaves
+// the machine that wrote it, and a mismatched reader fails the fingerprint.
+constexpr std::uint32_t kMagic = 0x4d435642;  // "BVCM"
+constexpr std::uint32_t kLayout = (sizeof(StateId) << 0) |
+                                  (sizeof(ActionLabel) << 8) |
+                                  (sizeof(SaIndex) << 16) |
+                                  (sizeof(std::size_t) << 24);
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return in.good();
+}
+
+template <typename T>
+void write_column(std::ostream& out, const std::vector<T>& column) {
+  write_pod(out, static_cast<std::uint64_t>(column.size()));
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+/// Reads one column; `max_elements` bounds the allocation so a truncated
+/// or corrupt header cannot request terabytes.
+template <typename T>
+bool read_column(std::istream& in, std::vector<T>& column,
+                 std::uint64_t max_elements) {
+  std::uint64_t count = 0;
+  if (!read_pod(in, count) || count > max_elements) {
+    return false;
+  }
+  column.resize(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return in.good();
+}
+
+}  // namespace
+
+void CompiledModel::serialize(std::ostream& out) const {
+  write_pod(out, kMagic);
+  write_pod(out, kLayout);
+  write_pod(out, tau_);
+  write_column(out, state_begin_);
+  write_column(out, action_labels_);
+  write_column(out, outcome_begin_);
+  write_column(out, next_);
+  write_column(out, prob_);
+  write_column(out, damped_prob_);
+  write_column(out, reward_);
+  write_column(out, weight_);
+  write_column(out, expected_reward_);
+  write_column(out, expected_weight_);
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::deserialize(
+    std::istream& in) {
+  std::uint32_t magic = 0;
+  std::uint32_t layout = 0;
+  CompiledModel model;
+  if (!read_pod(in, magic) || magic != kMagic || !read_pod(in, layout) ||
+      layout != kLayout || !read_pod(in, model.tau_)) {
+    return nullptr;
+  }
+  // ~100M elements/column bounds the read at a few GB — far above any real
+  // attack model, far below a runaway corrupt length.
+  constexpr std::uint64_t kMaxElements = 100'000'000;
+  if (!read_column(in, model.state_begin_, kMaxElements) ||
+      !read_column(in, model.action_labels_, kMaxElements) ||
+      !read_column(in, model.outcome_begin_, kMaxElements) ||
+      !read_column(in, model.next_, kMaxElements) ||
+      !read_column(in, model.prob_, kMaxElements) ||
+      !read_column(in, model.damped_prob_, kMaxElements) ||
+      !read_column(in, model.reward_, kMaxElements) ||
+      !read_column(in, model.weight_, kMaxElements) ||
+      !read_column(in, model.expected_reward_, kMaxElements) ||
+      !read_column(in, model.expected_weight_, kMaxElements)) {
+    return nullptr;
+  }
+  // Structural sanity: the index arrays must describe the columns they
+  // index, or the unchecked hot-loop accessors would read out of bounds.
+  if (model.state_begin_.empty() || model.outcome_begin_.empty() ||
+      model.state_begin_.front() != 0 || model.outcome_begin_.front() != 0 ||
+      model.state_begin_.back() != model.action_labels_.size() ||
+      model.outcome_begin_.back() != model.next_.size() ||
+      model.outcome_begin_.size() != model.action_labels_.size() + 1 ||
+      model.prob_.size() != model.next_.size() ||
+      model.damped_prob_.size() != model.next_.size() ||
+      model.reward_.size() != model.next_.size() ||
+      model.weight_.size() != model.next_.size() ||
+      model.expected_reward_.size() != model.action_labels_.size() ||
+      model.expected_weight_.size() != model.action_labels_.size()) {
+    return nullptr;
+  }
+  for (std::size_t i = 1; i < model.state_begin_.size(); ++i) {
+    if (model.state_begin_[i] < model.state_begin_[i - 1]) {
+      return nullptr;
+    }
+  }
+  for (std::size_t i = 1; i < model.outcome_begin_.size(); ++i) {
+    if (model.outcome_begin_[i] < model.outcome_begin_[i - 1]) {
+      return nullptr;
+    }
+  }
+  const StateId states = model.num_states();
+  for (const StateId next : model.next_) {
+    if (next >= states) {
+      return nullptr;
+    }
+  }
+  return std::make_shared<const CompiledModel>(std::move(model));
 }
 
 std::string CompiledModel::summary() const {

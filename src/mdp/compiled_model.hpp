@@ -113,6 +113,17 @@ class CompiledModel {
   /// Human-readable structural summary (state/action/outcome counts).
   [[nodiscard]] std::string summary() const;
 
+  /// Binary round-trip for the ModelCache disk tier. The format is a
+  /// private cache artifact (native endianness, element sizes recorded in
+  /// the header and checked on read), not an interchange format: a file
+  /// written by a different build layout simply fails to load and the
+  /// caller recompiles. serialize() writes this model; deserialize()
+  /// returns the restored model or nullptr when the stream is truncated,
+  /// malformed, or from an incompatible layout.
+  void serialize(std::ostream& out) const;
+  [[nodiscard]] static std::shared_ptr<const CompiledModel> deserialize(
+      std::istream& in);
+
   /// Bytes held by the SoA columns (payload only, by element count — not
   /// allocator slack). Feeds the cache's bytes_resident accounting so a
   /// sweep can see how much model memory it keeps live.

@@ -10,7 +10,7 @@
 namespace bvc::mdp {
 
 DiscountedResult solve_discounted(const CompiledModel& model,
-                                  const DiscountedOptions& options) {
+                                  const DiscountedKnobs& options) {
   BVC_REQUIRE(options.discount > 0.0 && options.discount < 1.0,
               "discount must be in (0, 1)");
   BVC_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
@@ -78,7 +78,7 @@ DiscountedResult solve_discounted(const CompiledModel& model,
 }
 
 DiscountedResult solve_discounted(const Model& model,
-                                  const DiscountedOptions& options) {
+                                  const DiscountedKnobs& options) {
   return solve_discounted(CompiledModel::compile(model), options);
 }
 

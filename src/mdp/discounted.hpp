@@ -11,10 +11,11 @@
 
 namespace bvc::mdp {
 
-/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
-/// (solver_config.hpp); prefer passing a SolverConfig. Kept as a thin alias
-/// for existing call sites.
-struct DiscountedOptions {
+/// The discounted-value-iteration knob block. Not a front door: callers
+/// configure solves through mdp::SolverConfig (solver_config.hpp). The
+/// pre-SolverConfig name DiscountedOptions survives only as a
+/// [[deprecated]] alias there.
+struct DiscountedKnobs {
   double discount = 0.999;  ///< beta in (0, 1)
   double tolerance = 1e-10;
   int max_sweeps = 1000000;
@@ -35,8 +36,8 @@ struct DiscountedResult : SolveReport {
 /// The CompiledModel overload sweeps the SoA kernel layout; the Model
 /// overload compiles on entry and forwards, bit-identically.
 [[nodiscard]] DiscountedResult solve_discounted(
-    const CompiledModel& model, const DiscountedOptions& options = {});
+    const CompiledModel& model, const DiscountedKnobs& options = {});
 [[nodiscard]] DiscountedResult solve_discounted(
-    const Model& model, const DiscountedOptions& options = {});
+    const Model& model, const DiscountedKnobs& options = {});
 
 }  // namespace bvc::mdp

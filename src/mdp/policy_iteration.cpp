@@ -64,7 +64,7 @@ void solve_dense(std::vector<double>& a, std::vector<double>& b,
 PolicyIterationResult evaluate_policy_exact(
     const CompiledModel& model, const Policy& policy,
     std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options) {
+    const PolicyIterationKnobs& options) {
   const StateId n = model.num_states();
   BVC_REQUIRE(n <= options.max_states,
               "model too large for dense policy evaluation");
@@ -110,14 +110,14 @@ PolicyIterationResult evaluate_policy_exact(
 PolicyIterationResult evaluate_policy_exact(
     const Model& model, const Policy& policy,
     std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options) {
+    const PolicyIterationKnobs& options) {
   return evaluate_policy_exact(CompiledModel::compile(model), policy,
                                sa_rewards, options);
 }
 
 PolicyIterationResult policy_iteration(
     const CompiledModel& model, std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options) {
+    const PolicyIterationKnobs& options) {
   const StateId n = model.num_states();
   Policy policy;
   policy.action.assign(n, 0);
@@ -200,21 +200,21 @@ PolicyIterationResult policy_iteration(
 
 PolicyIterationResult policy_iteration(
     const Model& model, std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options) {
+    const PolicyIterationKnobs& options) {
   // Compile once: every improvement round's evaluation and greedy pass
   // shares the one kernel layout.
   return policy_iteration(CompiledModel::compile(model), sa_rewards, options);
 }
 
 PolicyIterationResult policy_iteration(
-    const CompiledModel& model, const PolicyIterationOptions& options) {
+    const CompiledModel& model, const PolicyIterationKnobs& options) {
   const std::span<const double> rewards{model.expected_reward(),
                                         model.num_state_actions()};
   return policy_iteration(model, rewards, options);
 }
 
 PolicyIterationResult policy_iteration(
-    const Model& model, const PolicyIterationOptions& options) {
+    const Model& model, const PolicyIterationKnobs& options) {
   return policy_iteration(CompiledModel::compile(model), options);
 }
 

@@ -16,10 +16,11 @@
 
 namespace bvc::mdp {
 
-/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
-/// (solver_config.hpp); prefer passing a SolverConfig. Kept as a thin alias
-/// for existing call sites.
-struct PolicyIterationOptions {
+/// The Howard policy-iteration knob block. Not a front door: callers
+/// configure solves through mdp::SolverConfig (solver_config.hpp). The
+/// pre-SolverConfig name PolicyIterationOptions survives only as a
+/// [[deprecated]] alias there.
+struct PolicyIterationKnobs {
   int max_improvements = 1000;
   /// Keep the incumbent action unless a challenger beats it by this margin
   /// (guards against cycling on numerically tied actions).
@@ -50,24 +51,24 @@ struct PolicyIterationResult : SolveReport {
 [[nodiscard]] PolicyIterationResult evaluate_policy_exact(
     const CompiledModel& model, const Policy& policy,
     std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options = {});
+    const PolicyIterationKnobs& options = {});
 [[nodiscard]] PolicyIterationResult evaluate_policy_exact(
     const Model& model, const Policy& policy,
     std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options = {});
+    const PolicyIterationKnobs& options = {});
 
 /// Maximizes the average of `sa_rewards` by Howard's policy iteration.
 [[nodiscard]] PolicyIterationResult policy_iteration(
     const CompiledModel& model, std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options = {});
+    const PolicyIterationKnobs& options = {});
 [[nodiscard]] PolicyIterationResult policy_iteration(
     const Model& model, std::span<const double> sa_rewards,
-    const PolicyIterationOptions& options = {});
+    const PolicyIterationKnobs& options = {});
 
 /// Convenience overloads on the model's primary reward stream.
 [[nodiscard]] PolicyIterationResult policy_iteration(
-    const CompiledModel& model, const PolicyIterationOptions& options = {});
+    const CompiledModel& model, const PolicyIterationKnobs& options = {});
 [[nodiscard]] PolicyIterationResult policy_iteration(
-    const Model& model, const PolicyIterationOptions& options = {});
+    const Model& model, const PolicyIterationKnobs& options = {});
 
 }  // namespace bvc::mdp

@@ -28,7 +28,7 @@ void linearize(const CompiledModel& model, double rho,
 }  // namespace
 
 RatioResult maximize_ratio(const CompiledModel& model,
-                           const RatioOptions& options) {
+                           const RatioKnobs& options) {
   BVC_REQUIRE(options.tolerance > 0.0, "ratio tolerance must be positive");
   BVC_REQUIRE(options.upper_bound > options.lower_bound,
               "ratio bracket must be non-empty");
@@ -65,7 +65,7 @@ RatioResult maximize_ratio(const CompiledModel& model,
   // Inner solves share the outer cancel token and the *remaining* wall
   // clock, so the whole ratio solve honors one deadline.
   const auto inner_options = [&] {
-    AverageRewardOptions inner = options.inner;
+    AverageRewardKnobs inner = options.inner;
     inner.control.cancel = options.control.cancel;
     inner.control.budget = guard.remaining();
     return inner;
@@ -251,16 +251,16 @@ RatioResult maximize_ratio(const CompiledModel& model,
   return finalize(robust::RunStatus::kToleranceStalled);
 }
 
-RatioResult maximize_ratio(const Model& model, const RatioOptions& options) {
+RatioResult maximize_ratio(const Model& model, const RatioKnobs& options) {
   return maximize_ratio(CompiledModel::compile(model), options);
 }
 
 RatioResult maximize_ratio_with_retry(const CompiledModel& model,
-                                      const RatioOptions& options,
+                                      const RatioKnobs& options,
                                       const robust::RetryPolicy& retry) {
   robust::RunGuard guard(options.control);
 
-  RatioOptions attempt = options;
+  RatioKnobs attempt = options;
   RatioResult best = maximize_ratio(model, attempt);
   int inner_solves = best.diagnostics.inner_solves;
   std::int64_t inner_sweeps = best.diagnostics.inner_sweeps;
@@ -310,7 +310,7 @@ RatioResult maximize_ratio_with_retry(const CompiledModel& model,
 }
 
 RatioResult maximize_ratio_with_retry(const Model& model,
-                                      const RatioOptions& options,
+                                      const RatioKnobs& options,
                                       const robust::RetryPolicy& retry) {
   return maximize_ratio_with_retry(CompiledModel::compile(model), options,
                                    retry);

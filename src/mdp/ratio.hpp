@@ -20,12 +20,13 @@
 
 namespace bvc::mdp {
 
-/// Deprecated front door: these knobs are nested inside mdp::SolverConfig
-/// (solver_config.hpp) as SolverConfig::ratio plus the shared
-/// `average_reward` block; prefer passing a SolverConfig. Kept as a thin
-/// alias for existing call sites.
-struct RatioOptions {
-  AverageRewardOptions inner;
+/// The ratio-solver knob block (outer Dinkelbach/bisection loop plus the
+/// nested inner-RVI knobs). Not a front door: callers configure solves
+/// through mdp::SolverConfig (solver_config.hpp), which lowers to this
+/// shape via SolverConfig::ratio_options(). The pre-SolverConfig name
+/// RatioOptions survives only as a [[deprecated]] alias there.
+struct RatioKnobs {
+  AverageRewardKnobs inner;
   /// Convergence tolerance on the ratio value.
   double tolerance = 1e-6;
   int max_iterations = 200;
@@ -60,9 +61,9 @@ struct RatioResult : SolveReport {
 /// rebuilt between iterations. The Model overload compiles once on entry
 /// (all inner solves share that one compilation) and is bit-identical.
 [[nodiscard]] RatioResult maximize_ratio(const CompiledModel& model,
-                                         const RatioOptions& options);
+                                         const RatioKnobs& options);
 [[nodiscard]] RatioResult maximize_ratio(const Model& model,
-                                         const RatioOptions& options);
+                                         const RatioKnobs& options);
 
 /// maximize_ratio with bounded retry-with-escalation: a solve that ends
 /// kToleranceStalled is reattempted with a widened bracket, a tighter inner
@@ -71,10 +72,10 @@ struct RatioResult : SolveReport {
 /// wall-clock budget in `options.control` spans all attempts combined.
 /// The Model overload compiles once; every attempt shares the compilation.
 [[nodiscard]] RatioResult maximize_ratio_with_retry(
-    const CompiledModel& model, const RatioOptions& options,
+    const CompiledModel& model, const RatioKnobs& options,
     const robust::RetryPolicy& retry = {});
 [[nodiscard]] RatioResult maximize_ratio_with_retry(
-    const Model& model, const RatioOptions& options,
+    const Model& model, const RatioKnobs& options,
     const robust::RetryPolicy& retry = {});
 
 }  // namespace bvc::mdp

@@ -2,15 +2,15 @@
 
 namespace bvc::mdp {
 
-AverageRewardOptions SolverConfig::average_reward_options() const {
-  AverageRewardOptions options = average_reward;
+AverageRewardKnobs SolverConfig::average_reward_options() const {
+  AverageRewardKnobs options = average_reward;
   options.control = control;
   options.threads = threads;
   return options;
 }
 
-DiscountedOptions SolverConfig::discounted_options() const {
-  DiscountedOptions options;
+DiscountedKnobs SolverConfig::discounted_options() const {
+  DiscountedKnobs options;
   options.discount = discounted.discount;
   options.tolerance = discounted.tolerance;
   options.max_sweeps = discounted.max_sweeps;
@@ -18,8 +18,8 @@ DiscountedOptions SolverConfig::discounted_options() const {
   return options;
 }
 
-PolicyIterationOptions SolverConfig::policy_iteration_options() const {
-  PolicyIterationOptions options;
+PolicyIterationKnobs SolverConfig::policy_iteration_options() const {
+  PolicyIterationKnobs options;
   options.max_improvements = policy_iteration.max_improvements;
   options.improvement_tolerance = policy_iteration.improvement_tolerance;
   options.max_states = policy_iteration.max_states;
@@ -27,8 +27,8 @@ PolicyIterationOptions SolverConfig::policy_iteration_options() const {
   return options;
 }
 
-RatioOptions SolverConfig::ratio_options() const {
-  RatioOptions options;
+RatioKnobs SolverConfig::ratio_options() const {
+  RatioKnobs options;
   options.inner = average_reward_options();
   // The top-level control belongs to the outer Dinkelbach loop; the inner
   // solves receive the *remaining* budget from the running guard (stamped by
@@ -111,6 +111,74 @@ RatioResult maximize_ratio_with_retry(const CompiledModel& model,
                                       const SolverConfig& config,
                                       const robust::RetryPolicy& retry) {
   return maximize_ratio_with_retry(model, config.ratio_options(), retry);
+}
+
+PolicyIterationResult policy_iteration(const Model& model,
+                                       std::span<const double> sa_rewards,
+                                       const SolverConfig& config) {
+  return policy_iteration(model, sa_rewards,
+                          config.policy_iteration_options());
+}
+
+PolicyIterationResult policy_iteration(const CompiledModel& model,
+                                       std::span<const double> sa_rewards,
+                                       const SolverConfig& config) {
+  return policy_iteration(model, sa_rewards,
+                          config.policy_iteration_options());
+}
+
+GainResult evaluate_policy_stream(const Model& model, const Policy& policy,
+                                  std::span<const double> sa_rewards,
+                                  const SolverConfig& config,
+                                  const std::vector<double>* warm_start_bias) {
+  return evaluate_policy_stream(model, policy, sa_rewards,
+                                config.average_reward_options(),
+                                warm_start_bias);
+}
+
+GainResult evaluate_policy_stream(const CompiledModel& model,
+                                  const Policy& policy,
+                                  std::span<const double> sa_rewards,
+                                  const SolverConfig& config,
+                                  const std::vector<double>* warm_start_bias) {
+  return evaluate_policy_stream(model, policy, sa_rewards,
+                                config.average_reward_options(),
+                                warm_start_bias);
+}
+
+PolicyGains evaluate_policy_average(const Model& model, const Policy& policy,
+                                    const SolverConfig& config,
+                                    std::vector<double>* reward_bias,
+                                    std::vector<double>* weight_bias) {
+  return evaluate_policy_average(model, policy,
+                                 config.average_reward_options(), reward_bias,
+                                 weight_bias);
+}
+
+PolicyGains evaluate_policy_average(const CompiledModel& model,
+                                    const Policy& policy,
+                                    const SolverConfig& config,
+                                    std::vector<double>* reward_bias,
+                                    std::vector<double>* weight_bias) {
+  return evaluate_policy_average(model, policy,
+                                 config.average_reward_options(), reward_bias,
+                                 weight_bias);
+}
+
+PolicyIterationResult evaluate_policy_exact(const Model& model,
+                                            const Policy& policy,
+                                            std::span<const double> sa_rewards,
+                                            const SolverConfig& config) {
+  return evaluate_policy_exact(model, policy, sa_rewards,
+                               config.policy_iteration_options());
+}
+
+PolicyIterationResult evaluate_policy_exact(const CompiledModel& model,
+                                            const Policy& policy,
+                                            std::span<const double> sa_rewards,
+                                            const SolverConfig& config) {
+  return evaluate_policy_exact(model, policy, sa_rewards,
+                               config.policy_iteration_options());
 }
 
 }  // namespace bvc::mdp

@@ -13,9 +13,13 @@
 //     solver the config is handed to;
 //   * `threads` — value-iteration worker threads (docs/PARALLELISM.md).
 //
-// Every solver accepts a SolverConfig through a single overload declared
-// below; the legacy option structs remain as thin, deprecated aliases and
-// are what a SolverConfig lowers to internally.
+// Every solver entry point — including the fixed-policy evaluators — accepts
+// a SolverConfig through the overloads declared below. The legacy per-solver
+// option structs are RETIRED: their names survive only as the [[deprecated]]
+// aliases at the bottom of this header (scripts/ci.sh builds with
+// -Werror=deprecated-declarations, so no new in-repo use can land), and the
+// underlying knob blocks (`*Knobs`) are what a SolverConfig lowers to
+// internally.
 #pragma once
 
 #include <span>
@@ -34,11 +38,11 @@ struct SolverConfig {
   /// Inner relative-value-iteration knobs (tolerance, sweep cap,
   /// aperiodicity damping). Its nested `control` and `threads` fields are
   /// overwritten by the top-level `control`/`threads` below whenever the
-  /// config is lowered to per-solver options — set them here only if you
+  /// config is lowered to per-solver knobs — set them here only if you
   /// bypass SolverConfig entirely.
-  AverageRewardOptions average_reward;
+  AverageRewardKnobs average_reward;
 
-  /// Ratio (Dinkelbach + bisection) outer-loop extras; see RatioOptions
+  /// Ratio (Dinkelbach + bisection) outer-loop extras; see RatioKnobs
   /// for the field semantics.
   struct RatioExtras {
     double tolerance = 1e-6;
@@ -48,14 +52,14 @@ struct SolverConfig {
     double min_weight_rate = 1e-9;
   } ratio;
 
-  /// Discounted value-iteration extras; see DiscountedOptions.
+  /// Discounted value-iteration extras; see DiscountedKnobs.
   struct DiscountedExtras {
     double discount = 0.999;
     double tolerance = 1e-10;
     int max_sweeps = 1000000;
   } discounted;
 
-  /// Howard policy-iteration extras; see PolicyIterationOptions.
+  /// Howard policy-iteration extras; see PolicyIterationKnobs.
   struct PolicyIterationExtras {
     int max_improvements = 1000;
     double improvement_tolerance = 1e-10;
@@ -64,7 +68,7 @@ struct SolverConfig {
 
   /// One wall-clock/iteration budget plus cancellation for whichever
   /// solver consumes this config (nested solves share it cooperatively,
-  /// exactly as with the per-solver option structs).
+  /// exactly as with the per-solver knob blocks).
   robust::RunControl control;
 
   /// Value-iteration worker threads. 1 (default) keeps the serial sweep,
@@ -74,19 +78,19 @@ struct SolverConfig {
   /// BatchConfig::threads in mdp/batch.hpp.
   int threads = 1;
 
-  // Lowerings to the legacy per-solver option structs. These stamp
-  // `control` and `threads` into the result; everything else is copied
-  // from the blocks above.
-  [[nodiscard]] AverageRewardOptions average_reward_options() const;
-  [[nodiscard]] DiscountedOptions discounted_options() const;
-  [[nodiscard]] PolicyIterationOptions policy_iteration_options() const;
-  [[nodiscard]] RatioOptions ratio_options() const;
+  // Lowerings to the per-solver knob blocks. These stamp `control` and
+  // `threads` into the result; everything else is copied from the blocks
+  // above.
+  [[nodiscard]] AverageRewardKnobs average_reward_options() const;
+  [[nodiscard]] DiscountedKnobs discounted_options() const;
+  [[nodiscard]] PolicyIterationKnobs policy_iteration_options() const;
+  [[nodiscard]] RatioKnobs ratio_options() const;
 };
 
 // The single SolverConfig overload of each solver. Results are identical to
-// calling the legacy overload with the corresponding lowered options. Every
-// solver also accepts a precompiled model (mdp::CompiledModel — e.g. a
-// ModelCache entry) so repeated solves skip recompilation; results are
+// calling the knob-block overload with the corresponding lowered knobs.
+// Every solver also accepts a precompiled model (mdp::CompiledModel — e.g.
+// a ModelCache entry) so repeated solves skip recompilation; results are
 // bit-identical either way.
 
 [[nodiscard]] GainResult maximize_average_reward(const Model& model,
@@ -111,6 +115,12 @@ struct SolverConfig {
     const Model& model, const SolverConfig& config);
 [[nodiscard]] PolicyIterationResult policy_iteration(
     const CompiledModel& model, const SolverConfig& config);
+[[nodiscard]] PolicyIterationResult policy_iteration(
+    const Model& model, std::span<const double> sa_rewards,
+    const SolverConfig& config);
+[[nodiscard]] PolicyIterationResult policy_iteration(
+    const CompiledModel& model, std::span<const double> sa_rewards,
+    const SolverConfig& config);
 
 [[nodiscard]] RatioResult maximize_ratio(const Model& model,
                                          const SolverConfig& config);
@@ -122,5 +132,47 @@ struct SolverConfig {
 [[nodiscard]] RatioResult maximize_ratio_with_retry(
     const CompiledModel& model, const SolverConfig& config,
     const robust::RetryPolicy& retry = {});
+
+// Fixed-policy evaluators behind the same front door (their knob-block
+// overloads remain in the solver headers for the solvers' internal use).
+
+[[nodiscard]] GainResult evaluate_policy_stream(
+    const Model& model, const Policy& policy,
+    std::span<const double> sa_rewards, const SolverConfig& config,
+    const std::vector<double>* warm_start_bias = nullptr);
+[[nodiscard]] GainResult evaluate_policy_stream(
+    const CompiledModel& model, const Policy& policy,
+    std::span<const double> sa_rewards, const SolverConfig& config,
+    const std::vector<double>* warm_start_bias = nullptr);
+
+[[nodiscard]] PolicyGains evaluate_policy_average(
+    const Model& model, const Policy& policy, const SolverConfig& config,
+    std::vector<double>* reward_bias = nullptr,
+    std::vector<double>* weight_bias = nullptr);
+[[nodiscard]] PolicyGains evaluate_policy_average(
+    const CompiledModel& model, const Policy& policy,
+    const SolverConfig& config, std::vector<double>* reward_bias = nullptr,
+    std::vector<double>* weight_bias = nullptr);
+
+[[nodiscard]] PolicyIterationResult evaluate_policy_exact(
+    const Model& model, const Policy& policy,
+    std::span<const double> sa_rewards, const SolverConfig& config);
+[[nodiscard]] PolicyIterationResult evaluate_policy_exact(
+    const CompiledModel& model, const Policy& policy,
+    std::span<const double> sa_rewards, const SolverConfig& config);
+
+// Deprecated names of the retired per-solver option structs. They exist so
+// out-of-tree callers keep compiling (with a warning); every in-repo caller
+// passes a SolverConfig — enforced by -Werror=deprecated-declarations in
+// scripts/ci.sh.
+
+using AverageRewardOptions
+    [[deprecated("pass mdp::SolverConfig instead")]] = AverageRewardKnobs;
+using RatioOptions
+    [[deprecated("pass mdp::SolverConfig instead")]] = RatioKnobs;
+using DiscountedOptions
+    [[deprecated("pass mdp::SolverConfig instead")]] = DiscountedKnobs;
+using PolicyIterationOptions
+    [[deprecated("pass mdp::SolverConfig instead")]] = PolicyIterationKnobs;
 
 }  // namespace bvc::mdp

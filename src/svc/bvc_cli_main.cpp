@@ -1,0 +1,187 @@
+// bvc-cli — thin client for the bvcd job API. One verb per invocation:
+//
+//   bvc-cli submit  --port N [--file spec.json]   POST /v1/jobs (stdin
+//                                                 when --file is absent)
+//   bvc-cli status  <id> --port N                 GET /v1/jobs/<id>
+//   bvc-cli result  <id> --port N [--timeout S]   poll until terminal, then
+//                                                 print the final snapshot
+//   bvc-cli cancel  <id> --port N                 DELETE /v1/jobs/<id>
+//   bvc-cli list    --port N                      GET /v1/jobs
+//   bvc-cli metrics --port N                      GET /v1/metrics
+//   bvc-cli health  --port N                      GET /v1/healthz
+//   bvc-cli cache   --port N                      GET /v1/cache
+//
+// Every verb prints the response body (JSON) on stdout. Exit codes:
+// 0 = 2xx, 1 = HTTP error / job did not finish, 3 = cannot reach bvcd.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "svc/http.hpp"
+#include "svc/json.hpp"
+#include "util/arg_spec.hpp"
+
+namespace {
+
+using namespace bvc;
+
+/// --port, or the number stored in --port-file (bvcd writes it atomically).
+long resolve_port(const CliArgs& args) {
+  const long port = args.get_long("port", 0);
+  if (port > 0) {
+    return port;
+  }
+  const std::string port_file = args.get_string("port-file", "");
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    long from_file = 0;
+    if (in >> from_file) {
+      return from_file;
+    }
+    std::fprintf(stderr, "bvc-cli: cannot read port from %s\n",
+                 port_file.c_str());
+    return 0;
+  }
+  return 0;
+}
+
+int print_response(const std::optional<svc::HttpResponse>& response) {
+  if (!response) {
+    std::fprintf(stderr, "bvc-cli: cannot reach bvcd\n");
+    return 3;
+  }
+  std::printf("%s\n", response->body.c_str());
+  return response->status < 300 ? 0 : 1;
+}
+
+std::string read_spec(const CliArgs& args) {
+  const std::string file = args.get_string("file", "");
+  if (file.empty() || file == "-") {
+    std::ostringstream body;
+    body << std::cin.rdbuf();
+    return body.str();
+  }
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "bvc-cli: cannot read %s\n", file.c_str());
+    return "";
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+bool is_terminal_state(const std::string& state) {
+  return state == "done" || state == "cancelled" || state == "failed";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser("bvc-cli",
+                         "Client for the bvcd solve service (see verbs in "
+                         "the file header / docs/SERVICE.md)");
+  parser.add({
+      {"port", util::ArgType::kLong, "N", "bvcd port on 127.0.0.1", ""},
+      {"port-file", util::ArgType::kString, "PATH",
+       "read the port from PATH (as written by bvcd --port-file)", ""},
+      {"file", util::ArgType::kString, "PATH",
+       "job spec JSON for `submit` (default: stdin)", ""},
+      {"timeout", util::ArgType::kDouble, "S",
+       "`result`: give up after S seconds", "600"},
+      {"poll-ms", util::ArgType::kLong, "MS",
+       "`result`: poll interval in milliseconds", "200"},
+  });
+  const CliArgs args = parser.parse(argc, argv);
+
+  const std::vector<std::string>& positional = args.positional();
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "bvc-cli: missing verb (submit|status|result|cancel|list|"
+                 "metrics|health|cache); run --help\n");
+    return 2;
+  }
+  const std::string& verb = positional[0];
+  const long port = resolve_port(args);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bvc-cli: need --port or --port-file\n");
+    return 2;
+  }
+  const auto fetch = [port](const std::string& method,
+                            const std::string& target,
+                            const std::string& body = "") {
+    return svc::http_fetch(static_cast<std::uint16_t>(port), method, target,
+                           body);
+  };
+
+  if (verb == "submit") {
+    const std::string spec = read_spec(args);
+    if (spec.empty()) {
+      return 2;
+    }
+    return print_response(fetch("POST", "/v1/jobs", spec));
+  }
+  if (verb == "list") {
+    return print_response(fetch("GET", "/v1/jobs"));
+  }
+  if (verb == "metrics") {
+    return print_response(fetch("GET", "/v1/metrics"));
+  }
+  if (verb == "health") {
+    return print_response(fetch("GET", "/v1/healthz"));
+  }
+  if (verb == "cache") {
+    return print_response(fetch("GET", "/v1/cache"));
+  }
+
+  // The remaining verbs address one job.
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "bvc-cli: %s needs a job id\n", verb.c_str());
+    return 2;
+  }
+  const std::string target = "/v1/jobs/" + positional[1];
+  if (verb == "status") {
+    return print_response(fetch("GET", target));
+  }
+  if (verb == "cancel") {
+    return print_response(fetch("DELETE", target));
+  }
+  if (verb == "result") {
+    const double timeout_seconds = args.get_double("timeout", 600.0);
+    const long poll_ms = args.get_long("poll-ms", 200);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_seconds);
+    while (true) {
+      const std::optional<svc::HttpResponse> response = fetch("GET", target);
+      if (!response) {
+        std::fprintf(stderr, "bvc-cli: cannot reach bvcd\n");
+        return 3;
+      }
+      if (response->status >= 300) {
+        std::printf("%s\n", response->body.c_str());
+        return 1;
+      }
+      const std::optional<svc::Json> body = svc::Json::parse(response->body);
+      const std::string state = body ? body->string_or("state", "") : "";
+      if (is_terminal_state(state)) {
+        std::printf("%s\n", response->body.c_str());
+        return state == "done" ? 0 : 1;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "bvc-cli: timed out waiting for %s\n",
+                     positional[1].c_str());
+        std::printf("%s\n", response->body.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+  }
+
+  std::fprintf(stderr, "bvc-cli: unknown verb '%s'; run --help\n",
+               verb.c_str());
+  return 2;
+}

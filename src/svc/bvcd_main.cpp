@@ -1,0 +1,172 @@
+// bvcd — the long-running solve daemon. Serves the HTTP/JSON job API
+// (svc::SolveService) over a loopback socket, with the model cache, obs
+// registry, and crash-safe job persistence wired in. See docs/SERVICE.md.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "mdp/model_cache.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "svc/http.hpp"
+#include "svc/service.hpp"
+#include "util/arg_spec.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Atomic tmp+rename publish so a poller never reads a partial file.
+bool write_text_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    if (!out) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bvc;
+
+  util::ArgParser parser(
+      "bvcd", "Solve service daemon: HTTP/JSON job API over the batch engine");
+  parser.add({
+      {"port", util::ArgType::kLong, "N",
+       "TCP port on 127.0.0.1 (0 = pick an ephemeral port)", "0"},
+      {"port-file", util::ArgType::kString, "PATH",
+       "write the bound port number to PATH (atomic) once listening", ""},
+      {"state-dir", util::ArgType::kString, "PATH",
+       "persist jobs under PATH and resume them on restart (created if "
+       "missing; empty = in-memory only)", ""},
+      {"threads", util::ArgType::kLong, "N",
+       "batch worker threads per job (0 = all hardware threads)", "1"},
+      {"concurrent-cells", util::ArgType::kLong, "N",
+       "global cap on cells solving at once across jobs (0 = unlimited)",
+       "0"},
+      {"max-cells", util::ArgType::kLong, "N",
+       "reject jobs that expand to more than N cells", "4096"},
+      {"max-wall-clock", util::ArgType::kDouble, "S",
+       "cap every job's wall-clock budget at S seconds (default: uncapped)", ""},
+      {"cache-bytes", util::ArgType::kLong, "N",
+       "bound the global compiled-model cache at N bytes (cost-aware LRU "
+       "eviction; 0 = unbounded)", "0"},
+      {"cache-dir", util::ArgType::kString, "PATH",
+       "spill compiled models to PATH so evicted/cold models reload from "
+       "disk instead of recompiling", ""},
+      {"manifest-out", util::ArgType::kString, "PATH",
+       "write a run manifest (binary, args, endpoints, metrics) to PATH on "
+       "shutdown", ""},
+  });
+  const CliArgs args = parser.parse(argc, argv);
+
+  const long port = args.get_long("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "bvcd: --port must be in [0, 65535]\n");
+    return 2;
+  }
+
+  const long cache_bytes = args.get_long("cache-bytes", 0);
+  if (cache_bytes > 0) {
+    mdp::ModelCache::global().set_capacity_bytes(
+        static_cast<std::size_t>(cache_bytes));
+  }
+  const std::string cache_dir = args.get_string("cache-dir", "");
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "bvcd: cannot create --cache-dir %s: %s\n",
+                   cache_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    mdp::ModelCache::global().set_disk_tier(cache_dir);
+  }
+
+  svc::ServiceConfig config;
+  config.state_dir = args.get_string("state-dir", "");
+  config.threads = static_cast<int>(args.get_long("threads", 1));
+  config.max_concurrent_cells =
+      static_cast<int>(args.get_long("concurrent-cells", 0));
+  config.limits.max_cells =
+      static_cast<std::size_t>(args.get_long("max-cells", 4096));
+  config.limits.max_wall_clock_seconds = args.get_double(
+      "max-wall-clock", std::numeric_limits<double>::infinity());
+  if (!config.state_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.state_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "bvcd: cannot create --state-dir %s: %s\n",
+                   config.state_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+
+  obs::RunManifest manifest = obs::make_run_manifest(argc, argv);
+  for (const std::string& endpoint : svc::SolveService::endpoints()) {
+    manifest.annotations.emplace_back("endpoint", endpoint);
+  }
+
+  svc::SolveService service(config);
+  svc::HttpServer server(
+      [&service](const svc::HttpRequest& request) {
+        return service.route(request);
+      });
+  if (!server.start(static_cast<std::uint16_t>(port))) {
+    return 1;
+  }
+  std::printf("bvcd listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  const std::string port_file = args.get_string("port-file", "");
+  if (!port_file.empty() &&
+      !write_text_file(port_file, std::to_string(server.port()) + "\n")) {
+    std::fprintf(stderr, "bvcd: cannot write --port-file %s\n",
+                 port_file.c_str());
+    server.stop();
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("bvcd: shutting down\n");
+  std::fflush(stdout);
+
+  // Stop accepting first, then cancel + join the jobs (service dtor).
+  server.stop();
+
+  const std::string manifest_out = args.get_string("manifest-out", "");
+  if (!manifest_out.empty()) {
+    manifest.annotations.emplace_back("active_jobs_at_shutdown",
+                                      std::to_string(service.active_jobs()));
+    std::ofstream out(manifest_out, std::ios::trunc);
+    if (out) {
+      obs::write_manifest_json(out, manifest,
+                               obs::MetricsRegistry::global().snapshot());
+    } else {
+      std::fprintf(stderr, "bvcd: cannot write --manifest-out %s\n",
+                   manifest_out.c_str());
+    }
+  }
+  return 0;
+}

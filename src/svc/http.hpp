@@ -1,0 +1,76 @@
+// Loopback HTTP/1.1 server + client for the bvcd job API.
+//
+// Scope: exactly what an on-host solve daemon needs, nothing a proxy or
+// the open internet needs. The server binds 127.0.0.1 only, speaks
+// HTTP/1.1 with Content-Length framing (no chunked encoding, no
+// keep-alive — one request per connection), and hands every parsed
+// request to a single handler callback. Requests are handled serially on
+// the accept thread: handlers are required to be fast (job submission
+// spawns a worker and returns; status reads copy a snapshot), so a slow
+// *solve* never blocks the next request — only a slow *client* could, and
+// per-connection socket timeouts bound that.
+//
+// The client half (http_fetch) is the same framing in reverse, used by
+// bvc-cli and the service tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace bvc::svc {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", "DELETE", ...
+  std::string target;  ///< path only, e.g. "/v1/jobs/j1" (no query parsing)
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, readable
+  /// via port() afterwards) and starts the accept thread. False on bind
+  /// failure (port in use, no permission) with the reason on stderr.
+  [[nodiscard]] bool start(std::uint16_t port);
+
+  /// The bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, closes the listen socket, joins the accept thread.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+};
+
+/// One-shot HTTP exchange against 127.0.0.1:`port`. Returns nullopt on
+/// connect/IO failure or an unparsable response. `body` is sent with
+/// Content-Length framing for any method that carries one.
+[[nodiscard]] std::optional<HttpResponse> http_fetch(
+    std::uint16_t port, const std::string& method, const std::string& target,
+    const std::string& body = "");
+
+}  // namespace bvc::svc

@@ -1,0 +1,530 @@
+#include "svc/job_spec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace bvc::svc {
+
+namespace {
+
+/// Reads a finite number member; false (with `error` filled) when present
+/// but not a finite number. Absent leaves `out` untouched and succeeds.
+bool read_number(const Json& object, std::string_view key, double& out,
+                 std::string& error) {
+  const Json* value = object.find(key);
+  if (value == nullptr) {
+    return true;
+  }
+  if (!value->is_number() || !std::isfinite(value->as_number())) {
+    error = "field '" + std::string(key) + "' must be a finite number";
+    return false;
+  }
+  out = value->as_number();
+  return true;
+}
+
+bool read_unsigned(const Json& object, std::string_view key, unsigned& out,
+                   std::string& error) {
+  double value = static_cast<double>(out);
+  if (!read_number(object, key, value, error)) {
+    return false;
+  }
+  if (value < 0.0 || value != std::floor(value) || value > 1e9) {
+    error = "field '" + std::string(key) + "' must be a non-negative integer";
+    return false;
+  }
+  out = static_cast<unsigned>(value);
+  return true;
+}
+
+bool read_u64(const Json& object, std::string_view key, std::uint64_t& out,
+              std::string& error) {
+  double value = static_cast<double>(out);
+  if (!read_number(object, key, value, error)) {
+    return false;
+  }
+  if (value < 0.0 || value != std::floor(value) || value > 9.0e15) {
+    error = "field '" + std::string(key) + "' must be a non-negative integer";
+    return false;
+  }
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+bool parse_utility(const Json& object, bu::Utility& out, std::string& error) {
+  const Json* value = object.find("utility");
+  if (value == nullptr) {
+    return true;
+  }
+  const std::string& name = value->as_string();
+  if (name == "relative-revenue" || name == "u1") {
+    out = bu::Utility::kRelativeRevenue;
+  } else if (name == "absolute-reward" || name == "u2") {
+    out = bu::Utility::kAbsoluteReward;
+  } else if (name == "orphaning" || name == "u3") {
+    out = bu::Utility::kOrphaning;
+  } else {
+    error = "unknown utility '" + name +
+            "' (want relative-revenue|absolute-reward|orphaning)";
+    return false;
+  }
+  return true;
+}
+
+bool parse_setting(const Json& object, bu::Setting& out, std::string& error) {
+  const Json* value = object.find("setting");
+  if (value == nullptr) {
+    return true;
+  }
+  const double setting = value->is_number() ? value->as_number() : 0.0;
+  if (setting == 1.0) {
+    out = bu::Setting::kNoStickyGate;
+  } else if (setting == 2.0) {
+    out = bu::Setting::kStickyGate;
+  } else {
+    error = "field 'setting' must be 1 (no sticky gate) or 2 (sticky gate)";
+    return false;
+  }
+  return true;
+}
+
+/// One bu-attack cell object -> AttackParams (+ optional utility override).
+bool parse_attack_cell(const Json& cell, bu::AttackParams& params,
+                       bu::Utility& utility, std::string& error) {
+  if (!cell.is_object()) {
+    error = "each cell must be an object";
+    return false;
+  }
+  for (const auto& [required, label] :
+       {std::pair<const char*, const char*>{"alpha", "alpha"},
+        {"beta", "beta"},
+        {"gamma", "gamma"}}) {
+    if (cell.find(required) == nullptr) {
+      error = "cell missing required field '" + std::string(label) + "'";
+      return false;
+    }
+  }
+  if (!read_number(cell, "alpha", params.alpha, error) ||
+      !read_number(cell, "beta", params.beta, error) ||
+      !read_number(cell, "gamma", params.gamma, error) ||
+      !read_unsigned(cell, "ad", params.ad, error) ||
+      !read_unsigned(cell, "ad_carol", params.ad_carol, error) ||
+      !read_unsigned(cell, "gate_period", params.gate_period, error) ||
+      !read_unsigned(cell, "confirmations", params.confirmations, error) ||
+      !read_number(cell, "rds", params.rds, error) ||
+      !parse_setting(cell, params.setting, error) ||
+      !parse_utility(cell, utility, error)) {
+    return false;
+  }
+  params.allow_wait = cell.bool_or("allow_wait", params.allow_wait);
+  try {
+    params.validate();
+  } catch (const std::invalid_argument& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+/// bench_table2-style grid: {"alphas":[...], "ratios":[[b,g],...],
+/// "setting":1|2, "ad":N, ...defaults...}. Expansion mirrors the bench
+/// exactly — beta = (1-alpha)*b/(b+g), gamma = rest-beta, cells outside
+/// alpha <= min(beta, gamma) skipped — so a grid job's cell keys equal the
+/// bench sweep's.
+bool expand_attack_grid(const Json& grid, bu::Utility job_utility,
+                        std::vector<bu::AnalysisJob>& jobs,
+                        std::string& error) {
+  if (!grid.is_object()) {
+    error = "field 'grid' must be an object";
+    return false;
+  }
+  const Json* alphas = grid.find("alphas");
+  const Json* ratios = grid.find("ratios");
+  if (alphas == nullptr || !alphas->is_array() || alphas->size() == 0 ||
+      ratios == nullptr || !ratios->is_array() || ratios->size() == 0) {
+    error = "grid requires non-empty 'alphas' and 'ratios' arrays";
+    return false;
+  }
+  bu::AttackParams defaults;
+  bu::Utility utility = job_utility;
+  if (!read_unsigned(grid, "ad", defaults.ad, error) ||
+      !read_unsigned(grid, "ad_carol", defaults.ad_carol, error) ||
+      !read_unsigned(grid, "gate_period", defaults.gate_period, error) ||
+      !read_unsigned(grid, "confirmations", defaults.confirmations, error) ||
+      !read_number(grid, "rds", defaults.rds, error) ||
+      !parse_setting(grid, defaults.setting, error) ||
+      !parse_utility(grid, utility, error)) {
+    return false;
+  }
+  defaults.allow_wait = grid.bool_or("allow_wait", defaults.allow_wait);
+
+  for (const Json& ratio : ratios->items()) {
+    if (!ratio.is_array() || ratio.size() != 2 || !ratio.at(0).is_number() ||
+        !ratio.at(1).is_number() || ratio.at(0).as_number() <= 0.0 ||
+        ratio.at(1).as_number() <= 0.0) {
+      error = "each grid ratio must be a [b, g] pair of positive numbers";
+      return false;
+    }
+    const double b = ratio.at(0).as_number();
+    const double g = ratio.at(1).as_number();
+    for (const Json& alpha_value : alphas->items()) {
+      if (!alpha_value.is_number() ||
+          !std::isfinite(alpha_value.as_number())) {
+        error = "grid alphas must be finite numbers";
+        return false;
+      }
+      const double alpha = alpha_value.as_number();
+      const double rest = 1.0 - alpha;
+      const double beta = rest * b / (b + g);
+      const double gamma = rest - beta;
+      if (alpha > beta || alpha > gamma) {
+        continue;  // outside the paper's alpha <= min(beta, gamma) region
+      }
+      bu::AttackParams params = defaults;
+      params.alpha = alpha;
+      params.beta = beta;
+      params.gamma = gamma;
+      try {
+        params.validate();
+      } catch (const std::invalid_argument& e) {
+        error = e.what();
+        return false;
+      }
+      jobs.push_back({params, utility});
+    }
+  }
+  if (jobs.empty()) {
+    error = "grid expands to zero cells";
+    return false;
+  }
+  return true;
+}
+
+bool parse_sm_cell(const Json& cell, btc::SmJob& job, std::string& error) {
+  if (!cell.is_object()) {
+    error = "each cell must be an object";
+    return false;
+  }
+  if (cell.find("alpha") == nullptr) {
+    error = "cell missing required field 'alpha'";
+    return false;
+  }
+  if (!read_number(cell, "alpha", job.params.alpha, error) ||
+      !read_number(cell, "gamma_tie", job.params.gamma_tie, error) ||
+      !read_unsigned(cell, "max_len", job.params.max_len, error) ||
+      !read_unsigned(cell, "confirmations", job.params.confirmations,
+                     error) ||
+      !read_number(cell, "rds", job.params.rds, error) ||
+      !read_number(cell, "tolerance", job.tolerance, error) ||
+      !parse_utility(cell, job.utility, error)) {
+    return false;
+  }
+  try {
+    job.params.validate();
+  } catch (const std::invalid_argument& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+bool parse_voting_cell(const Json& cell, counter::VotingJob& job,
+                       std::string& error) {
+  if (!cell.is_object()) {
+    error = "each cell must be an object";
+    return false;
+  }
+  double epochs = 1.0;
+  if (!read_number(cell, "epochs", epochs, error)) {
+    return false;
+  }
+  if (epochs < 1.0 || epochs != std::floor(epochs) || epochs > 1e6) {
+    error = "field 'epochs' must be a positive integer";
+    return false;
+  }
+  job.epochs = static_cast<std::size_t>(epochs);
+  if (!read_u64(cell, "seed", job.seed, error)) {
+    return false;
+  }
+  if (const Json* rule = cell.find("rule"); rule != nullptr) {
+    if (!rule->is_object()) {
+      error = "field 'rule' must be an object";
+      return false;
+    }
+    counter::VoteRuleConfig& r = job.config.rule;
+    double epoch_length = static_cast<double>(r.epoch_length);
+    double activation_delay = static_cast<double>(r.activation_delay);
+    if (!read_number(*rule, "epoch_length", epoch_length, error) ||
+        !read_number(*rule, "adjust_threshold", r.adjust_threshold, error) ||
+        !read_number(*rule, "veto_threshold", r.veto_threshold, error) ||
+        !read_number(*rule, "activation_delay", activation_delay, error) ||
+        !read_u64(*rule, "step", r.step, error) ||
+        !read_u64(*rule, "initial_limit", r.initial_limit, error) ||
+        !read_u64(*rule, "min_limit", r.min_limit, error) ||
+        !read_u64(*rule, "max_limit", r.max_limit, error)) {
+      return false;
+    }
+    r.epoch_length = static_cast<counter::Height>(epoch_length);
+    r.activation_delay = static_cast<counter::Height>(activation_delay);
+  }
+  const Json* cohorts = cell.find("cohorts");
+  if (cohorts == nullptr || !cohorts->is_array() || cohorts->size() == 0) {
+    error = "cell requires a non-empty 'cohorts' array";
+    return false;
+  }
+  for (const Json& member : cohorts->items()) {
+    if (!member.is_object()) {
+      error = "each cohort must be an object";
+      return false;
+    }
+    counter::VoterCohort cohort;
+    if (!read_number(member, "power", cohort.power, error) ||
+        !read_u64(member, "preferred_limit", cohort.preferred_limit, error)) {
+      return false;
+    }
+    cohort.adversarial = member.bool_or("adversarial", false);
+    job.config.cohorts.push_back(cohort);
+  }
+  double total_power = 0.0;
+  for (const counter::VoterCohort& cohort : job.config.cohorts) {
+    total_power += cohort.power;
+  }
+  if (std::abs(total_power - 1.0) >= 1e-9) {
+    error = "cohort powers must sum to 1";
+    return false;
+  }
+  try {
+    job.config.rule.validate();
+  } catch (const std::invalid_argument& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kBuAttack: return "bu-attack";
+    case JobKind::kBtcSm: return "btc-sm";
+    case JobKind::kCounterVoting: return "counter-voting";
+  }
+  return "unknown";
+}
+
+std::size_t JobSpec::cells() const noexcept {
+  switch (kind_) {
+    case JobKind::kBuAttack: return bu_jobs_.size();
+    case JobKind::kBtcSm: return sm_jobs_.size();
+    case JobKind::kCounterVoting: return voting_jobs_.size();
+  }
+  return 0;
+}
+
+std::string JobSpec::cell_key(std::size_t i) const {
+  switch (kind_) {
+    case JobKind::kBuAttack:
+      return bu::analysis_job_key(bu_jobs_[i], bu_options_);
+    case JobKind::kBtcSm:
+      return btc::sm_job_key(sm_jobs_[i]);
+    case JobKind::kCounterVoting:
+      return counter::voting_job_key(voting_jobs_[i]);
+  }
+  return {};
+}
+
+robust::CheckpointRecord JobSpec::solve(
+    std::size_t i, const robust::RunControl& control) const {
+  switch (kind_) {
+    case JobKind::kBuAttack: {
+      bu::AnalysisOptions options = bu_options_;
+      options.control = control;
+      const bu::AnalysisResult result =
+          bu::analyze(bu_jobs_[i].params, bu_jobs_[i].utility, options);
+      return bu::analysis_record(cell_key(i), result,
+                                 /*persist_policy=*/false);
+    }
+    case JobKind::kBtcSm: {
+      const btc::SmJob& job = sm_jobs_[i];
+      const btc::SmResult result =
+          btc::analyze_sm(job.params, job.utility, job.tolerance, control);
+      return btc::sm_record(cell_key(i), result, /*persist_policy=*/false);
+    }
+    case JobKind::kCounterVoting: {
+      const counter::VotingJob& job = voting_jobs_[i];
+      bvc::Rng rng(job.seed);
+      mdp::SolverConfig solver = job.solver;
+      solver.control = control;
+      const counter::VotingSimResult result =
+          counter::run_voting_simulation(job.config, job.epochs, rng, solver);
+      return counter::voting_record(cell_key(i), result);
+    }
+  }
+  return {};
+}
+
+bool JobSpec::validate_record(const robust::CheckpointRecord& record) const {
+  switch (kind_) {
+    case JobKind::kBuAttack: {
+      bu::AnalysisResult result;
+      return bu::analysis_restore(record, result);
+    }
+    case JobKind::kBtcSm: {
+      btc::SmResult result;
+      return btc::sm_restore(record, result);
+    }
+    case JobKind::kCounterVoting: {
+      counter::VotingSimResult result;
+      return counter::voting_restore(record, result);
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<JobSpec> JobSpec::parse(const Json& body,
+                                        const JobLimits& limits, int& status,
+                                        std::string& error) {
+  status = 400;
+  if (!body.is_object()) {
+    error = "job body must be a JSON object";
+    return nullptr;
+  }
+  const Json* kind_value = body.find("kind");
+  if (kind_value == nullptr || !kind_value->is_string()) {
+    error = "job requires a string 'kind'";
+    return nullptr;
+  }
+  auto spec = std::make_unique<JobSpec>();
+  const std::string& kind = kind_value->as_string();
+  if (kind == "bu-attack") {
+    spec->kind_ = JobKind::kBuAttack;
+  } else if (kind == "btc-sm") {
+    spec->kind_ = JobKind::kBtcSm;
+  } else if (kind == "counter-voting") {
+    spec->kind_ = JobKind::kCounterVoting;
+  } else {
+    error = "unknown job kind '" + kind +
+            "' (want bu-attack|btc-sm|counter-voting)";
+    return nullptr;
+  }
+
+  // Per-request budget (admission control): absent fields inherit the
+  // service-wide cap; present fields are clamped to it.
+  spec->budget_.wall_clock_seconds = limits.max_wall_clock_seconds;
+  if (const Json* budget = body.find("budget"); budget != nullptr) {
+    if (!budget->is_object()) {
+      error = "field 'budget' must be an object";
+      return nullptr;
+    }
+    double wall = spec->budget_.wall_clock_seconds;
+    if (!read_number(*budget, "wall_clock_seconds", wall, error)) {
+      return nullptr;
+    }
+    if (wall <= 0.0) {
+      error = "budget wall_clock_seconds must be positive";
+      return nullptr;
+    }
+    spec->budget_.wall_clock_seconds =
+        std::min(wall, limits.max_wall_clock_seconds);
+    double ticks = 0.0;
+    if (const Json* max_ticks = budget->find("max_ticks");
+        max_ticks != nullptr) {
+      if (!read_number(*budget, "max_ticks", ticks, error)) {
+        return nullptr;
+      }
+      if (ticks < 1.0 || ticks != std::floor(ticks)) {
+        error = "budget max_ticks must be a positive integer";
+        return nullptr;
+      }
+      spec->budget_.max_ticks = static_cast<std::int64_t>(ticks);
+    }
+  }
+
+  // Job-level solver knobs (bu-attack only reads tolerance today).
+  if (spec->kind_ == JobKind::kBuAttack) {
+    double tolerance = spec->bu_options_.tolerance;
+    if (!read_number(body, "tolerance", tolerance, error)) {
+      return nullptr;
+    }
+    if (tolerance <= 0.0) {
+      error = "tolerance must be positive";
+      return nullptr;
+    }
+    spec->bu_options_.tolerance = tolerance;
+  }
+
+  const Json* cells = body.find("cells");
+  const Json* grid = body.find("grid");
+  if ((cells == nullptr) == (grid == nullptr)) {
+    error = "job requires exactly one of 'cells' or 'grid'";
+    return nullptr;
+  }
+  if (grid != nullptr && spec->kind_ != JobKind::kBuAttack) {
+    error = "'grid' jobs are only supported for kind bu-attack";
+    return nullptr;
+  }
+
+  bu::Utility job_utility = bu::Utility::kRelativeRevenue;
+  if (spec->kind_ == JobKind::kBuAttack &&
+      !parse_utility(body, job_utility, error)) {
+    return nullptr;
+  }
+
+  if (grid != nullptr) {
+    if (!expand_attack_grid(*grid, job_utility, spec->bu_jobs_, error)) {
+      return nullptr;
+    }
+  } else {
+    if (!cells->is_array() || cells->size() == 0) {
+      error = "'cells' must be a non-empty array";
+      return nullptr;
+    }
+    for (const Json& cell : cells->items()) {
+      switch (spec->kind_) {
+        case JobKind::kBuAttack: {
+          bu::AttackParams params;
+          bu::Utility utility = job_utility;
+          if (!parse_attack_cell(cell, params, utility, error)) {
+            return nullptr;
+          }
+          spec->bu_jobs_.push_back({params, utility});
+          break;
+        }
+        case JobKind::kBtcSm: {
+          btc::SmJob job;
+          if (!parse_sm_cell(cell, job, error)) {
+            return nullptr;
+          }
+          spec->sm_jobs_.push_back(std::move(job));
+          break;
+        }
+        case JobKind::kCounterVoting: {
+          counter::VotingJob job;
+          if (!parse_voting_cell(cell, job, error)) {
+            return nullptr;
+          }
+          spec->voting_jobs_.push_back(std::move(job));
+          break;
+        }
+      }
+    }
+  }
+
+  if (spec->cells() > limits.max_cells) {
+    status = 413;
+    error = "job expands to " + std::to_string(spec->cells()) +
+            " cells, above the admission limit of " +
+            std::to_string(limits.max_cells);
+    return nullptr;
+  }
+  status = 200;
+  error.clear();
+  return spec;
+}
+
+}  // namespace bvc::svc

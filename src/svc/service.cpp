@@ -1,0 +1,572 @@
+#include "svc/service.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "mdp/model_cache.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace bvc::svc {
+
+namespace {
+
+HttpResponse json_response(int status, const Json& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.dump();
+  return response;
+}
+
+HttpResponse error_response(int status, std::string message) {
+  return json_response(
+      status, Json::object().set("error", Json::string(std::move(message))));
+}
+
+/// One finished cell as wire JSON. `values` is an array of [name, value]
+/// pairs, NOT an object: checkpoint records may repeat a name (the voting
+/// trace stores one "limit_per_epoch" entry per epoch) and order matters.
+Json record_json(const robust::CheckpointRecord& record) {
+  Json values = Json::array();
+  for (const auto& [name, value] : record.values) {
+    Json pair = Json::array();
+    pair.push_back(Json::string(name));
+    pair.push_back(Json::number(value));
+    values.push_back(std::move(pair));
+  }
+  Json out = Json::object();
+  out.set("key", Json::string(record.key));
+  out.set("status", Json::string(std::string(to_string(record.status))));
+  out.set("values", std::move(values));
+  if (!record.policy.empty()) {
+    Json policy = Json::array();
+    for (const std::int32_t action : record.policy) {
+      policy.push_back(Json::number(static_cast<double>(action)));
+    }
+    out.set("policy", std::move(policy));
+  }
+  return out;
+}
+
+[[nodiscard]] bool is_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kCancelled ||
+         state == JobState::kFailed;
+}
+
+std::optional<JobState> state_from_string(std::string_view name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "cancelled") return JobState::kCancelled;
+  if (name == "failed") return JobState::kFailed;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+SolveService::SolveService(ServiceConfig config) : config_(std::move(config)) {
+  if (!config_.state_dir.empty()) {
+    BVC_REQUIRE(std::filesystem::is_directory(config_.state_dir),
+                "service state_dir must be an existing directory");
+    restore_jobs();
+  }
+}
+
+SolveService::~SolveService() {
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, job] : jobs_) {
+      job->cancel.request_cancel();
+      if (job->worker.joinable()) {
+        workers.push_back(std::move(job->worker));
+      }
+    }
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+}
+
+std::vector<std::string> SolveService::endpoints() {
+  return {
+      "POST /v1/jobs",   "GET /v1/jobs",    "GET /v1/jobs/<id>",
+      "DELETE /v1/jobs/<id>", "GET /v1/healthz", "GET /v1/metrics",
+      "GET /v1/cache",
+  };
+}
+
+HttpResponse SolveService::route(const HttpRequest& request) {
+  const std::string& target = request.target;
+  if (target == "/v1/jobs") {
+    if (request.method == "POST") {
+      return submit(request);
+    }
+    if (request.method == "GET") {
+      return list_jobs();
+    }
+    return error_response(405, "method not allowed");
+  }
+  if (target.rfind("/v1/jobs/", 0) == 0) {
+    const std::string id = target.substr(9);
+    if (id.empty() || id.find('/') != std::string::npos) {
+      return error_response(404, "no such job");
+    }
+    if (request.method == "GET") {
+      return job_status(id);
+    }
+    if (request.method == "DELETE") {
+      return cancel_job(id);
+    }
+    return error_response(405, "method not allowed");
+  }
+  if (target == "/v1/healthz") {
+    return request.method == "GET" ? healthz()
+                                   : error_response(405, "method not allowed");
+  }
+  if (target == "/v1/metrics") {
+    return request.method == "GET" ? metrics()
+                                   : error_response(405, "method not allowed");
+  }
+  if (target == "/v1/cache") {
+    return request.method == "GET" ? cache_stats()
+                                   : error_response(405, "method not allowed");
+  }
+  return error_response(404, "no such endpoint");
+}
+
+HttpResponse SolveService::submit(const HttpRequest& request) {
+  const std::optional<Json> body = Json::parse(request.body);
+  if (!body) {
+    return error_response(400, "request body is not valid JSON");
+  }
+  int status = 400;
+  std::string error;
+  std::unique_ptr<JobSpec> spec =
+      JobSpec::parse(*body, config_.limits, status, error);
+  if (spec == nullptr) {
+    return error_response(status, error);
+  }
+
+  Job* job = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_unique<Job>();
+    owned->id = "j" + std::to_string(next_job_number_++);
+    owned->spec_body = body->dump();
+    owned->spec = std::move(spec);
+    owned->records.resize(owned->spec->cells());
+    owned->finished.assign(owned->spec->cells(), false);
+    job = owned.get();
+    order_.push_back(owned->id);
+    jobs_.emplace(owned->id, std::move(owned));
+    persist_index_locked();
+  }
+  job->worker = std::thread([this, job] { run_job(job); });
+
+  Json response = Json::object();
+  response.set("id", Json::string(job->id));
+  response.set("kind",
+               Json::string(std::string(to_string(job->spec->kind()))));
+  response.set("cells",
+               Json::number(static_cast<double>(job->spec->cells())));
+  return json_response(202, response);
+}
+
+HttpResponse SolveService::list_jobs() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json items = Json::array();
+  for (const std::string& id : order_) {
+    const Job& job = *jobs_.at(id);
+    Json entry = Json::object();
+    entry.set("id", Json::string(job.id));
+    entry.set("kind", Json::string(std::string(to_string(job.spec->kind()))));
+    entry.set("state", Json::string(std::string(to_string(job.state))));
+    entry.set("cells", Json::number(static_cast<double>(job.spec->cells())));
+    entry.set("completed", Json::number(static_cast<double>(job.completed)));
+    items.push_back(std::move(entry));
+  }
+  return json_response(200, Json::object().set("jobs", std::move(items)));
+}
+
+HttpResponse SolveService::job_status(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return error_response(404, "no such job");
+  }
+  const Job& job = *it->second;
+  Json out = Json::object();
+  out.set("id", Json::string(job.id));
+  out.set("kind", Json::string(std::string(to_string(job.spec->kind()))));
+  out.set("state", Json::string(std::string(to_string(job.state))));
+  out.set("cells", Json::number(static_cast<double>(job.spec->cells())));
+  out.set("completed", Json::number(static_cast<double>(job.completed)));
+  out.set("resumed", Json::number(static_cast<double>(job.resumed)));
+  if (!job.failure.empty()) {
+    out.set("failure", Json::string(job.failure));
+  }
+  // Finished cells in input order — a poll during the run sees a growing
+  // prefix-free subset (whatever has completed), i.e. streamed partials.
+  Json records = Json::array();
+  for (std::size_t i = 0; i < job.records.size(); ++i) {
+    if (job.finished[i]) {
+      records.push_back(record_json(job.records[i]));
+    }
+  }
+  out.set("records", std::move(records));
+  return json_response(200, out);
+}
+
+HttpResponse SolveService::cancel_job(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return error_response(404, "no such job");
+  }
+  Job& job = *it->second;
+  job.cancel.request_cancel();
+  Json out = Json::object();
+  out.set("id", Json::string(job.id));
+  out.set("state", Json::string(is_terminal(job.state)
+                                    ? std::string(to_string(job.state))
+                                    : "cancelling"));
+  return json_response(202, out);
+}
+
+HttpResponse SolveService::healthz() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (!is_terminal(job->state)) {
+      ++active;
+    }
+  }
+  Json out = Json::object();
+  out.set("status", Json::string("ok"));
+  out.set("jobs", Json::number(static_cast<double>(jobs_.size())));
+  out.set("active", Json::number(static_cast<double>(active)));
+  return json_response(200, out);
+}
+
+HttpResponse SolveService::metrics() {
+  std::ostringstream out;
+  obs::MetricsRegistry::global().write_json(out);
+  HttpResponse response;
+  response.body = out.str();
+  return response;
+}
+
+HttpResponse SolveService::cache_stats() {
+  const mdp::ModelCache::Stats stats = mdp::ModelCache::global().stats();
+  Json out = Json::object();
+  out.set("hits", Json::number(static_cast<double>(stats.hits)));
+  out.set("misses", Json::number(static_cast<double>(stats.misses)));
+  out.set("entries", Json::number(static_cast<double>(stats.entries)));
+  out.set("bytes_resident",
+          Json::number(static_cast<double>(stats.bytes_resident)));
+  out.set("evictions", Json::number(static_cast<double>(stats.evictions)));
+  out.set("capacity_bytes",
+          Json::number(static_cast<double>(stats.capacity_bytes)));
+  out.set("disk_hits", Json::number(static_cast<double>(stats.disk_hits)));
+  out.set("disk_stores",
+          Json::number(static_cast<double>(stats.disk_stores)));
+  return json_response(200, out);
+}
+
+std::size_t SolveService::active_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (!is_terminal(job->state)) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+void SolveService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    for (const auto& [id, job] : jobs_) {
+      if (!is_terminal(job->state)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+std::string SolveService::journal_path(const std::string& id) const {
+  return config_.state_dir + "/job-" + id + ".cells.jsonl";
+}
+
+void SolveService::run_job(Job* job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->state = JobState::kRunning;
+  }
+  try {
+    const std::size_t count = job->spec->cells();
+    std::vector<std::string> keys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = job->spec->cell_key(i);
+    }
+
+    // Per-job journal: same durability protocol as the bench sweeps,
+    // including the deterministic BVC_CRASH_AFTER_CELLS kill hook — the
+    // restart-resume path is tested with a REAL mid-grid death.
+    std::unique_ptr<robust::CheckpointJournal> journal;
+    if (!config_.state_dir.empty()) {
+      robust::JournalOptions options;
+      options.crash = robust::crash_plan_from_env();
+      journal = std::make_unique<robust::CheckpointJournal>(
+          journal_path(job->id), options);
+      (void)journal->load();
+    }
+
+    mdp::BatchCheckpoint checkpoint;
+    if (journal != nullptr) {
+      checkpoint.journal = journal.get();
+      checkpoint.cell_key = [&keys](std::size_t i) { return keys[i]; };
+      checkpoint.restore = [this, job](std::size_t i,
+                                       const robust::CheckpointRecord& record) {
+        if (!job->spec->validate_record(record)) {
+          return false;  // schema drift: recompute instead of trusting it
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job->records[i] = record;
+        job->finished[i] = true;
+        ++job->completed;
+        ++job->resumed;
+        return true;
+      };
+      checkpoint.snapshot = [this, job](std::size_t i) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return job->records[i];
+      };
+    }
+
+    mdp::BatchConfig batch;
+    batch.threads = config_.threads;
+    batch.control.budget = job->spec->budget();
+    batch.control.cancel = job->cancel;
+
+    const auto run_item = [this, job](std::size_t i,
+                                      const robust::RunControl& control) {
+      acquire_cell_slot();
+      robust::CheckpointRecord record;
+      try {
+        record = job->spec->solve(i, control);
+      } catch (...) {
+        release_cell_slot();
+        throw;
+      }
+      release_cell_slot();
+      const robust::RunStatus status = record.status;
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->records[i] = std::move(record);
+      job->finished[i] = true;
+      ++job->completed;
+      return status;
+    };
+    const auto skip_item = [this, job, &keys](std::size_t i,
+                                              robust::RunStatus status) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->records[i].key = keys[i];
+      job->records[i].status = status;
+    };
+
+    (void)mdp::run_batch(count, batch, checkpoint, run_item, skip_item);
+    if (journal != nullptr) {
+      (void)journal->flush();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->state = job->cancel.cancel_requested() ? JobState::kCancelled
+                                                  : JobState::kDone;
+      persist_index_locked();
+    }
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->state = JobState::kFailed;
+    job->failure = e.what();
+    persist_index_locked();
+  }
+  idle_cv_.notify_all();
+}
+
+void SolveService::persist_index_locked() {
+  if (config_.state_dir.empty()) {
+    return;
+  }
+  std::string content;
+  for (const std::string& id : order_) {
+    const Job& job = *jobs_.at(id);
+    content += "{\"id\":";
+    append_json_escaped(content, job.id);
+    content += ",\"state\":";
+    append_json_escaped(content, to_string(job.state));
+    if (!job.failure.empty()) {
+      content += ",\"failure\":";
+      append_json_escaped(content, job.failure);
+    }
+    // spec_body is the normalized dump() of the validated submit body:
+    // single-line JSON, safe to embed verbatim.
+    content += ",\"spec\":" + job.spec_body + "}\n";
+  }
+  const std::string path = config_.state_dir + "/jobs.jsonl";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bvcd: cannot write job index %s\n", tmp.c_str());
+      return;
+    }
+    out << content;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "bvcd: cannot publish job index %s: %s\n",
+                 path.c_str(), ec.message().c_str());
+  }
+}
+
+void SolveService::restore_jobs() {
+  std::ifstream in(config_.state_dir + "/jobs.jsonl");
+  if (!in) {
+    return;  // fresh state dir
+  }
+  std::vector<Job*> to_resume;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const std::optional<Json> entry = Json::parse(line);
+      if (!entry || !entry->is_object()) {
+        std::fprintf(stderr, "bvcd: skipping malformed job index line\n");
+        continue;
+      }
+      const std::string id = entry->string_or("id", "");
+      const Json* spec_body = entry->find("spec");
+      if (id.empty() || spec_body == nullptr) {
+        continue;
+      }
+      int status = 0;
+      std::string error;
+      std::unique_ptr<JobSpec> spec =
+          JobSpec::parse(*spec_body, config_.limits, status, error);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "bvcd: dropping job %s from index: %s\n",
+                     id.c_str(), error.c_str());
+        continue;
+      }
+      auto owned = std::make_unique<Job>();
+      owned->id = id;
+      owned->spec_body = spec_body->dump();
+      owned->spec = std::move(spec);
+      const std::size_t count = owned->spec->cells();
+      owned->records.resize(count);
+      owned->finished.assign(count, false);
+
+      // Replay the journal into the record slots so terminal jobs serve
+      // results immediately and incomplete jobs know what's left.
+      robust::CheckpointJournal journal(journal_path(id));
+      (void)journal.load();
+      for (std::size_t i = 0; i < count; ++i) {
+        const robust::CheckpointRecord* record =
+            journal.find(owned->spec->cell_key(i));
+        if (record != nullptr && owned->spec->validate_record(*record)) {
+          owned->records[i] = *record;
+          owned->finished[i] = true;
+          ++owned->completed;
+          ++owned->resumed;
+        }
+      }
+
+      const std::optional<JobState> persisted =
+          state_from_string(entry->string_or("state", ""));
+      if (persisted && is_terminal(*persisted)) {
+        owned->state = *persisted;
+        owned->failure = entry->string_or("failure", "");
+      } else if (owned->completed == count) {
+        owned->state = JobState::kDone;  // finished between flush and index
+      } else {
+        owned->state = JobState::kQueued;
+        to_resume.push_back(owned.get());
+      }
+
+      // Keep the id counter ahead of every restored id ("j<N>").
+      if (id.size() > 1 && id[0] == 'j') {
+        const std::size_t number = static_cast<std::size_t>(
+            std::strtoull(id.c_str() + 1, nullptr, 10));
+        if (number >= next_job_number_) {
+          next_job_number_ = number + 1;
+        }
+      }
+      order_.push_back(id);
+      jobs_.emplace(id, std::move(owned));
+    }
+    persist_index_locked();
+  }
+  // Resume incomplete jobs OUTSIDE the lock: their restore callbacks (and
+  // terminal-state epilogues) take it. The batch layer re-reads the
+  // journal, restores the finished cells, and solves only the remainder.
+  for (Job* job : to_resume) {
+    // The worker re-restores from the journal; reset the counters the
+    // synchronous replay above filled so cells aren't double-counted.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->completed = 0;
+      job->resumed = 0;
+      job->finished.assign(job->spec->cells(), false);
+      for (robust::CheckpointRecord& record : job->records) {
+        record = robust::CheckpointRecord{};
+      }
+    }
+    job->worker = std::thread([this, job] { run_job(job); });
+  }
+}
+
+void SolveService::acquire_cell_slot() {
+  if (config_.max_concurrent_cells <= 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(gate_mutex_);
+  gate_cv_.wait(lock, [this] {
+    return cells_in_flight_ < config_.max_concurrent_cells;
+  });
+  ++cells_in_flight_;
+}
+
+void SolveService::release_cell_slot() {
+  if (config_.max_concurrent_cells <= 0) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex_);
+    --cells_in_flight_;
+  }
+  gate_cv_.notify_one();
+}
+
+}  // namespace bvc::svc

@@ -1,0 +1,147 @@
+// The bvcd service core: a job registry over the batch engine, with
+// crash-safe persistence, cancellation, admission control, and the HTTP
+// route table — everything the daemon does except sockets (http.cpp) and
+// flags (bvcd_main.cpp). Keeping the core socket-free means the whole API
+// surface is unit-testable in process: tests call route() with synthetic
+// requests and drive real solves.
+//
+// Endpoints (all JSON):
+//
+//   POST   /v1/jobs       submit a job (see job_spec.hpp for the schema);
+//                         202 {"id","cells"} or 4xx {"error"}
+//   GET    /v1/jobs       list job ids + states
+//   GET    /v1/jobs/<id>  status snapshot: state, progress counters, and
+//                         the records of every FINISHED cell so far —
+//                         polling this while the job runs streams partial
+//                         results in completion order
+//   DELETE /v1/jobs/<id>  cancel: fires the job's root CancelToken; the
+//                         batch engine stops picking up cells and
+//                         in-flight solves observe the linked token
+//   GET    /v1/healthz    liveness + job counts
+//   GET    /v1/metrics    the obs::MetricsRegistry snapshot (JSON)
+//   GET    /v1/cache      mdp::ModelCache::global() stats snapshot
+//
+// Persistence (state_dir != ""): the job index (`jobs.jsonl`, one line per
+// job: id + verbatim spec body + terminal-state flag) is rewritten
+// atomically on every mutation, and each job's finished cells live in a
+// per-job robust::CheckpointJournal (`job-<id>.cells.jsonl`) written by
+// the same batch checkpoint layer the bench sweeps use. A restarted
+// daemon reloads the index, replays each journal, and RESUMES incomplete
+// jobs — finished cells restore in microseconds, the rest re-solve. The
+// journal honors BVC_CRASH_AFTER_CELLS, so the kill-mid-grid -> restart ->
+// identical-results scenario is testable end to end.
+//
+// Admission control: per-request budgets are clamped to
+// JobLimits::max_wall_clock_seconds, grids above JobLimits::max_cells are
+// rejected at submit, and a global concurrent-cell gate bounds how many
+// cells solve at once ACROSS jobs (each job's batch pool still schedules
+// its own cells; the gate is the cross-job backpressure).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mdp/batch.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/run_control.hpp"
+#include "svc/http.hpp"
+#include "svc/job_spec.hpp"
+
+namespace bvc::svc {
+
+struct ServiceConfig {
+  /// Directory for the job index + per-job journals ("" = in-memory only;
+  /// the directory must exist).
+  std::string state_dir;
+  /// Batch worker threads per job (mdp::BatchConfig::threads semantics:
+  /// 0 = all hardware threads, 1 = inline).
+  int threads = 1;
+  /// Cells solving concurrently across ALL jobs; 0 = unlimited.
+  int max_concurrent_cells = 0;
+  JobLimits limits;
+};
+
+/// Lifecycle of one job. Terminal states are kDone / kCancelled / kFailed.
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+[[nodiscard]] std::string_view to_string(JobState state) noexcept;
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config);
+  /// Cancels every running job and joins the workers (journals flush in
+  /// the worker epilogue, so shutdown loses at most in-flight cells —
+  /// which a restart re-solves).
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// The HTTP route table (see file comment). Thread-compatible with the
+  /// serial HttpServer accept loop; internal state is mutex-guarded, so
+  /// tests may also call it from multiple threads.
+  [[nodiscard]] HttpResponse route(const HttpRequest& request);
+
+  /// Endpoint list for the run manifest ("what did this daemon serve?").
+  [[nodiscard]] static std::vector<std::string> endpoints();
+
+  /// Jobs currently in a non-terminal state (for tests and healthz).
+  [[nodiscard]] std::size_t active_jobs() const;
+  /// Blocks until every submitted job reaches a terminal state.
+  void wait_idle();
+
+ private:
+  struct Job {
+    std::string id;
+    std::string spec_body;  ///< verbatim JSON, persisted in the index
+    std::unique_ptr<JobSpec> spec;
+    robust::CancelToken cancel = robust::CancelToken::make();
+    JobState state = JobState::kQueued;
+    /// Input-ordered finished-cell records; empty slots = not finished.
+    std::vector<robust::CheckpointRecord> records;
+    std::vector<bool> finished;
+    std::size_t completed = 0;
+    std::size_t resumed = 0;
+    std::string failure;  ///< what() of the exception that failed the job
+    std::thread worker;
+  };
+
+  // Endpoint handlers (called with mutex_ NOT held).
+  HttpResponse submit(const HttpRequest& request);
+  HttpResponse list_jobs();
+  HttpResponse job_status(const std::string& id);
+  HttpResponse cancel_job(const std::string& id);
+  HttpResponse healthz();
+  HttpResponse metrics();
+  HttpResponse cache_stats();
+
+  void run_job(Job* job);
+  /// Rewrites the job index (jobs.jsonl) atomically. Caller holds mutex_.
+  void persist_index_locked();
+  /// Loads the index + journals and restarts incomplete jobs.
+  void restore_jobs();
+  [[nodiscard]] std::string journal_path(const std::string& id) const;
+
+  // Global concurrent-cell gate.
+  void acquire_cell_slot();
+  void release_cell_slot();
+
+  ServiceConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::vector<std::string> order_;  ///< submission order of job ids
+  std::unordered_map<std::string, std::unique_ptr<Job>> jobs_;
+  std::size_t next_job_number_ = 1;
+
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  int cells_in_flight_ = 0;
+};
+
+}  // namespace bvc::svc

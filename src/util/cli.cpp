@@ -35,6 +35,15 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
   }
 }
 
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& flag : flags_) {
+    names.push_back(flag.name);
+  }
+  return names;
+}
+
 bool CliArgs::has(std::string_view name) const {
   for (const auto& flag : flags_) {
     if (flag.name == name) {

@@ -35,6 +35,10 @@ class CliArgs {
     return positional_;
   }
 
+  /// Every flag name that appeared on the command line, in order, with
+  /// duplicates preserved — util::ArgParser validates against this list.
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
  private:
   struct Flag {
     std::string name;

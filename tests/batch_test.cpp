@@ -257,16 +257,16 @@ TEST(ParallelVi, MatchesSerialGainAndPolicyOnTable2Model) {
       }(),
       bu::Utility::kRelativeRevenue);
 
-  mdp::AverageRewardOptions serial_options;
-  serial_options.tolerance = 1e-9;
+  mdp::SolverConfig serial_config;
+  serial_config.average_reward.tolerance = 1e-9;
   const mdp::GainResult serial =
-      mdp::maximize_average_reward(model.model, serial_options);
+      mdp::maximize_average_reward(model.model, serial_config);
   ASSERT_TRUE(serial.converged());
 
-  mdp::AverageRewardOptions parallel_options = serial_options;
-  parallel_options.threads = 4;
+  mdp::SolverConfig parallel_config = serial_config;
+  parallel_config.threads = 4;
   const mdp::GainResult parallel =
-      mdp::maximize_average_reward(model.model, parallel_options);
+      mdp::maximize_average_reward(model.model, parallel_config);
   ASSERT_TRUE(parallel.converged());
 
   // Gauss-Seidel (serial) and Jacobi (parallel) follow different sweep
@@ -280,14 +280,14 @@ TEST(ParallelVi, BitIdenticalAcrossParallelThreadCounts) {
   const bu::AttackModel model = bu::build_attack_model(
       small_params(0.20, 0.40, 0.40), bu::Utility::kRelativeRevenue);
 
-  mdp::AverageRewardOptions options;
-  options.tolerance = 1e-9;
-  options.threads = 2;
+  mdp::SolverConfig config;
+  config.average_reward.tolerance = 1e-9;
+  config.threads = 2;
   const mdp::GainResult two =
-      mdp::maximize_average_reward(model.model, options);
-  options.threads = 8;
+      mdp::maximize_average_reward(model.model, config);
+  config.threads = 8;
   const mdp::GainResult eight =
-      mdp::maximize_average_reward(model.model, options);
+      mdp::maximize_average_reward(model.model, config);
 
   // The chunk partition depends only on (state count, chunk count) and the
   // span reduction is exact, so EVERY parallel thread count produces the
@@ -353,11 +353,11 @@ TEST(SolverConfig, ThreadsAndControlStampTheLoweredOptions) {
   config.threads = 6;
   config.control.budget = robust::RunBudget::ticks(123);
 
-  const mdp::AverageRewardOptions avg = config.average_reward_options();
+  const mdp::AverageRewardKnobs avg = config.average_reward_options();
   EXPECT_EQ(avg.threads, 6);
   EXPECT_EQ(avg.control.budget.max_ticks, 123);
 
-  const mdp::RatioOptions ratio = config.ratio_options();
+  const mdp::RatioKnobs ratio = config.ratio_options();
   EXPECT_EQ(ratio.inner.threads, 6);
   EXPECT_EQ(ratio.control.budget.max_ticks, 123);
   // The outer guard owns the budget; inner solves get the remaining wall

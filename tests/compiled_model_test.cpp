@@ -18,6 +18,7 @@
 #include "mdp/policy_iteration.hpp"
 #include "mdp/ratio.hpp"
 #include "mdp/rollout.hpp"
+#include "mdp/solver_config.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -200,12 +201,12 @@ void expect_gain_results_identical(const mdp::GainResult& a,
 }
 
 void expect_gain_equivalence(const mdp::Model& model) {
-  mdp::AverageRewardOptions options;
-  options.tolerance = 1e-8;
-  const mdp::GainResult via_model = mdp::maximize_average_reward(model, options);
+  mdp::SolverConfig config;
+  config.average_reward.tolerance = 1e-8;
+  const mdp::GainResult via_model = mdp::maximize_average_reward(model, config);
   const mdp::CompiledModel compiled = mdp::CompiledModel::compile(model);
   const mdp::GainResult via_compiled =
-      mdp::maximize_average_reward(compiled, options);
+      mdp::maximize_average_reward(compiled, config);
   expect_gain_results_identical(via_model, via_compiled);
 }
 
@@ -222,13 +223,13 @@ TEST(CompiledModel, GainResultBitIdenticalBtc) {
 }
 
 void expect_ratio_equivalence(const mdp::Model& model, double upper_bound) {
-  mdp::RatioOptions options;
-  options.tolerance = 1e-6;
-  options.upper_bound = upper_bound;
-  const mdp::RatioResult via_model = mdp::maximize_ratio(model, options);
+  mdp::SolverConfig config;
+  config.ratio.tolerance = 1e-6;
+  config.ratio.upper_bound = upper_bound;
+  const mdp::RatioResult via_model = mdp::maximize_ratio(model, config);
   const mdp::CompiledModel compiled = mdp::CompiledModel::compile(model);
   const mdp::RatioResult via_compiled =
-      mdp::maximize_ratio(compiled, options);
+      mdp::maximize_ratio(compiled, config);
   EXPECT_EQ(via_model.status, via_compiled.status);
   EXPECT_EQ(via_model.iterations, via_compiled.iterations);
   EXPECT_EQ(via_model.ratio, via_compiled.ratio);
@@ -254,11 +255,12 @@ TEST(CompiledModel, DiscountedAndPolicyIterationBitIdentical) {
   const mdp::Model& model = setting1_model().model;
   const mdp::CompiledModel compiled = mdp::CompiledModel::compile(model);
 
-  mdp::DiscountedOptions discounted;
-  discounted.discount = 0.95;
-  const mdp::DiscountedResult da = mdp::solve_discounted(model, discounted);
+  mdp::SolverConfig discounted_config;
+  discounted_config.discounted.discount = 0.95;
+  const mdp::DiscountedResult da =
+      mdp::solve_discounted(model, discounted_config);
   const mdp::DiscountedResult db =
-      mdp::solve_discounted(compiled, discounted);
+      mdp::solve_discounted(compiled, discounted_config);
   EXPECT_EQ(da.status, db.status);
   EXPECT_EQ(da.iterations, db.iterations);
   ASSERT_EQ(da.value.size(), db.value.size());
@@ -267,7 +269,7 @@ TEST(CompiledModel, DiscountedAndPolicyIterationBitIdentical) {
   }
   EXPECT_EQ(da.policy.action, db.policy.action);
 
-  mdp::PolicyIterationOptions howard;
+  const mdp::SolverConfig howard;
   const mdp::PolicyIterationResult pa = mdp::policy_iteration(model, howard);
   const mdp::PolicyIterationResult pb =
       mdp::policy_iteration(compiled, howard);
@@ -281,7 +283,7 @@ TEST(CompiledModel, RolloutDrawsIdenticalTrajectory) {
   const mdp::Model& model = setting1_model().model;
   const mdp::CompiledModel compiled = mdp::CompiledModel::compile(model);
   const mdp::GainResult gain =
-      mdp::maximize_average_reward(model, mdp::AverageRewardOptions{});
+      mdp::maximize_average_reward(model, mdp::SolverConfig{});
 
   Rng rng_a(99);
   Rng rng_b(99);

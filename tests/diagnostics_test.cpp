@@ -11,6 +11,7 @@
 
 #include "mdp/model.hpp"
 #include "mdp/ratio.hpp"
+#include "mdp/solver_config.hpp"
 #include "robust/retry.hpp"
 #include "robust/run_control.hpp"
 
@@ -65,9 +66,9 @@ void expect_trajectories_consistent(const robust::SolveDiagnostics& d) {
 
 TEST(SolveDiagnostics, TrajectoryLengthsMatchOuterIterationsWhenConverged) {
   const Model model = make_alternator(1.0, 3.0);  // ratio 2
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  const mdp::RatioResult result = mdp::maximize_ratio(model, options);
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const mdp::RatioResult result = mdp::maximize_ratio(model, config);
   ASSERT_EQ(result.status, robust::RunStatus::kConverged);
   EXPECT_FALSE(result.used_bisection);
   EXPECT_NEAR(result.ratio, 2.0, 1e-5);
@@ -80,14 +81,14 @@ TEST(SolveDiagnostics, TrajectoryLengthsMatchOuterIterationsWhenConverged) {
 
 TEST(SolveDiagnostics, ResidualsMonotoneNonIncreasingUnderBisection) {
   const Model model = make_thin_denominator();
-  mdp::RatioOptions options;
-  options.lower_bound = -5.0;
-  options.upper_bound = 0.0;
+  mdp::SolverConfig config;
+  config.ratio.lower_bound = -5.0;
+  config.ratio.upper_bound = 0.0;
   // Declare denominator rates below 0.2 numerically degenerate: action 0's
   // rate of 0.1 then triggers the Dinkelbach stall and the solver must
   // finish the bracket by bisection.
-  options.min_weight_rate = 0.2;
-  const mdp::RatioResult result = mdp::maximize_ratio(model, options);
+  config.ratio.min_weight_rate = 0.2;
+  const mdp::RatioResult result = mdp::maximize_ratio(model, config);
   ASSERT_TRUE(result.used_bisection)
       << "test model failed to force the bisection fallback (status "
       << robust::to_string(result.status) << ")";
@@ -100,7 +101,7 @@ TEST(SolveDiagnostics, ResidualsMonotoneNonIncreasingUnderBisection) {
   const std::vector<double>& residuals = result.diagnostics.residual_trajectory;
   ASSERT_GE(residuals.size(), 4u);
   EXPECT_LT(residuals.back(), residuals.front());
-  EXPECT_LE(residuals.back(), options.tolerance * (1.0 + 5.0));
+  EXPECT_LE(residuals.back(), config.ratio.tolerance * (1.0 + 5.0));
   // The certified policy is the non-degenerate action found before the
   // stall; diagnostics must count the inner work both phases performed.
   EXPECT_GT(result.diagnostics.inner_solves, 2);
@@ -109,11 +110,11 @@ TEST(SolveDiagnostics, ResidualsMonotoneNonIncreasingUnderBisection) {
 
 TEST(SolveDiagnostics, RetryPathAccumulatesAcrossAttempts) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  const mdp::RatioResult plain = mdp::maximize_ratio(model, options);
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const mdp::RatioResult plain = mdp::maximize_ratio(model, config);
   const mdp::RatioResult retried =
-      mdp::maximize_ratio_with_retry(model, options, robust::RetryPolicy{});
+      mdp::maximize_ratio_with_retry(model, config, robust::RetryPolicy{});
   // A first-try convergence must not fabricate retries, and the aggregated
   // diagnostics still describe exactly one attempt.
   EXPECT_EQ(retried.diagnostics.retries, 0);

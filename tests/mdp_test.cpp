@@ -7,6 +7,7 @@
 #include "mdp/discounted.hpp"
 #include "mdp/model.hpp"
 #include "mdp/ratio.hpp"
+#include "mdp/solver_config.hpp"
 #include "util/check.hpp"
 
 namespace {
@@ -115,9 +116,9 @@ TEST(AverageReward, PeriodicChainConvergesViaAperiodicityTransform) {
   // A strictly periodic two-cycle: without the transform, plain value
   // iteration oscillates.
   const Model model = make_alternator(0.0, 1.0);
-  AverageRewardOptions options;
-  options.aperiodicity_tau = 0.9;
-  const GainResult result = maximize_average_reward(model, options);
+  SolverConfig config;
+  config.average_reward.aperiodicity_tau = 0.9;
+  const GainResult result = maximize_average_reward(model, config);
   EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.gain, 0.5, 1e-6);
 }
@@ -180,7 +181,7 @@ TEST(AverageReward, WarmStartReachesSameGain) {
   }
   const GainResult cold = maximize_average_reward(model, rewards);
   const GainResult warm =
-      maximize_average_reward(model, rewards, {}, &cold.bias);
+      maximize_average_reward(model, rewards, SolverConfig{}, &cold.bias);
   EXPECT_NEAR(cold.gain, warm.gain, 1e-9);
   EXPECT_LE(warm.sweeps(), cold.sweeps());
 }
@@ -225,29 +226,29 @@ TEST(Discounted, GeometricSumSingleState) {
   builder.begin_action(0, 0);
   builder.add_outcome(0, 1.0, 1.0, 0.0);
   const Model model = builder.build();
-  DiscountedOptions options;
-  options.discount = 0.9;
-  const DiscountedResult result = solve_discounted(model, options);
+  SolverConfig config;
+  config.discounted.discount = 0.9;
+  const DiscountedResult result = solve_discounted(model, config);
   EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.value[0], 10.0, 1e-6);
 }
 
 TEST(Discounted, AgreesWithAverageRewardInTheLimit) {
   const Model model = make_alternator(1.0, 3.0);
-  DiscountedOptions options;
-  options.discount = 0.9999;
-  const DiscountedResult discounted = solve_discounted(model, options);
+  SolverConfig config;
+  config.discounted.discount = 0.9999;
+  const DiscountedResult discounted = solve_discounted(model, config);
   const GainResult average = maximize_average_reward(model);
   // (1 - beta) * V_beta -> gain.
-  EXPECT_NEAR((1.0 - options.discount) * discounted.value[0], average.gain,
+  EXPECT_NEAR((1.0 - config.discounted.discount) * discounted.value[0], average.gain,
               1e-3);
 }
 
 TEST(Discounted, RejectsBadDiscount) {
   const Model model = make_alternator(0.0, 0.0);
-  DiscountedOptions options;
-  options.discount = 1.0;
-  EXPECT_THROW((void)solve_discounted(model, options), std::invalid_argument);
+  SolverConfig config;
+  config.discounted.discount = 1.0;
+  EXPECT_THROW((void)solve_discounted(model, config), std::invalid_argument);
 }
 
 // ------------------------------------------------------------------ ratio --
@@ -257,9 +258,9 @@ TEST(Ratio, SingleStateRatioOfStreams) {
   builder.begin_action(0, 0);
   builder.add_outcome(0, 1.0, 3.0, 4.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 10.0;
-  const RatioResult result = maximize_ratio(model, options);
+  SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const RatioResult result = maximize_ratio(model, config);
   EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.ratio, 0.75, 1e-6);
 }
@@ -273,9 +274,9 @@ TEST(Ratio, PrefersHigherRatioNotHigherReward) {
   builder.begin_action(0, 1);
   builder.add_outcome(0, 1.0, 2.0, 1.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 10.0;
-  const RatioResult result = maximize_ratio(model, options);
+  SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const RatioResult result = maximize_ratio(model, config);
   EXPECT_NEAR(result.ratio, 2.0, 1e-6);
   EXPECT_EQ(model.action_label(0, result.policy.action[0]), 1);
 }
@@ -289,9 +290,9 @@ TEST(Ratio, HandlesDegenerateZeroWeightAction) {
   builder.begin_action(0, 1);
   builder.add_outcome(0, 1.0, 1.0, 2.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 5.0;
-  const RatioResult result = maximize_ratio(model, options);
+  SolverConfig config;
+  config.ratio.upper_bound = 5.0;
+  const RatioResult result = maximize_ratio(model, config);
   EXPECT_NEAR(result.ratio, 0.5, 1e-5);
 }
 
@@ -304,9 +305,9 @@ TEST(Ratio, TwoStateMixedRatio) {
   builder.begin_action(1, 0);
   builder.add_outcome(0, 1.0, 3.0, 2.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 10.0;
-  const RatioResult result = maximize_ratio(model, options);
+  SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const RatioResult result = maximize_ratio(model, config);
   EXPECT_NEAR(result.ratio, 1.0, 1e-6);
 }
 
@@ -322,9 +323,9 @@ TEST(Ratio, StatefulTradeoff) {
   builder.begin_action(1, 0);
   builder.add_outcome(0, 1.0, 4.0, 1.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 10.0;
-  const RatioResult result = maximize_ratio(model, options);
+  SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const RatioResult result = maximize_ratio(model, config);
   EXPECT_NEAR(result.ratio, 2.0, 1e-6);
   EXPECT_EQ(model.action_label(0, result.policy.action[0]), 1);
 }
@@ -334,19 +335,19 @@ TEST(Ratio, ReportsPolicyRates) {
   builder.begin_action(0, 0);
   builder.add_outcome(0, 1.0, 3.0, 6.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 2.0;
-  const RatioResult result = maximize_ratio(model, options);
+  SolverConfig config;
+  config.ratio.upper_bound = 2.0;
+  const RatioResult result = maximize_ratio(model, config);
   EXPECT_NEAR(result.reward_rate, 3.0, 1e-6);
   EXPECT_NEAR(result.weight_rate, 6.0, 1e-6);
 }
 
 TEST(Ratio, RejectsEmptyBracket) {
   const Model model = make_alternator(1.0, 1.0);
-  RatioOptions options;
-  options.lower_bound = 1.0;
-  options.upper_bound = 1.0;
-  EXPECT_THROW((void)maximize_ratio(model, options), std::invalid_argument);
+  SolverConfig config;
+  config.ratio.lower_bound = 1.0;
+  config.ratio.upper_bound = 1.0;
+  EXPECT_THROW((void)maximize_ratio(model, config), std::invalid_argument);
 }
 
 TEST(Ratio, ThrowsOnUnboundedObjective) {
@@ -356,9 +357,9 @@ TEST(Ratio, ThrowsOnUnboundedObjective) {
   builder.begin_action(0, 0);
   builder.add_outcome(0, 1.0, 1.0, 0.0);
   const Model model = builder.build();
-  RatioOptions options;
-  options.upper_bound = 100.0;
-  EXPECT_THROW((void)maximize_ratio(model, options), bvc::InternalError);
+  SolverConfig config;
+  config.ratio.upper_bound = 100.0;
+  EXPECT_THROW((void)maximize_ratio(model, config), bvc::InternalError);
 }
 
 }  // namespace

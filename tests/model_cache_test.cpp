@@ -1,8 +1,13 @@
 // ModelCache: content-addressed sharing of compiled models — hit/miss
 // accounting, key canonicalization, and cross-thread sharing (registered
 // under the `parallel` ctest label; the sharing test is the TSan target).
+#include <chrono>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -183,6 +188,245 @@ TEST(ModelCache, CrossThreadLookupsShareOneCompilation) {
   // every lookup is classified exactly once.
   EXPECT_EQ(stats.hits + stats.misses, kThreads * kLookupsPerThread);
   EXPECT_GE(stats.misses, 1u);
+}
+
+// ---- capacity cap: deferred cost-aware LRU eviction -----------------------
+
+/// A chain model with `states` states: bytes_resident scales with the
+/// state count, giving the eviction tests models of controlled size.
+mdp::Model chain_model(mdp::StateId states) {
+  mdp::ModelBuilder builder(states);
+  for (mdp::StateId s = 0; s < states; ++s) {
+    builder.begin_action(s, 0);
+    builder.add_outcome((s + 1) % states, 1.0, 1.0, 1.0);
+  }
+  return std::move(builder).build();
+}
+
+TEST(ModelCacheEviction, CapBoundsBytesResidentExactly) {
+  mdp::ModelCache cache;
+  const std::size_t per_model =
+      mdp::CompiledModel::compile_shared(chain_model(8))->bytes_resident();
+  // Room for exactly two 8-state models.
+  cache.set_capacity_bytes(2 * per_model);
+
+  const auto compile = [] {
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  };
+  (void)cache.get_or_compile("a", compile);
+  (void)cache.get_or_compile("b", compile);
+  {
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.bytes_resident, 2 * per_model);
+  }
+  (void)cache.get_or_compile("c", compile);
+  const auto stats = cache.stats();
+  // The accounting must agree with CompiledModel::bytes_resident: two
+  // entries retained, one evicted, residency exactly two models.
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.bytes_resident, 2 * per_model);
+  EXPECT_LE(stats.bytes_resident, stats.capacity_bytes);
+}
+
+/// A compile callback whose measured cost is dominated by a busy-wait, so
+/// the tests can order entry priorities deterministically.
+std::function<std::shared_ptr<const mdp::CompiledModel>()> costing(int ms) {
+  return [ms] {
+    const auto begin = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - begin <
+           std::chrono::milliseconds(ms)) {
+    }
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  };
+}
+
+TEST(ModelCacheEviction, HitRefreshRescuesEntryFromEviction) {
+  // GreedyDual-Size recency: once an eviction advances the clock, touching
+  // an entry re-bases its priority on the new clock. Costs (in ms busy-wait)
+  // are ordered so every victim choice is deterministic:
+  //   insert a=5, b=20, c=10; cap forces one eviction -> a (min H = 5),
+  //   clock becomes 5. Touch c: H_c = 5 + 10 = 15. Insert d=7: H_d = 12,
+  //   the new minimum -> d evicts itself, the touched c survives. Without
+  //   the touch c (H = 10) would have been the victim.
+  mdp::ModelCache cache;
+  const std::size_t per_model =
+      mdp::CompiledModel::compile_shared(chain_model(8))->bytes_resident();
+  cache.set_capacity_bytes(2 * per_model);
+  (void)cache.get_or_compile("a", costing(5));
+  (void)cache.get_or_compile("b", costing(20));
+  (void)cache.get_or_compile("c", costing(10));
+  EXPECT_EQ(cache.find("a"), nullptr);  // cheapest of the first generation
+  (void)cache.get_or_compile("c", costing(10));  // hit: re-base on the clock
+  (void)cache.get_or_compile("d", costing(7));
+  EXPECT_EQ(cache.find("d"), nullptr);
+  EXPECT_NE(cache.find("b"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ModelCacheEviction, EqualRecencyPrefersEvictingCheapEntries) {
+  // Cost-aware tie-break: with every entry equally recent, the one whose
+  // compilation cost the least per byte goes first. The cheap entry's
+  // compile is instant; the expensive one gets a synthetic stall.
+  mdp::ModelCache cache;
+  const std::size_t small_bytes =
+      mdp::CompiledModel::compile_shared(chain_model(8))->bytes_resident();
+  (void)cache.get_or_compile("expensive", [] {
+    // A bigger build stands in for a slow one: its wall clock is what the
+    // cache records as reconstruction cost.
+    const auto begin = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - begin <
+           std::chrono::milliseconds(5)) {
+    }
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  });
+  (void)cache.get_or_compile("cheap", [] {
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  });
+  // Cap to one model: exactly one of the two must go.
+  cache.set_capacity_bytes(small_bytes);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.find("cheap"), nullptr);
+  EXPECT_NE(cache.find("expensive"), nullptr);
+}
+
+TEST(ModelCacheEviction, SettingCapacityEvictsImmediately) {
+  mdp::ModelCache cache;
+  const auto compile = [] {
+    return mdp::CompiledModel::compile_shared(chain_model(16));
+  };
+  (void)cache.get_or_compile("a", compile);
+  (void)cache.get_or_compile("b", compile);
+  (void)cache.get_or_compile("c", compile);
+  ASSERT_EQ(cache.stats().entries, 3u);
+  cache.set_capacity_bytes(1);  // below one model: keep only the floor of 1
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // never evicts the last entry
+  EXPECT_EQ(stats.evictions, 2u);
+  // Returning to unbounded stops evicting but keeps the tallies.
+  cache.set_capacity_bytes(0);
+  (void)cache.get_or_compile("d", compile);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+// ---- disk tier ------------------------------------------------------------
+
+class ModelCacheDiskTier : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "bvc_cache_tier_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ModelCacheDiskTier, SpillsOnCompileAndReloadsAfterClear) {
+  mdp::ModelCache cache;
+  cache.set_disk_tier(dir_);
+  int builds = 0;
+  const auto compile = [&] {
+    ++builds;
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  };
+  const auto first = cache.get_or_compile("k", compile);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.stats().disk_stores, 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(mdp::ModelCache::disk_path(dir_, "k")));
+
+  cache.clear();  // memory gone, disk tier survives
+  const auto reloaded = cache.get_or_compile("k", compile);
+  EXPECT_EQ(builds, 1);  // served from disk, not recompiled
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->num_states(), first->num_states());
+  EXPECT_EQ(reloaded->bytes_resident(), first->bytes_resident());
+}
+
+TEST_F(ModelCacheDiskTier, KeyMismatchInFileFallsBackToCompile) {
+  mdp::ModelCache cache;
+  cache.set_disk_tier(dir_);
+  // Plant a file for key "other" at the path "victim" hashes to: a forced
+  // filename collision. The stored-key check must reject it.
+  const std::string path = mdp::ModelCache::disk_path(dir_, "victim");
+  {
+    mdp::ModelCache planter;
+    planter.set_disk_tier(dir_);
+    (void)planter.get_or_compile("other", [] {
+      return mdp::CompiledModel::compile_shared(chain_model(8));
+    });
+    std::filesystem::rename(mdp::ModelCache::disk_path(dir_, "other"), path);
+  }
+  int builds = 0;
+  (void)cache.get_or_compile("victim", [&] {
+    ++builds;
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  });
+  EXPECT_EQ(builds, 1);  // collision detected, recompiled
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+}
+
+TEST_F(ModelCacheDiskTier, CorruptFileFallsBackToCompile) {
+  mdp::ModelCache cache;
+  cache.set_disk_tier(dir_);
+  const std::string path = mdp::ModelCache::disk_path(dir_, "k");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a model";
+  }
+  int builds = 0;
+  const auto model = cache.get_or_compile("k", [&] {
+    ++builds;
+    return mdp::CompiledModel::compile_shared(chain_model(8));
+  });
+  EXPECT_EQ(builds, 1);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->num_states(), 8u);
+}
+
+TEST(CompiledModelSerialization, RoundTripIsBitIdentical) {
+  const auto original =
+      mdp::CompiledModel::compile_shared(chain_model(5), /*tau=*/0.875);
+  std::stringstream buffer;
+  original->serialize(buffer);
+  const auto restored = mdp::CompiledModel::deserialize(buffer);
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->num_states(), original->num_states());
+  ASSERT_EQ(restored->num_state_actions(), original->num_state_actions());
+  ASSERT_EQ(restored->num_outcomes(), original->num_outcomes());
+  EXPECT_EQ(restored->compiled_tau(), original->compiled_tau());
+  EXPECT_EQ(restored->bytes_resident(), original->bytes_resident());
+  for (std::size_t i = 0; i < original->num_outcomes(); ++i) {
+    ASSERT_EQ(restored->next()[i], original->next()[i]);
+    ASSERT_EQ(restored->prob()[i], original->prob()[i]);
+    ASSERT_EQ(restored->damped_prob()[i], original->damped_prob()[i]);
+    ASSERT_EQ(restored->reward()[i], original->reward()[i]);
+    ASSERT_EQ(restored->weight()[i], original->weight()[i]);
+  }
+  for (std::size_t sa = 0; sa < original->num_state_actions(); ++sa) {
+    ASSERT_EQ(restored->expected_reward(sa), original->expected_reward(sa));
+    ASSERT_EQ(restored->expected_weight(sa), original->expected_weight(sa));
+  }
+}
+
+TEST(CompiledModelSerialization, TruncatedStreamIsRejected) {
+  const auto original = mdp::CompiledModel::compile_shared(chain_model(5));
+  std::stringstream buffer;
+  original->serialize(buffer);
+  const std::string full = buffer.str();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, keep));
+    EXPECT_EQ(mdp::CompiledModel::deserialize(truncated), nullptr)
+        << "accepted a stream truncated to " << keep << " bytes";
+  }
 }
 
 TEST(ModelCache, GlobalCacheServesTheModelBuilders) {

@@ -17,6 +17,7 @@
 #include "mdp/policy_iteration.hpp"
 #include "mdp/ratio.hpp"
 #include "mdp/rollout.hpp"
+#include "mdp/solver_config.hpp"
 #include "sim/fork_simulation.hpp"
 #include "sim/network_sim.hpp"
 #include "util/rng.hpp"
@@ -227,9 +228,9 @@ RunControl cancelled_control() {
 
 TEST(AverageRewardControl, PreCancelledReturnsWithoutASweep) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::AverageRewardOptions options;
-  options.control = cancelled_control();
-  const mdp::GainResult result = mdp::maximize_average_reward(model, options);
+  mdp::SolverConfig config;
+  config.control = cancelled_control();
+  const mdp::GainResult result = mdp::maximize_average_reward(model, config);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
   EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.sweeps(), 0);
@@ -237,10 +238,10 @@ TEST(AverageRewardControl, PreCancelledReturnsWithoutASweep) {
 
 TEST(AverageRewardControl, TickBudgetCapsSweeps) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::AverageRewardOptions options;
-  options.tolerance = 1e-300;  // unreachable: only the budget can stop it
-  options.control.budget = RunBudget::ticks(3);
-  const mdp::GainResult result = mdp::maximize_average_reward(model, options);
+  mdp::SolverConfig config;
+  config.average_reward.tolerance = 1e-300;  // unreachable: only the budget can stop it
+  config.control.budget = RunBudget::ticks(3);
+  const mdp::GainResult result = mdp::maximize_average_reward(model, config);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
   EXPECT_FALSE(result.converged());
   EXPECT_LE(result.sweeps(), 3);
@@ -259,19 +260,19 @@ TEST(AverageRewardControl, UnlimitedControlStillConverges) {
 
 TEST(DiscountedControl, PreCancelledReturnsWithoutASweep) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::DiscountedOptions options;
-  options.control = cancelled_control();
-  const mdp::DiscountedResult result = mdp::solve_discounted(model, options);
+  mdp::SolverConfig config;
+  config.control = cancelled_control();
+  const mdp::DiscountedResult result = mdp::solve_discounted(model, config);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
   EXPECT_EQ(result.sweeps(), 0);
 }
 
 TEST(DiscountedControl, TickBudgetCapsSweeps) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::DiscountedOptions options;
-  options.tolerance = 1e-300;
-  options.control.budget = RunBudget::ticks(5);
-  const mdp::DiscountedResult result = mdp::solve_discounted(model, options);
+  mdp::SolverConfig config;
+  config.discounted.tolerance = 1e-300;
+  config.control.budget = RunBudget::ticks(5);
+  const mdp::DiscountedResult result = mdp::solve_discounted(model, config);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
   EXPECT_LE(result.sweeps(), 5);
   EXPECT_EQ(result.policy.action.size(), model.num_states());
@@ -279,10 +280,10 @@ TEST(DiscountedControl, TickBudgetCapsSweeps) {
 
 TEST(PolicyIterationControl, PreCancelledReturnsTotalPolicy) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::PolicyIterationOptions options;
-  options.control = cancelled_control();
+  mdp::SolverConfig config;
+  config.control = cancelled_control();
   const mdp::PolicyIterationResult result =
-      mdp::policy_iteration(model, options);
+      mdp::policy_iteration(model, config);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
   EXPECT_EQ(result.improvements(), 0);
   // Even without a single evaluation the returned policy covers all states.
@@ -300,9 +301,9 @@ TEST(PolicyIterationControl, UnlimitedControlStillConverges) {
 
 TEST(RatioControl, ConvergedSolveCarriesDiagnostics) {
   const Model model = make_alternator(1.0, 3.0);  // ratio = gain = 2
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  const mdp::RatioResult result = mdp::maximize_ratio(model, options);
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  const mdp::RatioResult result = mdp::maximize_ratio(model, config);
   EXPECT_EQ(result.status, RunStatus::kConverged);
   EXPECT_TRUE(result.converged());
   EXPECT_NEAR(result.ratio, 2.0, 1e-5);
@@ -319,10 +320,10 @@ TEST(RatioControl, ConvergedSolveCarriesDiagnostics) {
 
 TEST(RatioControl, PreCancelledReturnsCancelled) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  options.control = cancelled_control();
-  const mdp::RatioResult result = mdp::maximize_ratio(model, options);
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  config.control = cancelled_control();
+  const mdp::RatioResult result = mdp::maximize_ratio(model, config);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
   EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.iterations, 0);
@@ -342,12 +343,12 @@ TEST(RatioControl, DeadlineStarvedSolveReturnsUsablePartialPolicy) {
   const bu::AttackModel attack =
       bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
 
-  mdp::RatioOptions options;
-  options.tolerance = 1e-14;
-  options.inner.tolerance = 1e-14;
-  options.control.budget = RunBudget::deadline(0.1);
+  mdp::SolverConfig config;
+  config.ratio.tolerance = 1e-14;
+  config.average_reward.tolerance = 1e-14;
+  config.control.budget = RunBudget::deadline(0.1);
   const mdp::RatioResult result =
-      mdp::maximize_ratio(attack.model, options);
+      mdp::maximize_ratio(attack.model, config);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
   EXPECT_FALSE(result.converged());
   EXPECT_EQ(result.policy.action.size(), attack.model.num_states());
@@ -358,15 +359,15 @@ TEST(RatioControl, DeadlineStarvedSolveReturnsUsablePartialPolicy) {
 
 TEST(RatioControl, RetryEscalatesAStalledSolve) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  options.max_iterations = 1;  // guaranteed to stall on the first attempt
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  config.ratio.max_iterations = 1;  // guaranteed to stall on the first attempt
   {
-    const mdp::RatioResult single = mdp::maximize_ratio(model, options);
+    const mdp::RatioResult single = mdp::maximize_ratio(model, config);
     ASSERT_EQ(single.status, RunStatus::kToleranceStalled);
   }
   const mdp::RatioResult result =
-      mdp::maximize_ratio_with_retry(model, options);
+      mdp::maximize_ratio_with_retry(model, config);
   EXPECT_GE(result.diagnostics.retries, 1);
   EXPECT_EQ(result.status, RunStatus::kConverged);
   EXPECT_NEAR(result.ratio, 2.0, 1e-5);
@@ -374,14 +375,14 @@ TEST(RatioControl, RetryEscalatesAStalledSolve) {
 
 TEST(RatioControl, RetryRespectsTheRetryCap) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  options.max_iterations = 1;
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  config.ratio.max_iterations = 1;
   robust::RetryPolicy retry;
   retry.max_retries = 0;
   retry.iteration_growth_factor = 1.0;
   const mdp::RatioResult result =
-      mdp::maximize_ratio_with_retry(model, options, retry);
+      mdp::maximize_ratio_with_retry(model, config, retry);
   EXPECT_EQ(result.status, RunStatus::kToleranceStalled);
   EXPECT_EQ(result.diagnostics.retries, 0);
 }
@@ -394,23 +395,23 @@ TEST(RatioControl, RetryDoesNotRetryExhaustedBudgets) {
   params.setting = bu::Setting::kStickyGate;
   const bu::AttackModel attack =
       bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
-  mdp::RatioOptions options;
-  options.tolerance = 1e-14;
-  options.inner.tolerance = 1e-14;
-  options.control.budget = RunBudget::deadline(0.05);
+  mdp::SolverConfig config;
+  config.ratio.tolerance = 1e-14;
+  config.average_reward.tolerance = 1e-14;
+  config.control.budget = RunBudget::deadline(0.05);
   const mdp::RatioResult result =
-      mdp::maximize_ratio_with_retry(attack.model, options);
+      mdp::maximize_ratio_with_retry(attack.model, config);
   EXPECT_EQ(result.status, RunStatus::kBudgetExhausted);
   EXPECT_EQ(result.diagnostics.retries, 0);
 }
 
 TEST(RatioControl, RetryDoesNotRetryCancellation) {
   const Model model = make_alternator(1.0, 3.0);
-  mdp::RatioOptions options;
-  options.upper_bound = 10.0;
-  options.control = cancelled_control();
+  mdp::SolverConfig config;
+  config.ratio.upper_bound = 10.0;
+  config.control = cancelled_control();
   const mdp::RatioResult result =
-      mdp::maximize_ratio_with_retry(model, options);
+      mdp::maximize_ratio_with_retry(model, config);
   EXPECT_EQ(result.status, RunStatus::kCancelled);
   EXPECT_EQ(result.diagnostics.retries, 0);
 }

@@ -1,0 +1,396 @@
+// End-to-end tests of the bvcd service core: the JSON job API driven
+// in-process through SolveService::route(), plus one real-socket pass
+// through HttpServer/http_fetch. Covers the rejection paths (malformed
+// bodies, unknown kinds, oversized grids), result parity with the direct
+// in-process solvers, cancellation mid-solve, budget admission, and the
+// persist -> restart -> resume lifecycle.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "btc/selfish_mining.hpp"
+#include "bu/attack_analysis.hpp"
+#include "counter/voting_simulation.hpp"
+#include "svc/http.hpp"
+#include "svc/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+using svc::HttpRequest;
+using svc::HttpResponse;
+using svc::Json;
+using svc::ServiceConfig;
+using svc::SolveService;
+
+HttpRequest make_request(const std::string& method, const std::string& target,
+                         const std::string& body = "") {
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  return request;
+}
+
+/// POSTs a job and returns its id; fails the test on a non-202 response.
+std::string submit_job(SolveService& service, const std::string& body) {
+  const HttpResponse response =
+      service.route(make_request("POST", "/v1/jobs", body));
+  EXPECT_EQ(response.status, 202) << response.body;
+  const std::optional<Json> parsed = Json::parse(response.body);
+  EXPECT_TRUE(parsed.has_value());
+  return parsed ? parsed->string_or("id", "") : "";
+}
+
+Json job_snapshot(SolveService& service, const std::string& id) {
+  const HttpResponse response =
+      service.route(make_request("GET", "/v1/jobs/" + id));
+  EXPECT_EQ(response.status, 200) << response.body;
+  const std::optional<Json> parsed = Json::parse(response.body);
+  EXPECT_TRUE(parsed.has_value()) << response.body;
+  return parsed.value_or(Json());
+}
+
+/// First value named `name` in record `index` of a status snapshot.
+double record_value(const Json& snapshot, std::size_t index,
+                    const std::string& name) {
+  const Json* records = snapshot.find("records");
+  if (records == nullptr || index >= records->size()) {
+    ADD_FAILURE() << "missing record " << index << " in " << snapshot.dump();
+    return 0.0;
+  }
+  const Json* values = records->at(index).find("values");
+  if (values == nullptr) {
+    ADD_FAILURE() << "record has no values";
+    return 0.0;
+  }
+  for (const Json& pair : values->items()) {
+    if (pair.size() == 2 && pair.at(0).as_string() == name) {
+      return pair.at(1).as_number();
+    }
+  }
+  ADD_FAILURE() << "no value named " << name;
+  return 0.0;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "svc_service_test_" + name;
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+TEST(SvcServiceRejects, MalformedBodyIs400) {
+  SolveService service{ServiceConfig{}};
+  const HttpResponse response =
+      service.route(make_request("POST", "/v1/jobs", "{\"kind\": }"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("not valid JSON"), std::string::npos);
+}
+
+TEST(SvcServiceRejects, UnknownJobKindIs400) {
+  SolveService service{ServiceConfig{}};
+  const HttpResponse response = service.route(make_request(
+      "POST", "/v1/jobs", R"({"kind":"warp-drive","cells":[{}]})"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("unknown job kind"), std::string::npos);
+}
+
+TEST(SvcServiceRejects, MissingCellsAndGridIs400) {
+  SolveService service{ServiceConfig{}};
+  const HttpResponse response =
+      service.route(make_request("POST", "/v1/jobs", R"({"kind":"btc-sm"})"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("'cells' or 'grid'"), std::string::npos);
+}
+
+TEST(SvcServiceRejects, InvalidCellParametersAre400) {
+  SolveService service{ServiceConfig{}};
+  // Powers exceed 1: AttackParams::validate() throws -> parse-time 400.
+  const HttpResponse response = service.route(make_request(
+      "POST", "/v1/jobs",
+      R"({"kind":"bu-attack","cells":[{"alpha":0.6,"beta":0.3,"gamma":0.3}]})"));
+  EXPECT_EQ(response.status, 400) << response.body;
+}
+
+TEST(SvcServiceRejects, OversizedGridIs413) {
+  ServiceConfig config;
+  config.limits.max_cells = 4;
+  SolveService service{config};
+  // The full table-2 grid expands to 14 admissible cells, above the cap.
+  const HttpResponse response = service.route(make_request(
+      "POST", "/v1/jobs",
+      R"({"kind":"bu-attack","grid":{"alphas":[0.10,0.15,0.20,0.25],)"
+      R"("ratios":[[3,2],[1,1],[2,3],[1,2],[1,3],[1,4]],"ad":2,"setting":1}})"));
+  EXPECT_EQ(response.status, 413);
+  EXPECT_NE(response.body.find("admission limit"), std::string::npos);
+}
+
+TEST(SvcServiceRejects, UnknownJobIdIs404AndWrongMethodIs405) {
+  SolveService service{ServiceConfig{}};
+  EXPECT_EQ(service.route(make_request("GET", "/v1/jobs/j999")).status, 404);
+  EXPECT_EQ(service.route(make_request("DELETE", "/v1/jobs/j999")).status,
+            404);
+  EXPECT_EQ(service.route(make_request("PUT", "/v1/jobs")).status, 405);
+  EXPECT_EQ(service.route(make_request("POST", "/v1/healthz")).status, 405);
+  EXPECT_EQ(service.route(make_request("GET", "/v1/nope")).status, 404);
+}
+
+TEST(SvcServiceSolves, BuAttackCellMatchesDirectAnalyze) {
+  bu::AttackParams params;
+  params.alpha = 0.2;
+  params.beta = 0.4;
+  params.gamma = 0.4;
+  params.ad = 2;
+  const bu::AnalysisResult expected =
+      bu::analyze(params, bu::Utility::kRelativeRevenue, {});
+
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(
+      service,
+      R"({"kind":"bu-attack","cells":[{"alpha":0.2,"beta":0.4,"gamma":0.4,)"
+      R"("ad":2,"utility":"relative-revenue"}]})");
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  EXPECT_EQ(snapshot.string_or("state", ""), "done");
+  EXPECT_EQ(snapshot.number_or("completed", 0), 1.0);
+  EXPECT_EQ(record_value(snapshot, 0, "utility_value"),
+            expected.utility_value);
+  EXPECT_EQ(record_value(snapshot, 0, "honest_baseline"),
+            expected.honest_baseline);
+  EXPECT_EQ(record_value(snapshot, 0, "reward_rate"), expected.reward_rate);
+  EXPECT_EQ(record_value(snapshot, 0, "weight_rate"), expected.weight_rate);
+}
+
+TEST(SvcServiceSolves, BtcSmCellMatchesDirectSolve) {
+  btc::SmParams params;
+  params.alpha = 0.3;
+  params.max_len = 8;
+  const btc::SmResult expected =
+      btc::analyze_sm(params, bu::Utility::kAbsoluteReward);
+
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(
+      service, R"({"kind":"btc-sm","cells":[{"alpha":0.3,"max_len":8}]})");
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  EXPECT_EQ(snapshot.string_or("state", ""), "done");
+  EXPECT_EQ(record_value(snapshot, 0, "utility_value"),
+            expected.utility_value);
+}
+
+TEST(SvcServiceSolves, VotingCellMatchesDirectSimulation) {
+  counter::VotingSimConfig config;
+  config.cohorts = {{0.6, 2'000'000, false}, {0.4, 1'000'000, false}};
+  Rng rng(7);
+  const counter::VotingSimResult expected =
+      counter::run_voting_simulation(config, 3, rng);
+
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(
+      service,
+      R"({"kind":"counter-voting","cells":[{"epochs":3,"seed":7,"cohorts":)"
+      R"([{"power":0.6,"preferred_limit":2000000},)"
+      R"({"power":0.4,"preferred_limit":1000000}]}]})");
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  EXPECT_EQ(snapshot.string_or("state", ""), "done");
+  EXPECT_EQ(record_value(snapshot, 0, "final_limit"),
+            static_cast<double>(expected.final_limit));
+  EXPECT_EQ(record_value(snapshot, 0, "blocks"),
+            static_cast<double>(expected.blocks));
+}
+
+TEST(SvcServiceControl, BudgetTicksBoundCellsStarted) {
+  SolveService service{ServiceConfig{}};
+  // max_ticks caps items STARTED by the batch engine at 1; the two
+  // remaining cells are skipped (not finished) and the job still ends.
+  const std::string id = submit_job(
+      service,
+      R"({"kind":"btc-sm","budget":{"max_ticks":1},"cells":)"
+      R"([{"alpha":0.25,"max_len":6},{"alpha":0.30,"max_len":6},)"
+      R"({"alpha":0.35,"max_len":6}]})");
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  EXPECT_EQ(snapshot.string_or("state", ""), "done");
+  EXPECT_EQ(snapshot.number_or("completed", -1), 1.0);
+  const Json* records = snapshot.find("records");
+  ASSERT_NE(records, nullptr);
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST(SvcServiceControl, CancelDuringSolveEndsCancelled) {
+  ServiceConfig config;
+  config.threads = 1;  // sequential cells -> the cancel lands mid-grid
+  SolveService service{config};
+  // ad=6 sticky-gate cells are second-scale solves; the DELETE below fires
+  // while the first cell is still running.
+  const std::string id = submit_job(
+      service,
+      R"({"kind":"bu-attack","grid":{"alphas":[0.10,0.15,0.20,0.25],)"
+      R"("ratios":[[1,1],[1,2]],"ad":6,"setting":2}})");
+  const HttpResponse cancel =
+      service.route(make_request("DELETE", "/v1/jobs/" + id));
+  EXPECT_EQ(cancel.status, 202);
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  EXPECT_EQ(snapshot.string_or("state", ""), "cancelled");
+  EXPECT_LT(snapshot.number_or("completed", 99),
+            snapshot.number_or("cells", 0));
+}
+
+TEST(SvcServicePersistence, RestartServesTerminalJobsAndKeepsIdSequence) {
+  const std::string state_dir = fresh_dir("restart");
+  std::string id;
+  std::string first_body;
+  {
+    ServiceConfig config;
+    config.state_dir = state_dir;
+    SolveService service{config};
+    id = submit_job(
+        service,
+        R"({"kind":"btc-sm","cells":[{"alpha":0.25,"max_len":6},)"
+        R"({"alpha":0.30,"max_len":6}]})");
+    service.wait_idle();
+    const Json snapshot = job_snapshot(service, id);
+    EXPECT_EQ(snapshot.string_or("state", ""), "done");
+    first_body = snapshot.dump();
+  }
+  {
+    ServiceConfig config;
+    config.state_dir = state_dir;
+    SolveService restarted{config};
+    const Json snapshot = job_snapshot(restarted, id);
+    EXPECT_EQ(snapshot.string_or("state", ""), "done");
+    EXPECT_EQ(snapshot.number_or("resumed", 0), 2.0);
+
+    // Records restore byte-identically from the journal (wall_clock_ns
+    // included — it is the original run's, replayed not re-measured).
+    Json before = Json::parse(first_body).value();
+    const std::string before_records = before.find("records")->dump();
+    const std::string after_records = snapshot.find("records")->dump();
+    EXPECT_EQ(before_records, after_records);
+
+    // The id counter continues past restored ids.
+    const std::string next = submit_job(
+        restarted, R"({"kind":"btc-sm","cells":[{"alpha":0.2,"max_len":6}]})");
+    EXPECT_NE(next, id);
+    EXPECT_EQ(next, "j2");
+    restarted.wait_idle();
+  }
+}
+
+TEST(SvcServicePersistence, RestartResumesIncompleteJobs) {
+  const std::string state_dir = fresh_dir("resume");
+  // Forge the state a crashed daemon leaves behind: an index entry in a
+  // non-terminal state plus a journal holding ONE of the two cells. The
+  // restarted service must resume the job, restore the journaled cell, and
+  // solve only the other one.
+  ServiceConfig config;
+  config.state_dir = state_dir;
+  std::string journaled_key;
+  {
+    SolveService service{config};
+    const std::string id = submit_job(
+        service,
+        R"({"kind":"btc-sm","cells":[{"alpha":0.25,"max_len":6},)"
+        R"({"alpha":0.30,"max_len":6}]})");
+    service.wait_idle();
+    ASSERT_EQ(job_snapshot(service, id).string_or("state", ""), "done");
+  }
+  // Rewrite the index as "running" and drop the second journal line.
+  {
+    std::ifstream journal_in(state_dir + "/job-j1.cells.jsonl");
+    std::string first_line;
+    ASSERT_TRUE(std::getline(journal_in, first_line));
+    journal_in.close();
+    std::ofstream journal_out(state_dir + "/job-j1.cells.jsonl",
+                              std::ios::trunc);
+    journal_out << first_line << "\n";
+    std::ifstream index_in(state_dir + "/jobs.jsonl");
+    std::string index_line;
+    ASSERT_TRUE(std::getline(index_in, index_line));
+    index_in.close();
+    const std::size_t pos = index_line.find("\"done\"");
+    ASSERT_NE(pos, std::string::npos);
+    index_line.replace(pos, 6, "\"running\"");
+    std::ofstream index_out(state_dir + "/jobs.jsonl", std::ios::trunc);
+    index_out << index_line << "\n";
+  }
+  {
+    SolveService restarted{config};
+    restarted.wait_idle();
+    const Json snapshot = job_snapshot(restarted, "j1");
+    EXPECT_EQ(snapshot.string_or("state", ""), "done");
+    EXPECT_EQ(snapshot.number_or("completed", 0), 2.0);
+    EXPECT_EQ(snapshot.number_or("resumed", 0), 1.0);
+  }
+}
+
+TEST(SvcServiceEndpoints, HealthMetricsAndCacheAreServed) {
+  SolveService service{ServiceConfig{}};
+  const HttpResponse health =
+      service.route(make_request("GET", "/v1/healthz"));
+  EXPECT_EQ(health.status, 200);
+  const std::optional<Json> health_body = Json::parse(health.body);
+  ASSERT_TRUE(health_body.has_value());
+  EXPECT_EQ(health_body->string_or("status", ""), "ok");
+
+  const HttpResponse metrics =
+      service.route(make_request("GET", "/v1/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(Json::parse(metrics.body).has_value()) << metrics.body;
+
+  const HttpResponse cache = service.route(make_request("GET", "/v1/cache"));
+  EXPECT_EQ(cache.status, 200);
+  const std::optional<Json> cache_body = Json::parse(cache.body);
+  ASSERT_TRUE(cache_body.has_value());
+  EXPECT_NE(cache_body->find("bytes_resident"), nullptr);
+  EXPECT_NE(cache_body->find("evictions"), nullptr);
+}
+
+TEST(SvcServiceHttp, RealSocketRoundTrip) {
+  SolveService service{ServiceConfig{}};
+  svc::HttpServer server([&service](const HttpRequest& request) {
+    return service.route(request);
+  });
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  const std::optional<HttpResponse> health =
+      svc::http_fetch(server.port(), "GET", "/v1/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+
+  const std::optional<HttpResponse> submitted = svc::http_fetch(
+      server.port(), "POST", "/v1/jobs",
+      R"({"kind":"btc-sm","cells":[{"alpha":0.25,"max_len":6}]})");
+  ASSERT_TRUE(submitted.has_value());
+  EXPECT_EQ(submitted->status, 202);
+  service.wait_idle();
+
+  const std::optional<HttpResponse> malformed =
+      svc::http_fetch(server.port(), "POST", "/v1/jobs", "not json");
+  ASSERT_TRUE(malformed.has_value());
+  EXPECT_EQ(malformed->status, 400);
+
+  const std::optional<HttpResponse> missing =
+      svc::http_fetch(server.port(), "GET", "/v1/jobs/j404");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  server.stop();
+}
+
+}  // namespace
