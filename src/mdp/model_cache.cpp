@@ -189,9 +189,14 @@ std::shared_ptr<const CompiledModel> ModelCache::get_or_compile(
           clock_ +
           cost_seconds / static_cast<double>(bytes > 0 ? bytes : 1);
       bytes_resident_ += bytes;
+      // Snapshot the model BEFORE enforcing the cap: GreedyDual-Size may
+      // pick the entry just inserted as its own victim (cheap to rebuild,
+      // large), which erases `it`.
+      result = it->second.model;
       evict_to_capacity_locked(&spill);
+    } else {
+      result = it->second.model;
     }
-    result = it->second.model;
     refresh_gauges_locked();
   }
   // Deferred spill of eviction victims that never reached the tier.

@@ -203,8 +203,11 @@ bool HttpServer::start(std::uint16_t port) {
 }
 
 void HttpServer::serve() {
+  // Local copy: stop() overwrites listen_fd_ (after joining this thread);
+  // serve() must never re-read the member while shutting down.
+  const int listen_fd = listen_fd_;
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
@@ -240,13 +243,18 @@ void HttpServer::handle_connection(int fd) {
 
 void HttpServer::stop() {
   if (listen_fd_ >= 0) {
-    // shutdown() wakes the blocked accept(); close() alone may not.
+    // shutdown() wakes the blocked accept(); close() alone may not. The
+    // close is deferred until after the join: closing while serve() still
+    // holds the fd number would let a concurrent open (e.g. a cache disk
+    // spill) reuse it, handing accept() an unrelated descriptor.
     (void)::shutdown(listen_fd_, SHUT_RDWR);
-    (void)::close(listen_fd_);
-    listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    (void)::close(listen_fd_);
+    listen_fd_ = -1;
   }
 }
 

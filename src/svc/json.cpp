@@ -288,8 +288,10 @@ class Parser {
 void append_number(std::string& out, double value) {
   // Integral values (job counts, statuses, byte sizes) print as integers;
   // everything else round-trips via %.17g, matching the checkpoint layer.
-  if (value == static_cast<double>(static_cast<long long>(value)) &&
-      value >= -9.0e15 && value <= 9.0e15) {
+  // Range check FIRST: casting a double outside long long range (or NaN,
+  // which fails the range comparisons) to long long is undefined behavior.
+  if (value >= -9.0e15 && value <= 9.0e15 &&
+      value == static_cast<double>(static_cast<long long>(value))) {
     char buffer[32];
     std::snprintf(buffer, sizeof(buffer), "%lld",
                   static_cast<long long>(value));

@@ -176,8 +176,12 @@ HttpResponse SolveService::submit(const HttpRequest& request) {
     order_.push_back(owned->id);
     jobs_.emplace(owned->id, std::move(owned));
     persist_index_locked();
+    // Spawn under the lock: once the job is in jobs_, ~SolveService may
+    // read job->worker under mutex_ — assigning it unlocked would race.
+    // No deadlock: run_job takes mutex_ itself, so the worker just blocks
+    // until this section releases it.
+    job->worker = std::thread([this, job] { run_job(job); });
   }
-  job->worker = std::thread([this, job] { run_job(job); });
 
   Json response = Json::object();
   response.set("id", Json::string(job->id));
@@ -542,8 +546,9 @@ void SolveService::restore_jobs() {
       for (robust::CheckpointRecord& record : job->records) {
         record = robust::CheckpointRecord{};
       }
+      // Same rule as submit(): job->worker is guarded by mutex_.
+      job->worker = std::thread([this, job] { run_job(job); });
     }
-    job->worker = std::thread([this, job] { run_job(job); });
   }
 }
 

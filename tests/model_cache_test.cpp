@@ -267,6 +267,30 @@ TEST(ModelCacheEviction, HitRefreshRescuesEntryFromEviction) {
   EXPECT_EQ(cache.stats().evictions, 2u);
 }
 
+TEST(ModelCacheEviction, SelfEvictingInsertStillReturnsItsModel) {
+  // A large model whose compile is near-instant has the minimum
+  // GreedyDual-Size priority the moment it is inserted, so enforcing the
+  // cap evicts the entry that was just created. The caller must still get
+  // the compiled model back (regression: the post-eviction read of the
+  // erased entry was a use-after-free).
+  mdp::ModelCache cache;
+  const std::size_t per_model =
+      mdp::CompiledModel::compile_shared(chain_model(8))->bytes_resident();
+  cache.set_capacity_bytes(2 * per_model);
+  (void)cache.get_or_compile("a", costing(20));
+  (void)cache.get_or_compile("b", costing(20));
+  const auto huge = cache.get_or_compile(
+      "huge", [] { return mdp::CompiledModel::compile_shared(chain_model(64)); });
+  ASSERT_NE(huge, nullptr);
+  EXPECT_EQ(huge->num_states(), 64);
+  EXPECT_EQ(cache.find("huge"), nullptr);  // the insert was its own victim
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_NE(cache.find("b"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes_resident, 2 * per_model);
+}
+
 TEST(ModelCacheEviction, EqualRecencyPrefersEvictingCheapEntries) {
   // Cost-aware tie-break: with every entry equally recent, the one whose
   // compilation cost the least per byte goes first. The cheap entry's

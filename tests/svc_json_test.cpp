@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 namespace {
@@ -58,6 +59,20 @@ TEST(SvcJson, IntegralNumbersPrintAsIntegers) {
   // Round-trip of a value needing full precision.
   const std::string dumped = Json::number(0.20000000076779917).dump();
   EXPECT_DOUBLE_EQ(Json::parse(dumped)->as_number(), 0.20000000076779917);
+}
+
+TEST(SvcJson, HugeNumbersDumpWithoutIntegerNarrowing) {
+  // Values outside long long range must never reach the integer cast
+  // (that cast is UB); they print via %.17g and round-trip. Reachable from
+  // the wire: submit() echoes unknown request fields back through dump().
+  EXPECT_DOUBLE_EQ(Json::parse(Json::number(1e300).dump())->as_number(),
+                   1e300);
+  EXPECT_DOUBLE_EQ(Json::parse(Json::number(-1e300).dump())->as_number(),
+                   -1e300);
+  // NaN fails every range comparison; dumping must not crash or cast.
+  const std::string nan_dump =
+      Json::number(std::numeric_limits<double>::quiet_NaN()).dump();
+  EXPECT_FALSE(nan_dump.empty());
 }
 
 TEST(SvcJson, StringEscapesRoundTrip) {
