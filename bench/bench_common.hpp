@@ -10,6 +10,7 @@
 #include <string>
 
 #include "mdp/batch.hpp"
+#include "mdp/kernel.hpp"
 #include "mdp/model_cache.hpp"
 #include "mdp/solve_report.hpp"
 #include "obs/manifest.hpp"
@@ -35,6 +36,12 @@ inline void add_budget_args(util::ArgParser& parser) {
        "abort solving after this wall-clock budget", "unlimited"},
       {"max-ticks", util::ArgType::kLong, "N",
        "abort solving after N solver iterations", "unlimited"},
+      // Declared with the budget group because every bench accepts it (the
+      // sweep kernel underlies each of them); consumed by ObsSession, which
+      // also stamps the resolved ISA into the run manifest.
+      {"kernel", util::ArgType::kString, "ISA",
+       "sweep kernel ISA: auto|scalar|avx2|avx512 (overrides BVC_KERNEL)",
+       "auto"},
   });
 }
 
@@ -43,6 +50,10 @@ inline void add_batch_args(util::ArgParser& parser) {
   parser.add({
       {"threads", util::ArgType::kLong, "N",
        "batch solver threads; 0 = all hardware threads", "0"},
+      {"warm-start", util::ArgType::kFlag, "",
+       "seed each batch cell from its nearest finished neighbor's bias "
+       "(deterministic only with --threads=1)",
+       ""},
   });
 }
 
@@ -162,6 +173,7 @@ inline mdp::BatchConfig batch_config_from_args(const CliArgs& args) {
   mdp::BatchConfig config;
   config.threads = static_cast<int>(args.get_long("threads", 0));
   config.control = run_control_from_args(args);
+  config.warm_start = args.get_bool("warm-start", false);
   return config;
 }
 
@@ -241,6 +253,25 @@ class ObsSession {
     if (!metrics_path_.empty() || !manifest_path_.empty()) {
       obs::set_metrics_enabled(true);
     }
+    // Kernel ISA selection (--kernel flag, over the BVC_KERNEL env
+    // default) lives here so every bench picks it up by constructing its
+    // ObsSession — and so the manifest records which ISA actually ran.
+    const std::string kernel_name = args.get_string("kernel", "");
+    if (!kernel_name.empty()) {
+      const auto request = mdp::kernel::parse_request(kernel_name);
+      if (!request) {
+        std::fprintf(stderr,
+                     "*** invalid --kernel value '%s' "
+                     "(expected auto|scalar|avx2|avx512)\n",
+                     kernel_name.c_str());
+        std::exit(2);
+      }
+      mdp::kernel::set_requested(*request);
+    }
+    annotate("kernel_requested",
+             std::string(mdp::kernel::to_string(mdp::kernel::requested())));
+    annotate("kernel_isa",
+             std::string(mdp::kernel::to_string(mdp::kernel::resolve())));
   }
 
   ObsSession(const ObsSession&) = delete;

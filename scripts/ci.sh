@@ -37,4 +37,13 @@ ctest --test-dir "$repo/$build" --output-on-failure "$@"
 # must pass in isolation, not just inside the full suite above.
 ctest --test-dir "$repo/$build" --output-on-failure -L shard
 
+# Kernel dispatch gate: the kernel-labeled suite (ISA equivalence, fused
+# sweep bit-identity, warm starts, NUMA smoke) must hold both with the
+# vector kernels forced off and under auto dispatch. Vector-ISA cases
+# GTEST_SKIP on machines without AVX2/AVX-512, so both passes stay green
+# (not red) on any hardware; BVC_KERNEL=scalar additionally proves the
+# env-var override path end to end.
+BVC_KERNEL=scalar ctest --test-dir "$repo/$build" --output-on-failure -L kernel
+BVC_KERNEL=auto ctest --test-dir "$repo/$build" --output-on-failure -L kernel
+
 echo "ci.sh: all checks passed"

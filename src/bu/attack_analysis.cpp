@@ -1,6 +1,9 @@
 #include "bu/attack_analysis.hpp"
 
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "mdp/average_reward.hpp"
 #include "mdp/model_cache.hpp"
@@ -38,10 +41,11 @@ AnalysisResult analyze(const AttackModel& model,
   ratio_options.lower_bound = 0.0;
   ratio_options.upper_bound = utility_upper_bound(model);
   ratio_options.control = options.control;
+  ratio_options.warm_start_bias = options.warm_start_bias;
 
   // Prefer the shared cached compilation; fall back to compiling here for
   // hand-assembled AttackModels that never went through the cache.
-  const mdp::RatioResult ratio =
+  mdp::RatioResult ratio =
       model.compiled != nullptr
           ? mdp::maximize_ratio_with_retry(*model.compiled, ratio_options,
                                            options.retry)
@@ -57,6 +61,8 @@ AnalysisResult analyze(const AttackModel& model,
   result.iterations = ratio.iterations;
   result.wall_clock_ns = ratio.wall_clock_ns;
   result.diagnostics = ratio.diagnostics;
+  result.used_warm_start = ratio.used_warm_start;
+  result.final_bias = std::move(ratio.final_bias);
   result.honest_baseline =
       model.utility == Utility::kOrphaning ? 0.0 : model.params.alpha;
   result.attack_beats_honest =
@@ -130,8 +136,13 @@ bool analysis_restore(const robust::CheckpointRecord& record,
 std::vector<AnalysisResult> analyze_batch(std::span<const AnalysisJob> jobs,
                                           const AnalysisOptions& options,
                                           const mdp::BatchConfig& batch,
-                                          const AnalysisCheckpoint& checkpoint) {
+                                          const AnalysisCheckpoint& checkpoint,
+                                          mdp::BatchReport* report) {
   std::vector<AnalysisResult> results(jobs.size());
+  std::optional<mdp::WarmStartPool> warm_pool;
+  if (batch.warm_start) {
+    warm_pool.emplace();
+  }
 
   mdp::BatchCheckpoint engine;
   std::vector<std::string> keys;
@@ -159,19 +170,55 @@ std::vector<AnalysisResult> analyze_batch(std::span<const AnalysisJob> jobs,
     results[i].status = robust::RunStatus::kConverged;
   };
 
-  (void)mdp::run_batch(
+  mdp::BatchReport engine_report = mdp::run_batch(
       jobs.size(), batch, engine,
       [&](std::size_t i, const robust::RunControl& control) {
         AnalysisOptions item_options = options;
         item_options.control = control;
+        // Hold the seed alive for the duration of the solve (the pool may
+        // replace the entry concurrently).
+        std::shared_ptr<const std::vector<double>> seed;
+        if (warm_pool) {
+          seed = warm_pool->nearest(i);
+          if (seed != nullptr) {
+            item_options.warm_start_bias = seed.get();
+          }
+        }
         results[i] =
             analyze(jobs[i].params, jobs[i].utility, item_options);
+        // Sweep results stay lean: the bias moves into the pool (successful
+        // cells only) or is dropped.
+        if (warm_pool && robust::is_success(results[i].status)) {
+          warm_pool->store(i, std::move(results[i].final_bias));
+        }
+        results[i].final_bias = {};
         return results[i].status;
       },
       [&](std::size_t i, robust::RunStatus status) {
         results[i] = AnalysisResult{};
         results[i].status = status;
       });
+  if (warm_pool) {
+    std::vector<std::pair<bool, std::int64_t>> sweep_obs;
+    sweep_obs.reserve(results.size());
+    for (const AnalysisResult& cell : results) {
+      // inner_solves > 0 keeps journal-restored cells (whose diagnostics
+      // are not persisted) out of the cold-mean baseline.
+      if (robust::is_success(cell.status) &&
+          cell.diagnostics.inner_solves > 0) {
+        if (cell.used_warm_start) {
+          ++engine_report.items_warm_started;
+        }
+        sweep_obs.emplace_back(cell.used_warm_start,
+                               cell.diagnostics.inner_sweeps);
+      }
+    }
+    engine_report.sweeps_saved_estimate =
+        mdp::estimate_sweeps_saved(sweep_obs);
+  }
+  if (report != nullptr) {
+    *report = engine_report;
+  }
   return results;
 }
 

@@ -30,6 +30,11 @@ struct AnalysisOptions {
   robust::RunControl control;
   /// Escalation for stalled solves; set max_retries = 0 to disable.
   robust::RetryPolicy retry;
+  /// Optional warm-start bias (borrowed; see RatioKnobs::warm_start_bias).
+  /// Seeds the first inner solve when sized to the model's state count;
+  /// ignored otherwise. analyze_batch fills this per cell from its
+  /// WarmStartPool when BatchConfig::warm_start is on.
+  const std::vector<double>* warm_start_bias = nullptr;
 };
 
 /// The base report carries how the underlying ratio solve ended (status,
@@ -47,6 +52,13 @@ struct AnalysisResult : mdp::SolveReport {
   mdp::Policy policy;          ///< optimal policy (local action indices)
   double reward_rate = 0.0;    ///< numerator rate of the optimal policy
   double weight_rate = 0.0;    ///< denominator rate of the optimal policy
+  /// Whether AnalysisOptions::warm_start_bias actually seeded the solve.
+  bool used_warm_start = false;
+  /// Last inner bias — the seed offered to neighboring cells. analyze()
+  /// leaves it populated; analyze_batch moves it into its WarmStartPool
+  /// (or drops it) so sweep results stay lean. Never journaled: a resumed
+  /// cell contributes no seed.
+  std::vector<double> final_bias;
 
   /// Outer ratio iterations (the base report's iteration count).
   [[nodiscard]] int solver_iterations() const noexcept { return iterations; }
@@ -98,10 +110,16 @@ struct AnalysisCheckpoint {
 /// of the thread count; skipped items carry kBudgetExhausted / kCancelled.
 /// With a checkpoint journal, completed cells are journaled as they finish
 /// and journaled cells are restored instead of re-solved.
+/// With `batch.warm_start`, each cell's first inner solve is seeded by the
+/// nearest finished neighbor's bias (mdp::WarmStartPool); enumerate jobs so
+/// adjacent indices are adjacent grid cells to get the most out of it. The
+/// optional `report` out-param receives the engine's BatchReport including
+/// the warm-start counters (items_warm_started, sweeps_saved_estimate).
 [[nodiscard]] std::vector<AnalysisResult> analyze_batch(
     std::span<const AnalysisJob> jobs, const AnalysisOptions& options = {},
     const mdp::BatchConfig& batch = {},
-    const AnalysisCheckpoint& checkpoint = {});
+    const AnalysisCheckpoint& checkpoint = {},
+    mdp::BatchReport* report = nullptr);
 
 /// Journal (de)serialization of one analysis cell, exposed for the resume
 /// tests. restore returns false on a record missing required fields (schema

@@ -6,9 +6,12 @@
 #include <optional>
 #include <utility>
 
+#include "mdp/kernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/aligned.hpp"
 #include "util/check.hpp"
+#include "util/numa.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bvc::mdp {
@@ -27,17 +30,29 @@ namespace {
 /// deliberately NOT used here: folding tau into each probability changes
 /// the floating-point association, and tau_eff adapts mid-solve anyway.
 ///
-/// Two sweep disciplines live here, selected by options.threads:
-///   threads == 1 — the legacy serial Gauss-Seidel sweep (in-place updates,
-///     in-sweep reference subtraction), bit-identical to previous releases;
-///   threads >= 2 — a chunked Jacobi sweep: every state's backup reads only
-///     the previous sweep's bias, the reference residual is computed from
-///     state 0 up front, and the span seminorm is reduced over chunk-local
-///     minima/maxima (min/max are exact, so the reduction order is
-///     irrelevant). Nothing depends on which worker runs which chunk, so
-///     the parallel result is bit-identical for every thread count >= 2 —
-///     it just follows a different (equally valid) trajectory than the
-///     Gauss-Seidel sweep to the same fixed point.
+/// Three sweep disciplines live here, selected by options.threads and the
+/// process-wide kernel dispatch (mdp/kernel.hpp):
+///   threads == 1, scalar kernel — the legacy serial Gauss-Seidel sweep
+///     (in-place updates, in-sweep reference subtraction), bit-identical to
+///     previous releases;
+///   threads >= 2, scalar kernel — a chunked Jacobi sweep: every state's
+///     backup reads only the previous sweep's bias, the reference residual
+///     is computed from state 0 up front, and the span seminorm is reduced
+///     over chunk-local minima/maxima (min/max are exact, so the reduction
+///     order is irrelevant). Nothing depends on which worker runs which
+///     chunk, so the parallel result is bit-identical for every thread
+///     count >= 2 — it just follows a different (equally valid) trajectory
+///     than the Gauss-Seidel sweep to the same fixed point.
+///   vector kernel (kernel::resolve() != scalar, model has an ELL mirror)
+///     — the same Jacobi discipline for EVERY thread count, with the whole
+///     sweep (expected-value backup, rewards + tau transform, per-state
+///     max) lowered onto the fused kernel::rvi_sweep, which keeps the
+///     expected-next values in registers instead of round-tripping a q
+///     column through memory (vectorized over states when the action menu
+///     is uniform). The kernel evaluates the scalar loops' exact
+///     expression trees, so this path is bit-identical to the threads >= 2
+///     scalar Jacobi path at any thread count — and, like it,
+///     trajectory-different but fixed-point-equal to Gauss-Seidel.
 GainResult rvi_core(const CompiledModel& model,
                     std::span<const double> sa_rewards, const Policy* policy,
                     const AverageRewardKnobs& options,
@@ -132,11 +147,40 @@ GainResult rvi_core(const CompiledModel& model,
     return {best, best_action};
   };
 
+  // State-0 combine for the kernel path's reference residual: identical
+  // arithmetic to `backup`, with the expected-value sum read from q_all
+  // (which the kernel computed in the scalar loop's exact accumulation
+  // order). The full-sweep combine is kernel::rvi_combine — the same
+  // expression tree, vectorized when the model's action menu allows.
+  const auto combine = [&](StateId s, const double* q_all,
+                           const double* bias_in)
+      -> std::pair<double, std::uint32_t> {
+    const std::size_t first =
+        policy != nullptr ? policy->action[s] : std::size_t{0};
+    const std::size_t last =
+        policy != nullptr ? first + 1 : model.num_actions(s);
+    const SaIndex sa_base = model.state_begin(s);
+    double best = -std::numeric_limits<double>::infinity();
+    std::uint32_t best_action = static_cast<std::uint32_t>(first);
+    for (std::size_t a = first; a < last; ++a) {
+      const SaIndex sa = sa_base + a;
+      double q = rewards_data[sa];
+      q = tau_eff * (q + q_all[sa]) + (1.0 - tau_eff) * bias_in[s];
+      if (q > best) {
+        best = q;
+        best_action = static_cast<std::uint32_t>(a);
+      }
+    }
+    return {best, best_action};
+  };
+
   // Parallel-sweep scratch. The chunk count is a scheduling detail only:
   // backups read nothing another chunk writes and the span reduction is
   // exact, so it does not affect the computed values.
   const int threads = std::max(1, options.threads);
   const bool parallel = threads > 1 && n > 1;
+  const kernel::Isa isa = kernel::resolve();
+  const bool use_kernel = isa != kernel::Isa::kScalar && model.has_ell();
   std::optional<util::ThreadPool> pool;
   std::vector<double> next_bias;
   std::vector<double> chunk_min;
@@ -144,10 +188,28 @@ GainResult rvi_core(const CompiledModel& model,
   std::size_t chunks = 0;
   if (parallel) {
     pool.emplace(threads);
-    next_bias.assign(n, 0.0);
     chunks = std::min<std::size_t>(n, static_cast<std::size_t>(threads) * 4);
     chunk_min.assign(chunks, 0.0);
     chunk_max.assign(chunks, 0.0);
+    if (!use_kernel) {
+      next_bias.assign(n, 0.0);
+    }
+  }
+  // Kernel-path scratch: a ping-pong bias pair, 64-byte aligned and
+  // first-touched by the pool workers so their pages land near the threads
+  // that stream them (util/numa.hpp; plain serial fill on single-node
+  // machines). The state partition used for the touch matches the sweep's
+  // chunking. The small q buffer covers state 0's slice only — the fused
+  // sweep keeps every other expected-next value in registers.
+  util::AlignedVector<double> q_buf;
+  util::AlignedVector<double> kernel_bias;
+  util::AlignedVector<double> kernel_next;
+  if (use_kernel) {
+    util::ThreadPool* touch_pool = pool ? &*pool : nullptr;
+    util::numa::first_touch_fill(q_buf, model.state_begin(1), 0.0, nullptr, 1);
+    util::numa::first_touch_fill(kernel_bias, n, 0.0, touch_pool, chunks);
+    util::numa::first_touch_fill(kernel_next, n, 0.0, touch_pool, chunks);
+    std::copy(result.bias.begin(), result.bias.end(), kernel_bias.begin());
   }
 
   int sweep = 0;
@@ -162,7 +224,47 @@ GainResult rvi_core(const CompiledModel& model,
     double span_min = std::numeric_limits<double>::infinity();
     double span_max = -std::numeric_limits<double>::infinity();
 
-    if (!parallel) {
+    if (use_kernel) {
+      // Vectorized Jacobi sweep (any thread count). The reference residual
+      // comes from state 0's slice up front, exactly like the scalar
+      // Jacobi branch; chunk 0 recomputes that slice below with identical
+      // bits, so no ordering hazard exists.
+      const double* current = kernel_bias.data();
+      double* q_all = q_buf.data();
+      const std::uint32_t* restrict_policy =
+          policy != nullptr ? policy->action.data() : nullptr;
+      kernel::backup_expected(model, nullptr, 1.0, current, 0,
+                              model.state_begin(1), q_all, isa);
+      const double reference_residual =
+          combine(0, q_all, current).first - current[0];
+      if (!parallel) {
+        kernel::rvi_sweep(model, rewards_data, tau_eff, current,
+                          reference_residual, restrict_policy, 0, n,
+                          kernel_next.data(), result.policy.action.data(),
+                          &span_min, &span_max, isa);
+      } else {
+        pool->parallel_for(
+            n, chunks,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+              double local_min = std::numeric_limits<double>::infinity();
+              double local_max = -std::numeric_limits<double>::infinity();
+              kernel::rvi_sweep(model, rewards_data, tau_eff, current,
+                                reference_residual, restrict_policy,
+                                static_cast<StateId>(begin),
+                                static_cast<StateId>(end),
+                                kernel_next.data(),
+                                result.policy.action.data(), &local_min,
+                                &local_max, isa);
+              chunk_min[chunk] = local_min;
+              chunk_max[chunk] = local_max;
+            });
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+          span_min = std::min(span_min, chunk_min[chunk]);
+          span_max = std::max(span_max, chunk_max[chunk]);
+        }
+      }
+      kernel_bias.swap(kernel_next);
+    } else if (!parallel) {
       double reference_residual = 0.0;
       for (StateId s = 0; s < n; ++s) {
         const auto [best, best_action] = backup(s, result.bias);
@@ -236,9 +338,13 @@ GainResult rvi_core(const CompiledModel& model,
     }
   }
 
+  if (use_kernel) {
+    result.bias.assign(kernel_bias.begin(), kernel_bias.end());
+  }
   result.gain = gain_estimate;
   result.iterations = sweep;
   result.wall_clock_ns = guard.elapsed_ns();
+  solve_span.arg("kernel", kernel::to_string(isa));
   solve_span.arg("sweeps", static_cast<std::int64_t>(sweep));
   solve_span.arg("status", robust::to_string(result.status));
   if (obs::metrics_enabled()) {

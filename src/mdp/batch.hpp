@@ -22,9 +22,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mdp/compiled_model.hpp"
@@ -44,6 +48,16 @@ struct BatchConfig {
   int threads = 0;
   /// Budget/cancellation shared by the WHOLE batch (see file comment).
   robust::RunControl control;
+  /// Cross-cell warm starts: seed each item's first inner solve with the
+  /// final bias of the nearest (by job index) already-finished item, via a
+  /// WarmStartPool. Neighboring cells of a parameter grid have nearly
+  /// identical optimal biases, so the seeded solve starts close to its
+  /// fixed point and converges in fewer sweeps; a seed of the wrong model
+  /// size is ignored by the solver. OFF by default: with threads >= 2 the
+  /// available neighbors depend on completion order, so per-cell sweep
+  /// counts (never the converged values, which stay within solver
+  /// tolerance of the cold result) are only reproducible at threads == 1.
+  bool warm_start = false;
 };
 
 /// Aggregate outcome of one batch run.
@@ -58,6 +72,13 @@ struct BatchReport {
   /// Checkpoint/shard accounting (zero without a BatchCheckpoint):
   std::size_t items_resumed = 0;    ///< restored from the journal, not run
   std::size_t items_excluded = 0;   ///< another shard's cells, not run
+  /// Warm-start accounting (zero unless BatchConfig::warm_start). Counts
+  /// items whose solver actually consumed a neighbor's bias; the sweeps
+  /// estimate is Σ over warm items of (mean cold inner sweeps − that
+  /// item's inner sweeps), clamped per item at zero — an honest
+  /// same-batch comparison, not a measurement against a separate cold run.
+  std::size_t items_warm_started = 0;
+  std::int64_t sweeps_saved_estimate = 0;
   double elapsed_seconds = 0.0;
 
   [[nodiscard]] bool all_converged() const noexcept {
@@ -100,6 +121,36 @@ struct BatchCheckpoint {
   }
   [[nodiscard]] bool sharded() const noexcept { return include != nullptr; }
 };
+
+/// Thread-safe pool of finished cells' biases backing cross-cell warm
+/// starts (BatchConfig::warm_start). Workers store a converged cell's
+/// RatioResult::final_bias under its job index; a starting cell asks for
+/// the nearest stored index (smallest |i - j|, lower index on ties) and
+/// seeds its solve with that bias. Entries are shared_ptr so a concurrent
+/// store never invalidates a bias another worker is reading.
+class WarmStartPool {
+ public:
+  /// Stores `bias` as item `index`'s exportable bias; empty biases are
+  /// ignored. Overwrites any previous entry for the index.
+  void store(std::size_t index, std::vector<double> bias);
+
+  /// The stored bias nearest to `index`, or null when the pool is empty.
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> nearest(
+      std::size_t index) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::shared_ptr<const std::vector<double>>> entries_;
+};
+
+/// The BatchReport::sweeps_saved_estimate aggregation, shared by the batch
+/// wrappers: `items` holds (used_warm_start, inner_sweeps) per SUCCESSFUL
+/// item. Returns Σ over warm items of max(0, mean cold sweeps − item
+/// sweeps), rounded; 0 when either group is empty.
+[[nodiscard]] std::int64_t estimate_sweeps_saved(
+    std::span<const std::pair<bool, std::int64_t>> items) noexcept;
 
 /// One ratio-maximization work item. Exactly one of `model` / `compiled`
 /// must be set: `compiled` (e.g. a ModelCache entry — shared, immutable,

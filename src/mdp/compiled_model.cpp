@@ -1,11 +1,14 @@
 #include "mdp/compiled_model.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
 
 #include "util/check.hpp"
+#include "util/numa.hpp"
 
 namespace bvc::mdp {
 
@@ -49,7 +52,73 @@ CompiledModel CompiledModel::compile(const Model& model, double tau) {
 
   BVC_ENSURE(compiled.action_labels_.size() == actions,
              "compiled action count must match the source model");
+  compiled.finalize_layout();
   return compiled;
+}
+
+void CompiledModel::finalize_layout() {
+  // ELL policy: pad every action to the widest row iff the widest row is
+  // short and the padding overhead is bounded (see kMaxEllWidth /
+  // kMaxEllPaddingFactor in the header). The attack models' actions have
+  // at most 3 outcomes, so they always qualify.
+  const std::size_t num_sa = action_labels_.size();
+  // Uniform action count (0 when ragged): derived, so deserialized models
+  // recompute it here rather than storing it in the cache format.
+  const std::size_t num_states = state_begin_.size() - 1;
+  uniform_actions_ = num_states > 0 ? state_begin_[1] - state_begin_[0] : 0;
+  for (std::size_t s = 1; s < num_states; ++s) {
+    if (state_begin_[s + 1] - state_begin_[s] != uniform_actions_) {
+      uniform_actions_ = 0;
+      break;
+    }
+  }
+  std::size_t width = 0;
+  for (std::size_t sa = 0; sa < num_sa; ++sa) {
+    width = std::max(width, outcome_begin_[sa + 1] - outcome_begin_[sa]);
+  }
+  ell_width_ = 0;
+  ell_stride_ = 0;
+  ell_prob_.clear();
+  ell_next_.clear();
+  if (num_sa > 0 && width > 0 && width <= kMaxEllWidth &&
+      width * num_sa <= kMaxEllPaddingFactor * next_.size()) {
+    // Stride padded to 8 doubles so an 8-lane load at any sa <
+    // num_state_actions() stays inside the allocation.
+    const std::size_t stride = (num_sa + 7) / 8 * 8;
+    ell_width_ = width;
+    ell_stride_ = stride;
+    ell_prob_.assign(width * stride, 0.0);
+    ell_next_.assign(width * stride, 0);
+    for (std::size_t sa = 0; sa < num_sa; ++sa) {
+      const std::size_t begin = outcome_begin_[sa];
+      const std::size_t end = outcome_begin_[sa + 1];
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t j = k - begin;
+        ell_prob_[j * stride + sa] = prob_[k];
+        ell_next_[j * stride + sa] = next_[k];
+      }
+    }
+  }
+
+  // NUMA: interleave the columns every sweep worker streams. No-op on
+  // single-node machines; small models are not worth a syscall per column.
+  constexpr std::size_t kMinSpreadBytes = 1u << 20;
+  if (util::numa::multi_node() && bytes_resident() >= kMinSpreadBytes) {
+    const auto spread = [](auto& column) {
+      using T = typename std::remove_reference_t<decltype(column)>::value_type;
+      (void)util::numa::interleave_pages(column.data(),
+                                         column.size() * sizeof(T));
+    };
+    spread(next_);
+    spread(prob_);
+    spread(damped_prob_);
+    spread(reward_);
+    spread(weight_);
+    spread(expected_reward_);
+    spread(expected_weight_);
+    spread(ell_prob_);
+    spread(ell_next_);
+  }
 }
 
 std::shared_ptr<const CompiledModel> CompiledModel::compile_shared(
@@ -79,8 +148,12 @@ bool read_pod(std::istream& in, T& value) {
   return in.good();
 }
 
-template <typename T>
-void write_column(std::ostream& out, const std::vector<T>& column) {
+/// Vec is any contiguous vector type (std::vector or util::AlignedVector
+/// — the wire format depends only on the element bytes, not the
+/// allocator).
+template <typename Vec>
+void write_column(std::ostream& out, const Vec& column) {
+  using T = typename Vec::value_type;
   write_pod(out, static_cast<std::uint64_t>(column.size()));
   out.write(reinterpret_cast<const char*>(column.data()),
             static_cast<std::streamsize>(column.size() * sizeof(T)));
@@ -88,14 +161,14 @@ void write_column(std::ostream& out, const std::vector<T>& column) {
 
 /// Reads one column; `max_elements` bounds the allocation so a truncated
 /// or corrupt header cannot request terabytes.
-template <typename T>
-bool read_column(std::istream& in, std::vector<T>& column,
-                 std::uint64_t max_elements) {
+template <typename Vec>
+bool read_column(std::istream& in, Vec& column, std::uint64_t max_elements) {
+  using T = typename Vec::value_type;
   std::uint64_t count = 0;
   if (!read_pod(in, count) || count > max_elements) {
     return false;
   }
-  column.resize(static_cast<std::size_t>(count));
+  column.assign(static_cast<std::size_t>(count), T{});
   in.read(reinterpret_cast<char*>(column.data()),
           static_cast<std::streamsize>(count * sizeof(T)));
   return in.good();
@@ -174,6 +247,10 @@ std::shared_ptr<const CompiledModel> CompiledModel::deserialize(
       return nullptr;
     }
   }
+  // The ELL mirror is a derived structure, rebuilt rather than stored: the
+  // disk format stays identical to pre-ELL writers and a corrupt file can
+  // never smuggle in an inconsistent mirror.
+  model.finalize_layout();
   return std::make_shared<const CompiledModel>(std::move(model));
 }
 
@@ -181,7 +258,12 @@ std::string CompiledModel::summary() const {
   std::ostringstream out;
   out << "CompiledModel{states=" << num_states()
       << ", state_actions=" << num_state_actions()
-      << ", outcomes=" << num_outcomes() << '}';
+      << ", outcomes=" << num_outcomes()
+      << ", align=" << util::kColumnAlignment << "B";
+  if (has_ell()) {
+    out << ", ell_width=" << ell_width_;
+  }
+  out << '}';
   return out.str();
 }
 

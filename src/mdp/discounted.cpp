@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#include "mdp/kernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 
 namespace bvc::mdp {
@@ -27,10 +29,26 @@ DiscountedResult solve_discounted(const CompiledModel& model,
   const StateId* next_col = model.next();
   const double* prob_col = model.prob();
   const double* expected_reward = model.expected_reward();
+  // Vector kernel path (mdp/kernel.hpp): the backup primitive's variant B
+  // (seed = expected_reward, scale = discount) computes exactly
+  // fl(fl(discount * p) * v) accumulated in outcome order — the same
+  // expression tree as the scalar loop below — so the kernel sweep is
+  // bit-identical to the scalar sweep here (Jacobi either way).
+  const kernel::Isa isa = kernel::resolve();
+  const bool use_kernel = isa != kernel::Isa::kScalar && model.has_ell();
+  util::AlignedVector<double> q_buf;
+  if (use_kernel) {
+    q_buf.assign(model.num_state_actions(), 0.0);
+  }
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     if (const auto stop_status = guard.tick()) {
       result.status = *stop_status;
       break;
+    }
+    if (use_kernel) {
+      kernel::backup_expected(model, expected_reward, options.discount,
+                              result.value.data(), 0,
+                              model.num_state_actions(), q_buf.data(), isa);
     }
     double max_delta = 0.0;
     for (StateId s = 0; s < n; ++s) {
@@ -40,10 +58,15 @@ DiscountedResult solve_discounted(const CompiledModel& model,
       const SaIndex sa_base = model.state_begin(s);
       for (std::size_t a = 0; a < actions; ++a) {
         const SaIndex sa = sa_base + a;
-        double q = expected_reward[sa];
-        const std::size_t end = model.outcome_end(sa);
-        for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
-          q += options.discount * prob_col[k] * result.value[next_col[k]];
+        double q;
+        if (use_kernel) {
+          q = q_buf[sa];
+        } else {
+          q = expected_reward[sa];
+          const std::size_t end = model.outcome_end(sa);
+          for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+            q += options.discount * prob_col[k] * result.value[next_col[k]];
+          }
         }
         if (q > best) {
           best = q;
@@ -64,6 +87,7 @@ DiscountedResult solve_discounted(const CompiledModel& model,
     }
   }
   result.wall_clock_ns = guard.elapsed_ns();
+  solve_span.arg("kernel", kernel::to_string(isa));
   solve_span.arg("sweeps", static_cast<std::int64_t>(result.iterations));
   solve_span.arg("status", robust::to_string(result.status));
   if (obs::metrics_enabled()) {

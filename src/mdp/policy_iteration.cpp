@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "mdp/kernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 
 namespace bvc::mdp {
@@ -155,7 +157,19 @@ PolicyIterationResult policy_iteration(
     evaluated = evaluate_policy_exact(model, policy, sa_rewards, options);
     evaluated.iterations = round;
 
-    // Greedy improvement against the exact bias.
+    // Greedy improvement against the exact bias. The vector kernel's
+    // variant B (seed = sa_rewards, scale = 1; fl(1.0 * p) == p exactly)
+    // computes the whole q column in one pass with the same expression
+    // tree as the scalar loop, so both paths pick identical actions.
+    const kernel::Isa isa = kernel::resolve();
+    const bool use_kernel = isa != kernel::Isa::kScalar && model.has_ell();
+    util::AlignedVector<double> q_buf;
+    if (use_kernel) {
+      q_buf.assign(model.num_state_actions(), 0.0);
+      kernel::backup_expected(model, sa_rewards.data(), 1.0,
+                              evaluated.bias.data(), 0,
+                              model.num_state_actions(), q_buf.data(), isa);
+    }
     const StateId* next_col = model.next();
     const double* prob_col = model.prob();
     bool changed = false;
@@ -166,10 +180,15 @@ PolicyIterationResult policy_iteration(
       std::uint32_t best_action = policy.action[s];
       for (std::size_t candidate = 0; candidate < actions; ++candidate) {
         const SaIndex sa = model.sa_index(s, candidate);
-        double q = sa_rewards[sa];
-        const std::size_t end = model.outcome_end(sa);
-        for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
-          q += prob_col[k] * evaluated.bias[next_col[k]];
+        double q;
+        if (use_kernel) {
+          q = q_buf[sa];
+        } else {
+          q = sa_rewards[sa];
+          const std::size_t end = model.outcome_end(sa);
+          for (std::size_t k = model.outcome_begin(sa); k < end; ++k) {
+            q += prob_col[k] * evaluated.bias[next_col[k]];
+          }
         }
         if (candidate == policy.action[s]) {
           incumbent_q = q;

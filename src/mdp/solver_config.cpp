@@ -41,6 +41,7 @@ RatioKnobs SolverConfig::ratio_options() const {
   options.upper_bound = ratio.upper_bound;
   options.min_weight_rate = ratio.min_weight_rate;
   options.control = control;
+  options.warm_start_bias = warm_start_bias;
   return options;
 }
 

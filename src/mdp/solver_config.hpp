@@ -78,6 +78,14 @@ struct SolverConfig {
   /// BatchConfig::threads in mdp/batch.hpp.
   int threads = 1;
 
+  /// Optional warm-start bias for a ratio solve (RatioKnobs field of the
+  /// same name): borrowed, seeds the first inner linearized solve when its
+  /// size matches the model's state count, silently ignored otherwise.
+  /// Populated by the batch layer's cross-cell warm starts
+  /// (BatchConfig::warm_start); ignored by the non-ratio solvers, which
+  /// take their warm start as an explicit argument.
+  const std::vector<double>* warm_start_bias = nullptr;
+
   // Lowerings to the per-solver knob blocks. These stamp `control` and
   // `threads` into the result; everything else is copied from the blocks
   // above.

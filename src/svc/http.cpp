@@ -19,6 +19,12 @@ namespace {
 
 /// Bodies above this are rejected with 413 before being read into memory.
 constexpr std::size_t kMaxBodyBytes = 8u << 20;
+/// Cap on concurrently served connections (each costs one detached
+/// thread). At the cap the accept loop waits for a slot; further clients
+/// queue in the kernel listen backlog. Far above what the job API needs —
+/// the cap exists so a flood of stalled clients exhausts this bound, not
+/// the process's thread supply.
+constexpr std::size_t kMaxConnections = 32;
 /// Request head (request line + headers) cap; anything larger is hostile.
 constexpr std::size_t kMaxHeadBytes = 64u << 10;
 
@@ -214,8 +220,45 @@ void HttpServer::serve() {
       }
       return;  // listen socket shut down by stop()
     }
+    spawn_connection(fd);
+  }
+}
+
+void HttpServer::spawn_connection(int fd) {
+  {
+    std::unique_lock<std::mutex> lock(connection_mutex_);
+    connection_cv_.wait(lock, [this] {
+      return active_connections_ < kMaxConnections || stopping_;
+    });
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ++active_connections_;
+  }
+  try {
+    std::thread([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+      // notify under the lock: once stop() (blocked on this count inside
+      // a wait that holds the mutex) observes zero and reacquires, this
+      // thread has released the lock and never touches `this` again — so
+      // the server object may be destroyed immediately after the drain.
+      const std::lock_guard<std::mutex> lock(connection_mutex_);
+      --active_connections_;
+      connection_cv_.notify_all();
+    }).detach();
+  } catch (const std::system_error& e) {
+    // Out of threads: serve this one connection inline instead of
+    // dropping it. The accept loop stalls for its duration — acceptable
+    // in an rlimit-starved corner the cap normally prevents.
+    std::fprintf(stderr, "bvcd: connection thread spawn failed: %s\n",
+                 e.what());
     handle_connection(fd);
     ::close(fd);
+    const std::lock_guard<std::mutex> lock(connection_mutex_);
+    --active_connections_;
+    connection_cv_.notify_all();
   }
 }
 
@@ -242,6 +285,13 @@ void HttpServer::handle_connection(int fd) {
 }
 
 void HttpServer::stop() {
+  {
+    // Break the accept loop's wait-for-slot first, or joining it below
+    // could deadlock against a full connection table.
+    const std::lock_guard<std::mutex> lock(connection_mutex_);
+    stopping_ = true;
+    connection_cv_.notify_all();
+  }
   if (listen_fd_ >= 0) {
     // shutdown() wakes the blocked accept(); close() alone may not. The
     // close is deferred until after the join: closing while serve() still
@@ -251,6 +301,12 @@ void HttpServer::stop() {
   }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
+  }
+  {
+    // Drain: connection threads are detached, so their liveness is this
+    // count. Per-connection socket timeouts bound the wait.
+    std::unique_lock<std::mutex> lock(connection_mutex_);
+    connection_cv_.wait(lock, [this] { return active_connections_ == 0; });
   }
   if (listen_fd_ >= 0) {
     (void)::close(listen_fd_);

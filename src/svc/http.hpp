@@ -4,18 +4,28 @@
 // the open internet needs. The server binds 127.0.0.1 only, speaks
 // HTTP/1.1 with Content-Length framing (no chunked encoding, no
 // keep-alive — one request per connection), and hands every parsed
-// request to a single handler callback. Requests are handled serially on
-// the accept thread: handlers are required to be fast (job submission
-// spawns a worker and returns; status reads copy a snapshot), so a slow
-// *solve* never blocks the next request — only a slow *client* could, and
-// per-connection socket timeouts bound that.
+// request to a single handler callback. Each accepted connection is
+// served on its own (detached) thread, so a slow or stalled client —
+// one that connects and then trickles or withholds its request — cannot
+// stall /v1/healthz for everyone else; per-connection socket timeouts
+// bound how long such a client can hold its thread. The number of
+// in-flight connection threads is capped (kMaxConnections): at the cap
+// the accept loop waits for a slot, and further clients queue in the
+// kernel listen backlog. Handlers must still be fast (job submission
+// spawns a worker and returns; status reads copy a snapshot) and are
+// called concurrently — the JobRegistry behind them is already
+// mutex-guarded. stop() drains: it stops accepting, then waits for every
+// in-flight connection thread to finish before returning.
 //
 // The client half (http_fetch) is the same framing in reverse, used by
 // bvc-cli and the service tests.
 #pragma once
 
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -52,18 +62,27 @@ class HttpServer {
   /// The bound port (valid after a successful start()).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Stops accepting, closes the listen socket, joins the accept thread.
+  /// Stops accepting, joins the accept thread, waits for every in-flight
+  /// connection thread to finish, then closes the listen socket.
   /// Idempotent; also run by the destructor.
   void stop();
 
  private:
   void serve();
   void handle_connection(int fd);
+  void spawn_connection(int fd);
 
   HttpHandler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
+  /// Connection-thread accounting (see the file comment): the accept loop
+  /// blocks while `active_connections_` is at the cap; stop() waits until
+  /// it drains to zero. `stopping_` breaks both waits.
+  bool stopping_ = false;
+  std::size_t active_connections_ = 0;
+  mutable std::mutex connection_mutex_;
+  std::condition_variable connection_cv_;
 };
 
 /// One-shot HTTP exchange against 127.0.0.1:`port`. Returns nullopt on

@@ -1,0 +1,24 @@
+#include "util/cpu_features.hpp"
+
+namespace bvc::util {
+
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures features;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace bvc::util

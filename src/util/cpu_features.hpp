@@ -1,0 +1,26 @@
+// Runtime CPU feature probe for the vectorized sweep kernels.
+//
+// The kernel dispatcher (mdp/kernel.hpp) must never execute an
+// instruction the running CPU cannot retire, regardless of what the
+// *build* machine supported — the AVX2/AVX-512 kernel TUs are compiled
+// with their ISA flags unconditionally (gated per-TU in CMake), and this
+// probe decides at process start which of them are safe to call.
+//
+// Detection uses the compiler's __builtin_cpu_supports, which checks both
+// the CPUID feature bit and the OS XSAVE state (an AVX-512 CPUID bit with
+// the kernel not saving ZMM state would still fault). Non-x86 builds
+// report no vector features and the dispatcher falls back to scalar.
+#pragma once
+
+namespace bvc::util {
+
+struct CpuFeatures {
+  bool avx2 = false;     ///< AVX2 (256-bit integer + gather)
+  bool avx512f = false;  ///< AVX-512 Foundation (512-bit doubles + gather)
+};
+
+/// The probe result, computed once on first use and cached (thread-safe:
+/// C++ magic-static initialization).
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+}  // namespace bvc::util

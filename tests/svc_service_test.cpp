@@ -8,10 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "btc/selfish_mining.hpp"
 #include "bu/attack_analysis.hpp"
@@ -390,6 +397,57 @@ TEST(SvcServiceHttp, RealSocketRoundTrip) {
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);
 
+  server.stop();
+}
+
+// A client that connects and then withholds its request bytes must not
+// stall other requests: connections are served on their own threads, so
+// /v1/healthz answers immediately while the stalled connections sit out
+// their (10 s) socket timeout. Under the old serial accept loop this
+// test needed ~10 s per stalled connection; here the health checks are
+// bounded well under one timeout.
+TEST(SvcServiceHttp, SlowClientDoesNotStallHealthz) {
+  SolveService service{ServiceConfig{}};
+  svc::HttpServer server([&service](const HttpRequest& request) {
+    return service.route(request);
+  });
+  ASSERT_TRUE(server.start(0));
+  ASSERT_GT(server.port(), 0);
+
+  // Three stalled clients: connect, trickle half a request line, hold.
+  std::vector<int> slow_fds;
+  for (int i = 0; i < 3; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                        sizeof(address)),
+              0);
+    const char partial[] = "GET /v1/health";  // no terminating CRLFCRLF
+    ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL), 0);
+    slow_fds.push_back(fd);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 3; ++i) {
+    const std::optional<HttpResponse> health =
+        svc::http_fetch(server.port(), "GET", "/v1/healthz");
+    ASSERT_TRUE(health.has_value());
+    EXPECT_EQ(health->status, 200);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // One stalled client costs 10 s serially; three health checks behind
+  // three stalled clients would cost ~30 s. Generous bound for CI noise.
+  EXPECT_LT(elapsed, 5.0);
+
+  for (const int fd : slow_fds) {
+    ::close(fd);
+  }
   server.stop();
 }
 
