@@ -2,12 +2,21 @@
 // damage. The paper's propagation substrate (Sect. 2.3 / 6.4) assumes every
 // block announcement eventually arrives; real networks drop, delay and
 // duplicate messages, nodes crash, and links partition. This bench sweeps a
-// seeded robust::FaultPlan over the continuous-time simulator and reports
-// the orphan rate as a function of the message-drop rate, plus the effect
-// of latency jitter, a node-crash window and a temporary partition.
+// seeded robust::FaultPlan over the event-driven simulator and reports the
+// orphan rate as a function of the message-drop rate, plus the effect of
+// latency jitter, a node-crash window and a temporary partition.
 //
-// Flags: --blocks N (default 20000), --seed S (fault-plan seed), plus the
-// shared budget flags --wall-clock-ms / --max-ticks (bench_common.hpp).
+// Every cell runs through sim::run_replicas: --replicas N averages N
+// independent Monte-Carlo replicas per cell (mean ± 95% CI), --threads
+// fans the replicas across the batch engine, and the sweep-session flags
+// (--checkpoint/--resume/--shards, bench/sweep_session.hpp) make long
+// campaigns crash-safe — every finished replica is journaled under its
+// canonical replica key and a resumed or sharded run reproduces the
+// uninterrupted stdout byte for byte.
+//
+// Flags: --blocks N (default 20000), --seed S (fault-plan seed),
+// --replicas N (default 1), plus the shared budget/batch flags
+// (--wall-clock-ms / --max-ticks / --threads) and the sweep-session family.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +25,9 @@
 #include "robust/fault_plan.hpp"
 #include "robust/run_control.hpp"
 #include "sim/network_sim.hpp"
+#include "sim/replicas.hpp"
+#include "sim/topology.hpp"
+#include "sweep_session.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -25,7 +37,11 @@ namespace {
 using namespace bvc;
 using chain::kMegabyte;
 
-sim::NetworkConfig make_network() {
+/// The study network: 5 equal miners on a direct mesh, or — with
+/// `nodes > 0` — the same miners gossiping over an `nodes`-node random
+/// topology (miners sit at nodes 0..4, every other node relays), so the
+/// whole campaign machinery runs at thousand-node scale unchanged.
+sim::NetworkConfig make_network(std::size_t nodes) {
   sim::NetworkConfig config;
   for (int i = 0; i < 5; ++i) {
     sim::NetMiner miner;
@@ -38,7 +54,39 @@ sim::NetworkConfig make_network() {
     miner.latency = 2.0;
     config.miners.push_back(std::move(miner));
   }
+  if (nodes > 0) {
+    sim::RandomTopologyConfig graph;
+    graph.nodes = nodes;
+    config.topology = sim::random_topology(graph);
+    config.relay_rule = config.miners.front().rule;
+  }
   return config;
+}
+
+/// "12.34%" or "12.34% ±0.56" depending on whether the cell was averaged.
+std::string format_rate(const sim::SummaryStat& stat) {
+  std::string text = format_percent(stat.mean);
+  if (stat.count > 1) {
+    text += " ±" + format_fixed(stat.ci95_half * 100.0, 2);
+  }
+  return text;
+}
+
+/// Mean of a per-replica counter over the converged replicas this process
+/// actually ran (excluded shard cells are stamped converged with default
+/// values, so blocks_mined == 0 filters them out).
+double mean_counter(const sim::ReplicaSetResult& set,
+                    std::uint64_t sim::NetworkResult::*field) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const sim::NetworkResult& replica : set.replicas) {
+    if (replica.status == robust::RunStatus::kConverged &&
+        replica.blocks_mined > 0) {
+      sum += static_cast<double>(replica.*field);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
 }  // namespace
@@ -46,80 +94,127 @@ sim::NetworkConfig make_network() {
 int main(int argc, char** argv) {
   util::ArgParser parser("bench_degraded_network", "Consensus damage under message loss/delay/duplication");
   bench::add_standard_bench_args(parser);
+  bench::add_sweep_args(parser);
   parser.add({
       {"blocks", util::ArgType::kLong, "N", "simulated blocks per cell", "20000"},
       {"seed", util::ArgType::kLong, "N", "simulation RNG seed", "20170406"},
+      {"replicas", util::ArgType::kLong, "N",
+       "independent Monte-Carlo replicas per cell (mean ± CI)", "1"},
+      {"nodes", util::ArgType::kLong, "N",
+       "gossip the campaign over an N-node random topology "
+       "(0 = direct miner mesh)", "0"},
   });
   const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
+  bench::SweepSession sweep(argc, argv, obs, "bench_degraded_network");
   const long blocks_arg = args.get_long("blocks", 20'000);
   if (blocks_arg <= 0) {
     std::fprintf(stderr, "error: --blocks must be positive (got %ld)\n",
                  blocks_arg);
     return 1;
   }
+  const long replicas_arg = args.get_long("replicas", 1);
+  if (replicas_arg <= 0) {
+    std::fprintf(stderr, "error: --replicas must be positive (got %ld)\n",
+                 replicas_arg);
+    return 1;
+  }
+  const long nodes_arg = args.get_long("nodes", 0);
+  if (nodes_arg < 0) {
+    std::fprintf(stderr, "error: --nodes must be non-negative (got %ld)\n",
+                 nodes_arg);
+    return 1;
+  }
   const auto blocks = static_cast<std::uint64_t>(blocks_arg);
+  const auto replicas = static_cast<std::size_t>(replicas_arg);
+  const auto nodes = static_cast<std::size_t>(nodes_arg);
   const auto fault_seed =
       static_cast<std::uint64_t>(args.get_long("seed", 20170406));
-  const robust::RunControl control = bench::run_control_from_args(args);
+
+  // One cell = one run_replicas call; journal + shard filter + shared
+  // budget come from the sweep session so every path (direct, --resume,
+  // --shards) enumerates identical replica keys.
+  const auto run_cell = [&](const sim::NetworkConfig& config) {
+    sim::ReplicaOptions options;
+    options.replicas = replicas;
+    options.blocks = blocks;
+    options.seed = 42;  // identical per-replica mining streams in every cell
+    options.batch = sweep.batch_config(args);
+    options.journal = sweep.journal();
+    options.include = sweep.include_next(replicas);
+    return sim::run_replicas(config, options);
+  };
 
   std::printf(
       "Degraded-network study — orphan rate vs message-drop rate\n"
       "(5 equal miners, 8 MB blocks, 1 MB/s, 2 s latency, 600 s interval,\n"
-      "%llu blocks per cell; deterministic fault seed %llu)\n\n",
-      static_cast<unsigned long long>(blocks),
+      "%llu blocks per cell, %zu replica%s; deterministic fault seed %llu)\n",
+      static_cast<unsigned long long>(blocks), replicas,
+      replicas == 1 ? "" : "s",
       static_cast<unsigned long long>(fault_seed));
+  if (nodes > 0) {
+    std::printf("(gossip relay over a %zu-node random topology)\n", nodes);
+  }
+  std::printf("\n");
 
   bench::CsvSink csv = bench::open_csv(
-      args, {"drop_rate", "jitter_s", "orphan_rate", "dropped", "duplicated",
-             "deferred", "wasted_finds"});
+      args, {"drop_rate", "jitter_s", "replicas", "orphan_rate",
+             "orphan_ci95", "dropped", "duplicated", "deferred",
+             "wasted_finds"});
 
   const std::vector<double> drop_rates = {0.0, 0.01, 0.05, 0.10, 0.20, 0.40};
   TextTable table({"drop rate", "orphan rate", "orphan rate (+5s jitter)",
                    "messages dropped"});
   for (const double drop : drop_rates) {
     std::vector<std::string> row = {format_percent(drop, 0)};
-    std::uint64_t dropped = 0;
+    double dropped = 0.0;
     for (const double jitter : {0.0, 5.0}) {
-      sim::NetworkConfig config = make_network();
+      sim::NetworkConfig config = make_network(nodes);
       config.faults.seed = fault_seed;
       config.faults.link.drop_probability = drop;
       config.faults.link.jitter_seconds = jitter;
-      sim::NetworkSimulation simulation(config);
-      Rng rng(42);  // identical mining stream in every cell
-      const sim::NetworkResult result = simulation.run(blocks, rng, control);
-      bench::require_solved(result.status,
+      const sim::ReplicaSetResult set = run_cell(config);
+      bench::require_solved(set.report.status,
                             "degraded sim drop=" + format_percent(drop, 0),
                             /*fatal=*/false);
-      row.push_back(format_percent(result.orphan_rate()));
-      dropped = result.dropped_messages;
+      row.push_back(format_rate(set.orphan_rate));
+      dropped = mean_counter(set, &sim::NetworkResult::dropped_messages);
       csv.row({format_fixed(drop, 3), format_fixed(jitter, 1),
-               format_fixed(result.orphan_rate(), 6),
-               std::to_string(result.dropped_messages),
-               std::to_string(result.duplicated_messages),
-               std::to_string(result.deferred_deliveries),
-               std::to_string(result.wasted_finds)});
+               std::to_string(replicas),
+               format_fixed(set.orphan_rate.mean, 6),
+               format_fixed(set.orphan_rate.ci95_half, 6),
+               format_fixed(
+                   mean_counter(set, &sim::NetworkResult::dropped_messages), 1),
+               format_fixed(
+                   mean_counter(set, &sim::NetworkResult::duplicated_messages),
+                   1),
+               format_fixed(
+                   mean_counter(set, &sim::NetworkResult::deferred_deliveries),
+                   1),
+               format_fixed(mean_counter(set, &sim::NetworkResult::wasted_finds),
+                            1)});
       std::printf(".");
       std::fflush(stdout);
     }
-    row.push_back(std::to_string(dropped));
+    row.push_back(format_fixed(dropped, replicas == 1 ? 0 : 1));
     table.add_row(std::move(row));
   }
   std::printf("\n%s\n", table.to_string().c_str());
 
   // ---- Crash window and partition, against the fault-free baseline -------
-  std::printf("Structural faults (same mining stream, seed 42):\n");
+  std::printf("Structural faults (same mining streams, base seed 42):\n");
   TextTable structural({"scenario", "orphan rate", "deferred deliveries",
                         "wasted finds"});
   const auto run_plan = [&](const char* label, const robust::FaultPlan& plan) {
-    sim::NetworkConfig config = make_network();
+    sim::NetworkConfig config = make_network(nodes);
     config.faults = plan;
-    sim::NetworkSimulation simulation(config);
-    Rng rng(42);
-    const sim::NetworkResult result = simulation.run(blocks, rng, control);
-    structural.add_row({label, format_percent(result.orphan_rate()),
-                        std::to_string(result.deferred_deliveries),
-                        std::to_string(result.wasted_finds)});
+    const sim::ReplicaSetResult set = run_cell(config);
+    structural.add_row(
+        {label, format_rate(set.orphan_rate),
+         format_fixed(mean_counter(set, &sim::NetworkResult::deferred_deliveries),
+                      replicas == 1 ? 0 : 1),
+         format_fixed(mean_counter(set, &sim::NetworkResult::wasted_finds),
+                      replicas == 1 ? 0 : 1)});
     std::printf(".");
     std::fflush(stdout);
   };

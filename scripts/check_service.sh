@@ -13,7 +13,12 @@
 #      cells; a restarted daemon on the same state dir RESUMES the job, and
 #      the final records must be identical to the uninterrupted service
 #      run's (wall_clock_ns aside — replayed cells keep their original
-#      timings, resumed-then-solved cells measure their own).
+#      timings, resumed-then-solved cells measure their own);
+#   4. net-sim leg: a replica campaign journaled by bench_degraded_network
+#      is re-run as a `net-sim` job; the records streamed by `bvc-cli tail`
+#      must match the bench journal cell for cell (sim records carry no
+#      wall-clock, so byte-exact values), and a crash-injected daemon that
+#      dies mid-campaign must serve the identical records after restart.
 #
 # Usage: scripts/check_service.sh [build-dir]   (default: build-ci)
 set -euo pipefail
@@ -22,9 +27,10 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-ci}"
 [[ -d "$build" ]] || build="$repo/$1"
 bench="$build/bench/bench_table2"
+sim_bench="$build/bench/bench_degraded_network"
 bvcd="$build/src/svc/bvcd"
 cli="$build/src/svc/bvc-cli"
-for bin in "$bench" "$bvcd" "$cli"; do
+for bin in "$bench" "$sim_bench" "$bvcd" "$cli"; do
   [[ -x "$bin" ]] || {
     echo "check_service.sh: $bin not built" >&2
     exit 1
@@ -158,6 +164,109 @@ assert second["resumed"] >= 5, \
 assert first_cells == second_cells, "post-crash results differ"
 print(f"check_service: kill/restart reproduced all {len(second_cells)} "
       f"cells ({second['resumed']} resumed from the journal)")
+EOF
+
+# 4. net-sim leg. The bench journals a replica campaign; the same campaign
+# submitted as a net-sim job must stream the identical records. The job's
+# network below is bench_degraded_network's make_network() with an empty
+# fault plan — the bench's "no faults (baseline)" cell — so the canonical
+# replica keys (config digest + blocks/seed/rep) coincide.
+"$sim_bench" --blocks 200 --replicas 4 --threads 2 \
+  --checkpoint "$out/sim-ck.jsonl" >"$out/sim-bench.txt" 2>/dev/null
+
+cat >"$out/netsim.json" <<'EOF'
+{"kind": "net-sim", "blocks": 200, "seed": 42, "replicas": 4,
+ "net": {"block_interval": 600,
+         "miners": [
+  {"name": "m0", "power": 0.2, "block_size": 8000000, "bandwidth": 1000000,
+   "latency": 2.0, "eb": 32000000, "mg": 32000000},
+  {"name": "m1", "power": 0.2, "block_size": 8000000, "bandwidth": 1000000,
+   "latency": 2.0, "eb": 32000000, "mg": 32000000},
+  {"name": "m2", "power": 0.2, "block_size": 8000000, "bandwidth": 1000000,
+   "latency": 2.0, "eb": 32000000, "mg": 32000000},
+  {"name": "m3", "power": 0.2, "block_size": 8000000, "bandwidth": 1000000,
+   "latency": 2.0, "eb": 32000000, "mg": 32000000},
+  {"name": "m4", "power": 0.2, "block_size": 8000000, "bandwidth": 1000000,
+   "latency": 2.0, "eb": 32000000, "mg": 32000000}]}}
+EOF
+
+start_daemon "$out/state3"
+"$cli" submit --port-file "$out/port.txt" --file "$out/netsim.json" \
+  >"$out/submit3.json"
+# tail streams each finished replica exactly once via the ?offset cursor.
+"$cli" tail j1 --port-file "$out/port.txt" --timeout 600 \
+  >"$out/tail3.jsonl"
+"$cli" result j1 --port-file "$out/port.txt" --timeout 600 \
+  >"$out/result3.json"
+stop_daemon
+
+python3 - "$out/sim-ck.jsonl" "$out/tail3.jsonl" "$out/result3.json" <<'EOF'
+import json, sys
+
+# The bench journal, keyed by canonical replica key.
+bench = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        record = json.loads(line)
+        bench[record["key"]] = record["values"]
+
+tail = [json.loads(line) for line in open(sys.argv[2])]
+assert len(tail) == 4, f"tail streamed {len(tail)} records, expected 4"
+assert len({r["key"] for r in tail}) == 4, "tail repeated a record"
+
+result = json.load(open(sys.argv[3]))
+assert result["state"] == "done", result["state"]
+assert result["kind"] == "net-sim", result
+assert result["completed"] == 4, result
+
+for record in tail + result["records"]:
+    key = record["key"]
+    assert key in bench, f"service replica {key} not in the bench journal"
+    values = dict(record["values"])
+    assert values == bench[key], \
+        f"replica {key}: service {values!r} vs bench {bench[key]!r}"
+print(f"check_service: net-sim job matches the bench journal cell for cell "
+      f"({len(tail)} records tailed)")
+EOF
+
+# Crash the daemon two replicas into the campaign, then restart: the
+# resumed job must serve records identical to the uninterrupted service
+# run's (sim records carry no wall-clock, so the match is exact).
+start_daemon "$out/state4" BVC_CRASH_AFTER_CELLS=2
+"$cli" submit --port-file "$out/port.txt" --file "$out/netsim.json" \
+  >"$out/submit4.json"
+set +e
+wait "$daemon_pid"
+status=$?
+set -e
+daemon_pid=""
+[[ $status -eq 137 ]] || {
+  echo "check_service.sh: expected net-sim SIGKILL death (137), got $status" >&2
+  cat "$out/bvcd.log" >&2
+  exit 1
+}
+
+start_daemon "$out/state4"
+"$cli" result j1 --port-file "$out/port.txt" --timeout 600 \
+  >"$out/result4.json"
+stop_daemon
+
+python3 - "$out/result3.json" "$out/result4.json" <<'EOF'
+import json, sys
+
+def cells(path):
+    result = json.load(open(path))
+    assert result["state"] == "done", (path, result["state"])
+    return result, {r["key"]: (r["status"], r["values"])
+                    for r in result["records"]}
+
+first, first_cells = cells(sys.argv[1])
+second, second_cells = cells(sys.argv[2])
+assert second["resumed"] >= 2, \
+    f"restarted daemon resumed {second['resumed']} replicas, expected >= 2"
+assert first_cells == second_cells, "post-crash net-sim results differ"
+print(f"check_service: net-sim kill/restart reproduced all "
+      f"{len(second_cells)} replicas ({second['resumed']} resumed)")
 EOF
 
 echo "check_service.sh: OK (service matches bench; crash/restart resumes)"

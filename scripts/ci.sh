@@ -37,6 +37,13 @@ ctest --test-dir "$repo/$build" --output-on-failure "$@"
 # must pass in isolation, not just inside the full suite above.
 ctest --test-dir "$repo/$build" --output-on-failure -L shard
 
+# Simulation gate: the sim-labeled suite (event engine, fixed-seed
+# regression vectors, replica determinism incl. threads-1-vs-8 and
+# sharded-vs-unsharded, network sim + relay topologies, and
+# scripts/check_sim_resume.sh's SIGKILL -> byte-identical resume) must pass
+# in isolation, not just inside the full suite above.
+ctest --test-dir "$repo/$build" --output-on-failure -L sim
+
 # Kernel dispatch gate: the kernel-labeled suite (ISA equivalence, fused
 # sweep bit-identity, warm starts, NUMA smoke) must hold both with the
 # vector kernels forced off and under auto dispatch. Vector-ISA cases

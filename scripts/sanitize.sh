@@ -19,7 +19,10 @@
 # lookups via the parallel-labeled test_model_cache. The address tier also
 # covers the shard-labeled crash-safety suite (test_checkpoint +
 # check_resume): the kill-mid-sweep -> resume scenario runs once under
-# ASan/UBSan here, on top of the plain-build run in ci.sh.
+# ASan/UBSan here, on top of the plain-build run in ci.sh. The thread tier
+# additionally re-runs the sim-labeled suite in isolation so
+# sim::run_replicas' multi-threaded replica fan-out (test_sim_replicas
+# drives it at --threads 8) is explicitly TSan-covered.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -48,3 +51,10 @@ else
 fi
 
 ctest --test-dir "$build" --output-on-failure -j"$(nproc)" "$@"
+
+# Thread tier: re-run the sim-labeled suite in isolation so the replica
+# fan-out (sim::run_replicas at --threads 8 in test_sim_replicas) and the
+# event-engine tests get an explicit, named TSan pass.
+if [ "$tier" = "thread" ]; then
+  ctest --test-dir "$build" --output-on-failure -L sim
+fi

@@ -417,39 +417,38 @@ void CheckpointJournal::append(CheckpointRecord record) {
   if (!enabled()) {
     return;
   }
-  bool crash_now = false;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] =
-        index_.try_emplace(record.key, records_.size());
-    if (inserted) {
-      records_.push_back(std::move(record));
-    } else {
-      records_[it->second] = std::move(record);
-    }
-    ++appended_;
-    ++unflushed_;
-    if (unflushed_ >= options_.fsync_batch) {
-      flush_locked();
-    }
-    if (options_.crash.armed_for(options_.shard_index) &&
-        appended_ >= options_.crash.crash_after_appends) {
-      flush_locked();  // the journal the next run resumes from is complete
-      crash_now = true;
-    }
-    if (obs::metrics_enabled()) {
-      static obs::Counter& appended_cells =
-          obs::MetricsRegistry::global().counter(
-              "robust.checkpoint.cells_appended");
-      appended_cells.add();
-    }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      index_.try_emplace(record.key, records_.size());
+  if (inserted) {
+    records_.push_back(std::move(record));
+  } else {
+    records_[it->second] = std::move(record);
   }
-  if (crash_now) {
+  ++appended_;
+  ++unflushed_;
+  if (unflushed_ >= options_.fsync_batch) {
+    flush_locked();
+  }
+  if (options_.crash.armed_for(options_.shard_index) &&
+      appended_ >= options_.crash.crash_after_appends) {
+    flush_locked();  // the journal the next run resumes from is complete
+    // Die while still holding the journal lock: releasing it first would
+    // let a concurrent worker append cell N+1 before the signal lands,
+    // making "exactly N journaled cells" nondeterministic (the resume
+    // tests assert the exact count, and TSan's slowdown makes the
+    // unlocked window wide enough to hit in practice).
     std::fprintf(stderr,
                  "[checkpoint] crash injection: SIGKILL after %zu cells\n",
                  appended_);
     std::fflush(stderr);
     ::raise(SIGKILL);  // simulate an external hard kill (OOM killer)
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& appended_cells =
+        obs::MetricsRegistry::global().counter(
+            "robust.checkpoint.cells_appended");
+    appended_cells.add();
   }
 }
 

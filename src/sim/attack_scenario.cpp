@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 
+#include "sim/event_engine.hpp"
 #include "util/check.hpp"
 
 namespace bvc::sim {
@@ -202,14 +203,27 @@ void AttackScenarioSim::maybe_reroot() {
 }
 
 ScenarioResult AttackScenarioSim::run(const mdp::Policy& policy,
-                                      std::uint64_t steps, Rng& rng) {
+                                      std::uint64_t steps, Rng& rng,
+                                      const robust::RunControl& control) {
   BVC_REQUIRE(policy.action.size() == model_->space.size(),
               "policy does not cover the model's state space");
   ScenarioResult result;
   double num = 0.0;
   double den = 0.0;
 
-  for (std::uint64_t step = 0; step < steps; ++step) {
+  // Synchronous lowering onto the event engine: one block-arrival event per
+  // unit of simulated time. The engine's guard gives the scenario replay
+  // the same cooperative budget/cancellation semantics as the other
+  // simulators (one tick per step).
+  EventEngine<std::uint64_t> engine;
+  if (steps > 0) {
+    engine.schedule(0.0, 0, 0);
+  }
+  const auto on_step = [&](std::uint64_t step) {
+    if (step + 1 < steps) {
+      engine.schedule(static_cast<double>(step + 1), 0, step + 1);
+    }
+    ++result.steps;
     const bu::AttackState abstract = derive_state();
     const mdp::StateId state_id = model_->space.index(abstract);
     const auto action = static_cast<bu::Action>(
@@ -335,9 +349,13 @@ ScenarioResult AttackScenarioSim::run(const mdp::Policy& policy,
     const auto [dn, dd] = bu::utility_increments(model_->utility, delta);
     num += dn;
     den += dd;
-  }
+  };
 
-  result.steps = steps;
+  result.status = engine.drain(
+      control, [&](const EventEngine<std::uint64_t>::Event& event) {
+        on_step(event.payload);
+      });
+  engine.publish_metrics();
   result.utility_estimate = den > 0.0 ? num / den : 0.0;
   return result;
 }

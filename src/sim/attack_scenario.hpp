@@ -21,6 +21,7 @@
 #include "bu/attack_model.hpp"
 #include "chain/block_tree.hpp"
 #include "chain/bu_validity.hpp"
+#include "robust/run_control.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::sim {
@@ -39,13 +40,16 @@ struct ScenarioOptions {
 
 struct ScenarioResult {
   bu::Deltas totals;
-  std::uint64_t steps = 0;
+  std::uint64_t steps = 0;  ///< steps actually simulated
   double utility_estimate = 0.0;  ///< accumulated num / den for the utility
   std::uint64_t forks_started = 0;
   std::uint64_t chain1_wins = 0;
   std::uint64_t chain2_wins = 0;   ///< acceptance-depth takeovers
   std::uint64_t gate_openings = 0; ///< times Bob's sticky gate opened
   std::uint64_t double_spend_events = 0;
+  /// kConverged when all requested steps ran; kBudgetExhausted / kCancelled
+  /// when stopped early (statistics cover the simulated prefix).
+  robust::RunStatus status = robust::RunStatus::kConverged;
 };
 
 class AttackScenarioSim {
@@ -54,9 +58,12 @@ class AttackScenarioSim {
   /// space used to interpret `policy`.
   AttackScenarioSim(const bu::AttackModel& model, ScenarioOptions options);
 
-  /// Simulates `steps` block-arrival events under `policy`.
+  /// Simulates `steps` block-arrival events under `policy`. One guard tick
+  /// per step; on budget exhaustion / cancellation the partial statistics
+  /// are returned with the status set.
   [[nodiscard]] ScenarioResult run(const mdp::Policy& policy,
-                                   std::uint64_t steps, Rng& rng);
+                                   std::uint64_t steps, Rng& rng,
+                                   const robust::RunControl& control = {});
 
  private:
   struct ForkRecord {

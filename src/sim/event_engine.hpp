@@ -1,0 +1,133 @@
+// The shared discrete-event core of src/sim: a binary-heap event queue with
+// a simulated clock and deterministic tie-breaking.
+//
+// All three simulators (network_sim, fork_simulation, attack_scenario)
+// lower their hand-rolled loops onto this engine. Events are ordered by
+// (time, klass, seq): `klass` ranks simultaneous events of different kinds
+// (e.g. a block find beats a block delivery scheduled for the same instant,
+// reproducing the legacy `next_find <= top.time` rule), and `seq` — the
+// schedule order — breaks the remaining ties, so a drain is a pure function
+// of the schedule calls and never depends on heap internals.
+//
+// The engine owns the RunControl integration: one guard tick per dispatched
+// event, with the clock frozen at the last *processed* event when a budget
+// stops the run (partial results cover exactly the simulated prefix). It
+// also keeps the queue statistics (events scheduled/dispatched, peak queue
+// depth, schedule horizon) that the simulators publish through src/obs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "robust/run_control.hpp"
+
+namespace bvc::sim {
+
+/// Queue statistics of one drain, for obs gauges and the run manifest.
+struct EngineStats {
+  std::uint64_t scheduled = 0;   ///< events ever pushed
+  std::uint64_t dispatched = 0;  ///< events handed to the handler
+  std::int64_t ticks = 0;        ///< guard ticks consumed by the last drain
+  std::size_t peak_queue_depth = 0;
+  double horizon = 0.0;  ///< latest event time ever scheduled
+};
+
+template <typename Payload>
+class EventEngine {
+ public:
+  struct Event {
+    double time = 0.0;
+    /// Kind rank for simultaneous events: lower klass dispatches first.
+    std::uint32_t klass = 0;
+    /// Schedule order; the final tie-breaker.
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  /// Enqueues an event. Scheduling in the past is allowed (the event simply
+  /// dispatches next); the simulators never do it, but fault deferrals may
+  /// schedule exactly at `now()`.
+  void schedule(double time, std::uint32_t klass, Payload payload) {
+    heap_.push_back(Event{time, klass, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+    ++stats_.scheduled;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, heap_.size());
+    stats_.horizon = std::max(stats_.horizon, time);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return heap_.size();
+  }
+
+  /// The simulated clock: the time of the last dispatched event.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Dispatches events in (time, klass, seq) order until the queue drains
+  /// or the control stops the run. One guard tick per event, taken BEFORE
+  /// the pop, so a stopped run leaves `now()` at the last processed event.
+  /// The handler may schedule further events. Returns kConverged on a full
+  /// drain, the stopping status otherwise.
+  template <typename Handler>
+  [[nodiscard]] robust::RunStatus drain(const robust::RunControl& control,
+                                        Handler&& handler) {
+    robust::RunGuard guard(control);
+    robust::RunStatus status = robust::RunStatus::kConverged;
+    while (!heap_.empty()) {
+      if (const auto stop_status = guard.tick()) {
+        status = *stop_status;
+        break;
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), After{});
+      Event event = std::move(heap_.back());
+      heap_.pop_back();
+      now_ = event.time;
+      ++stats_.dispatched;
+      handler(event);
+    }
+    stats_.ticks = guard.ticks();
+    return status;
+  }
+
+  /// Publishes the engine-level counters and gauges (`sim.engine.*`) to the
+  /// global metrics registry; no-op when metrics are disabled. The gauges
+  /// report the most recent drain, the counters accumulate across drains.
+  void publish_metrics() const {
+    if (!obs::metrics_enabled()) {
+      return;
+    }
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.counter("sim.engine.events_scheduled").add(stats_.scheduled);
+    registry.counter("sim.engine.events_dispatched").add(stats_.dispatched);
+    registry.gauge("sim.engine.queue_depth_peak")
+        .set(static_cast<double>(stats_.peak_queue_depth));
+    registry.gauge("sim.engine.horizon").set(stats_.horizon);
+  }
+
+ private:
+  /// `a` dispatches after `b` — the heap predicate for a min-heap on
+  /// (time, klass, seq).
+  struct After {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      if (a.klass != b.klass) {
+        return a.klass > b.klass;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  EngineStats stats_;
+};
+
+}  // namespace bvc::sim

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_engine.hpp"
 #include "util/check.hpp"
 
 namespace bvc::sim {
@@ -84,7 +85,6 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
   obs::Span run_span("fork.run", "sim");
   run_span.arg("miners", static_cast<std::int64_t>(config_.miners.size()));
   run_span.arg("blocks", static_cast<std::int64_t>(blocks));
-  robust::RunGuard guard(control);
   ForkSimResult result;
   result.locked_per_miner.assign(config_.miners.size(), 0);
   result.orphaned_per_miner.assign(config_.miners.size(), 0);
@@ -92,10 +92,17 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
   chain::BlockId credited_upto = tree_.genesis();
   chain::BlockId episode_first_block = chain::kNoBlock;
 
-  for (std::uint64_t step = 0; step < blocks; ++step) {
-    if (const auto stop_status = guard.tick()) {
-      result.status = *stop_status;
-      break;
+  // Synchronous lowering onto the event engine: one block arrival per unit
+  // of simulated time (the model has no propagation delay), so the engine's
+  // clock counts steps and its guard replaces the hand-rolled budget check
+  // (one tick per block, as before).
+  EventEngine<std::uint64_t> engine;
+  if (blocks > 0) {
+    engine.schedule(0.0, 0, 0);
+  }
+  const auto on_step = [&](std::uint64_t step) {
+    if (step + 1 < blocks) {
+      engine.schedule(static_cast<double>(step + 1), 0, step + 1);
     }
     const auto who = static_cast<std::size_t>(power_sampler_.sample(rng));
     const SimMiner& miner = config_.miners[who];
@@ -128,7 +135,7 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
             std::max(result.max_fork_depth,
                      tree_.block(tip).height - tree_.block(common).height);
       }
-      continue;
+      return;
     }
 
     // Agreement: credit the newly locked prefix and, if a fork episode just
@@ -163,9 +170,15 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
       reset_tree();
       credited_upto = tree_.genesis();
     }
-  }
-  run_span.arg("events", guard.ticks());
+  };
+
+  result.status = engine.drain(
+      control, [&](const EventEngine<std::uint64_t>::Event& event) {
+        on_step(event.payload);
+      });
+  run_span.arg("events", engine.stats().ticks);
   run_span.arg("status", robust::to_string(result.status));
+  engine.publish_metrics();
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
     static obs::Counter& events = registry.counter("sim.fork.events");
@@ -175,7 +188,7 @@ ForkSimResult ForkSimulation::run(std::uint64_t blocks, Rng& rng,
     static obs::Counter& orphaned =
         registry.counter("sim.fork.orphaned_blocks");
     events.add(static_cast<std::uint64_t>(std::max<std::int64_t>(
-        0, guard.ticks())));
+        0, engine.stats().ticks)));
     mined.add(result.blocks_mined);
     episodes.add(result.fork_episodes);
     orphaned.add(result.orphaned_blocks);

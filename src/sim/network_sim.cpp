@@ -3,77 +3,140 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <queue>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_engine.hpp"
 #include "util/check.hpp"
 
 namespace bvc::sim {
 
 namespace {
 
-struct Delivery {
-  double time = 0.0;
-  std::size_t node = 0;
-  chain::BlockId block = 0;
-
-  // min-heap on time; break ties by block id so parents (smaller ids from
-  // earlier finds) are delivered before same-instant children.
-  [[nodiscard]] bool operator>(const Delivery& other) const {
-    if (time != other.time) {
-      return time > other.time;
-    }
-    return block > other.block;
-  }
+/// One engine payload. kFind events carry no data (the find is attributed
+/// when it dispatches); kDelivery events carry the arriving copy.
+struct NetEvent {
+  std::size_t node = 0;          ///< delivery target
+  chain::BlockId block = 0;      ///< delivered block
+  std::size_t from = 0;          ///< sender, for gossip suppression
 };
+
+/// Event classes: a find beats any delivery scheduled for the same instant
+/// (the legacy loop's `next_find <= top.time` rule); deliveries fall back
+/// to schedule order, which groups them by ascending block id exactly like
+/// the legacy heap's (time, block) tie-break.
+constexpr std::uint32_t kFind = 0;
+constexpr std::uint32_t kDelivery = 1;
+
+/// Bytes a relayed block puts on the wire under the relay policy.
+double wire_bytes(const RelayPolicy& relay, chain::ByteSize size) {
+  const auto full = static_cast<double>(size);
+  if (!relay.compact) {
+    return full;
+  }
+  return std::min(full, relay.overhead_bytes + relay.fraction * full);
+}
 
 }  // namespace
 
-NetworkSimulation::NetworkSimulation(NetworkConfig config)
-    : config_(std::move(config)) {
-  BVC_REQUIRE(!config_.miners.empty(), "the network needs miners");
-  BVC_REQUIRE(config_.block_interval > 0.0,
-              "block interval must be positive");
+void NetworkConfig::validate() const {
+  BVC_REQUIRE(!miners.empty(), "NetworkConfig.miners must be non-empty");
+  BVC_REQUIRE(block_interval > 0.0,
+              "NetworkConfig.block_interval must be positive");
   double total = 0.0;
-  for (const NetMiner& miner : config_.miners) {
-    BVC_REQUIRE(miner.power >= 0.0, "miner power must be non-negative");
+  for (std::size_t i = 0; i < miners.size(); ++i) {
+    const NetMiner& miner = miners[i];
+    const std::string field = "NetworkConfig.miners[" + std::to_string(i) + "]";
+    BVC_REQUIRE(miner.power > 0.0, field + ".power must be positive");
     BVC_REQUIRE(miner.block_size <= miner.rule.mg,
-                "a compliant miner cannot exceed its own MG");
-    BVC_REQUIRE(miner.bandwidth > 0.0, "bandwidth must be positive");
-    BVC_REQUIRE(miner.latency >= 0.0, "latency must be non-negative");
+                field + ": a compliant miner cannot exceed its own MG");
+    BVC_REQUIRE(miner.bandwidth > 0.0, field + ".bandwidth must be positive");
+    BVC_REQUIRE(miner.latency > 0.0, field + ".latency must be positive");
     total += miner.power;
   }
-  BVC_REQUIRE(std::abs(total - 1.0) < 1e-9, "powers must sum to 1");
-  config_.faults.validate(config_.miners.size());
+  BVC_REQUIRE(std::abs(total - 1.0) < 1e-9,
+              "NetworkConfig.miners powers must sum to 1");
+  if (relay.compact) {
+    BVC_REQUIRE(relay.overhead_bytes >= 0.0,
+                "NetworkConfig.relay.overhead_bytes must be non-negative");
+    BVC_REQUIRE(relay.fraction >= 0.0 && relay.fraction <= 1.0,
+                "NetworkConfig.relay.fraction must be in [0, 1]");
+  }
+  if (topology.empty()) {
+    BVC_REQUIRE(miner_nodes.empty(),
+                "NetworkConfig.miner_nodes requires a topology");
+    faults.validate(miners.size());
+    return;
+  }
+  topology.validate();
+  BVC_REQUIRE(miners.size() <= topology.num_nodes(),
+              "NetworkConfig.topology needs at least one node per miner");
+  BVC_REQUIRE(miner_nodes.empty() || miner_nodes.size() == miners.size(),
+              "NetworkConfig.miner_nodes must be empty or name one node per "
+              "miner");
+  std::vector<bool> taken(topology.num_nodes(), false);
+  for (std::size_t i = 0; i < miner_nodes.size(); ++i) {
+    const std::string field =
+        "NetworkConfig.miner_nodes[" + std::to_string(i) + "]";
+    BVC_REQUIRE(miner_nodes[i] < topology.num_nodes(),
+                field + " out of range");
+    BVC_REQUIRE(!taken[miner_nodes[i]],
+                field + ": miners must sit on distinct nodes");
+    taken[miner_nodes[i]] = true;
+  }
+  faults.validate(topology.num_nodes());
+}
+
+NetworkSimulation::NetworkSimulation(NetworkConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
 }
 
 NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
-                                     const robust::RunControl& control) {
-  const std::size_t n = config_.miners.size();
+                                     const robust::RunControl& control) const {
+  const std::size_t num_miners = config_.miners.size();
+  const bool relay_mode = !config_.topology.empty();
+  const std::size_t num_nodes =
+      relay_mode ? config_.topology.num_nodes() : num_miners;
+
+  // Where miner i sits: node i in direct mode and by default in relay mode.
+  const auto miner_node = [&](std::size_t i) -> std::size_t {
+    return config_.miner_nodes.empty() ? i : config_.miner_nodes[i];
+  };
+
   chain::BlockTree tree;
   std::vector<BuNodeView> views;
-  views.reserve(n);
+  views.reserve(num_nodes);
+  std::vector<std::size_t> miner_at(num_nodes, num_miners);  // node -> miner
+  for (std::size_t i = 0; i < num_miners; ++i) {
+    miner_at[miner_node(i)] = i;
+  }
   std::vector<double> weights;
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    const bool is_miner = miner_at[node] < num_miners;
+    views.emplace_back(tree, is_miner ? config_.miners[miner_at[node]].rule
+                                      : config_.relay_rule);
+  }
   for (const NetMiner& miner : config_.miners) {
-    views.emplace_back(tree, miner.rule);
     weights.push_back(miner.power);
   }
   CategoricalSampler by_power(weights);
 
-  std::priority_queue<Delivery, std::vector<Delivery>, std::greater<>>
-      in_flight;
   // Deliveries whose parent has not reached the node yet (out-of-order
   // arrival: a small child can overtake its large parent on a slow link).
-  std::vector<std::multimap<chain::BlockId, chain::BlockId>> waiting(n);
+  std::vector<std::multimap<chain::BlockId, chain::BlockId>> waiting(
+      num_nodes);
 
   NetworkResult result;
-  result.mined_per_miner.assign(n, 0);
-  result.locked_per_miner.assign(n, 0);
-  result.orphaned_per_miner.assign(n, 0);
+  result.mined_per_miner.assign(num_miners, 0);
+  result.locked_per_miner.assign(num_miners, 0);
+  result.orphaned_per_miner.assign(num_miners, 0);
 
-  const auto deliver = [&](std::size_t node, chain::BlockId block) {
-    // Deliver `block` and any descendants that were waiting on it.
+  // Delivers `block` and any descendants that were waiting on it, appending
+  // every newly learned id to `learned` (relay mode forwards them).
+  const auto deliver = [&](std::size_t node, chain::BlockId block,
+                           std::vector<chain::BlockId>* learned) {
     std::vector<chain::BlockId> ready = {block};
     while (!ready.empty()) {
       const chain::BlockId id = ready.back();
@@ -87,6 +150,9 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
         continue;
       }
       views[node].learn(id);
+      if (learned != nullptr) {
+        learned->push_back(id);
+      }
       const auto [begin, end] = waiting[node].equal_range(id);
       for (auto it = begin; it != end; ++it) {
         ready.push_back(it->second);
@@ -100,6 +166,8 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
   // an all-zero plan reproduces the no-fault baseline bit for bit.
   const robust::FaultPlan& faults = config_.faults;
   Rng fault_rng(faults.seed);
+
+  EventEngine<NetEvent> engine;
 
   // Schedules one copy of `block` from `from` to `peer`, applying latency
   // jitter, partition deferral (messages crossing an active cut are held
@@ -123,102 +191,154 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
       arrival = up_at;
       ++result.deferred_deliveries;
     }
-    in_flight.push(Delivery{arrival, peer, block});
+    engine.schedule(arrival, kDelivery, NetEvent{peer, block, from});
+  };
+
+  // Sends `block` from `from` to `peer` over a link with the given base
+  // delay, drawing the drop / duplicate faults in the legacy order.
+  const auto send_copy = [&](std::size_t from, std::size_t peer,
+                             chain::BlockId block, double now, double delay) {
+    const robust::LinkFault& fault = faults.link_fault(from, peer);
+    if (fault.drop_probability > 0.0 &&
+        fault_rng.next_bernoulli(fault.drop_probability)) {
+      ++result.dropped_messages;
+      return;
+    }
+    schedule_copy(from, peer, block, now, delay, fault);
+    if (fault.duplicate_probability > 0.0 &&
+        fault_rng.next_bernoulli(fault.duplicate_probability)) {
+      ++result.duplicated_messages;
+      schedule_copy(from, peer, block, now, delay, fault);
+    }
+  };
+
+  // Gossip step: `node` forwards `block` to every neighbor except the one
+  // it came from and those already known to have it.
+  const auto forward_block = [&](std::size_t node, chain::BlockId block,
+                                 std::size_t exclude, double now) {
+    const chain::ByteSize size = tree.block(block).size;
+    const double bytes = wire_bytes(config_.relay, size);
+    for (const Link& link : config_.topology.adjacency[node]) {
+      const auto peer = static_cast<std::size_t>(link.to);
+      if (peer == exclude || views[peer].knows(block)) {
+        continue;
+      }
+      ++result.relayed_messages;
+      send_copy(node, peer, block, now, link.latency + bytes / link.bandwidth);
+    }
   };
 
   obs::Span run_span("net.run", "sim");
-  run_span.arg("miners", static_cast<std::int64_t>(n));
+  run_span.arg("miners", static_cast<std::int64_t>(num_miners));
+  run_span.arg("nodes", static_cast<std::int64_t>(num_nodes));
   run_span.arg("blocks", static_cast<std::int64_t>(blocks));
-  robust::RunGuard guard(control);
-  double now = 0.0;
-  double next_find = rng.next_exponential(1.0 / config_.block_interval);
-  std::uint64_t found = 0;
+  run_span.arg("mode", relay_mode ? "relay" : "direct");
 
-  while (found < blocks || !in_flight.empty()) {
-    if (const auto stop_status = guard.tick()) {
-      result.status = *stop_status;
-      break;
+  std::uint64_t found = 0;
+  // Drawn unconditionally (the legacy loop primed `next_find` before
+  // checking `blocks`), keeping the caller's stream position identical.
+  const double first_find = rng.next_exponential(1.0 / config_.block_interval);
+  if (blocks > 0) {
+    engine.schedule(first_find, kFind, NetEvent{});
+  }
+
+  const auto on_find = [&](double now) {
+    // The legacy draw order: next find interval first, then attribution.
+    // The interval is drawn even when this is the last block (the draw is
+    // discarded), keeping the caller's stream position identical.
+    const double next_find =
+        now + rng.next_exponential(1.0 / config_.block_interval);
+    const std::size_t who = by_power.sample(rng);
+    const std::size_t origin = miner_node(who);
+    if (faults.crashed_at(origin, now)) {
+      // A crashed miner burns its hash power without producing a block.
+      ++result.wasted_finds;
+      engine.schedule(next_find, kFind, NetEvent{});
+      return;
     }
-    const bool more_mining = found < blocks;
-    if (more_mining &&
-        (in_flight.empty() || next_find <= in_flight.top().time)) {
-      // --- a block is found ---------------------------------------------
-      now = next_find;
-      next_find = now + rng.next_exponential(1.0 / config_.block_interval);
-      const std::size_t who = by_power.sample(rng);
-      if (faults.crashed_at(who, now)) {
-        // A crashed miner burns its hash power without producing a block.
-        ++result.wasted_finds;
+    const NetMiner& miner = config_.miners[who];
+    const chain::BlockId block =
+        tree.add_block(views[origin].tip(), miner.block_size,
+                       static_cast<chain::MinerId>(who));
+    ++found;
+    ++result.mined_per_miner[who];
+    if (found < blocks) {
+      engine.schedule(next_find, kFind, NetEvent{});
+    }
+    deliver(origin, block, nullptr);  // the miner knows its block instantly
+    if (relay_mode) {
+      forward_block(origin, block, origin, now);
+      return;
+    }
+    for (std::size_t peer = 0; peer < num_miners; ++peer) {
+      if (peer == who) {
         continue;
       }
-      const NetMiner& miner = config_.miners[who];
-      const chain::BlockId block =
-          tree.add_block(views[who].tip(), miner.block_size,
-                         static_cast<chain::MinerId>(who));
-      ++found;
-      ++result.mined_per_miner[who];
-      deliver(who, block);  // the miner knows its own block instantly
-      for (std::size_t peer = 0; peer < n; ++peer) {
-        if (peer == who) {
-          continue;
-        }
-        const NetMiner& receiver = config_.miners[peer];
-        const double delay =
-            receiver.latency +
-            static_cast<double>(miner.block_size) / receiver.bandwidth;
-        const robust::LinkFault& fault = faults.link_fault(who, peer);
-        if (fault.drop_probability > 0.0 &&
-            fault_rng.next_bernoulli(fault.drop_probability)) {
-          ++result.dropped_messages;
-          continue;
-        }
-        schedule_copy(who, peer, block, now, delay, fault);
-        if (fault.duplicate_probability > 0.0 &&
-            fault_rng.next_bernoulli(fault.duplicate_probability)) {
-          ++result.duplicated_messages;
-          schedule_copy(who, peer, block, now, delay, fault);
-        }
-      }
-    } else {
-      // --- a block arrives somewhere --------------------------------------
-      const Delivery next = in_flight.top();
-      in_flight.pop();
-      now = next.time;
-      deliver(next.node, next.block);
+      const NetMiner& receiver = config_.miners[peer];
+      const double delay =
+          receiver.latency +
+          wire_bytes(config_.relay, miner.block_size) / receiver.bandwidth;
+      send_copy(who, peer, block, now, delay);
     }
-  }
+  };
+
+  std::vector<chain::BlockId> learned;
+  const auto on_delivery = [&](const NetEvent& event, double now) {
+    if (!relay_mode) {
+      deliver(event.node, event.block, nullptr);
+      return;
+    }
+    if (views[event.node].knows(event.block)) {
+      return;  // redundant gossip copy
+    }
+    learned.clear();
+    deliver(event.node, event.block, &learned);
+    for (const chain::BlockId id : learned) {
+      // Suppress the echo only for the copy that just arrived; unparked
+      // descendants came from older senders and go to every neighbor.
+      const std::size_t exclude =
+          id == event.block ? event.from : event.node;
+      forward_block(event.node, id, exclude, now);
+    }
+  };
+
+  result.status = engine.drain(
+      control, [&](const EventEngine<NetEvent>::Event& event) {
+        if (event.klass == kFind) {
+          on_find(event.time);
+        } else {
+          on_delivery(event.payload, event.time);
+        }
+      });
+
   result.blocks_mined = found;
-  result.duration = now;
+  result.duration = engine.now();
   // Aggregate counters are published once per run (the per-event loop above
   // stays untouched); the fault-injection tallies come straight from the
   // result the loop already maintains.
-  run_span.arg("events", guard.ticks());
+  run_span.arg("events", engine.stats().ticks);
   run_span.arg("status", robust::to_string(result.status));
+  engine.publish_metrics();
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-    static obs::Counter& events = registry.counter("sim.net.events");
-    static obs::Counter& mined = registry.counter("sim.net.blocks_mined");
-    static obs::Counter& dropped =
-        registry.counter("sim.net.dropped_messages");
-    static obs::Counter& duplicated =
-        registry.counter("sim.net.duplicated_messages");
-    static obs::Counter& deferred =
-        registry.counter("sim.net.deferred_deliveries");
-    static obs::Counter& wasted = registry.counter("sim.net.wasted_finds");
-    events.add(static_cast<std::uint64_t>(std::max<std::int64_t>(
-        0, guard.ticks())));
-    mined.add(found);
-    dropped.add(result.dropped_messages);
-    duplicated.add(result.duplicated_messages);
-    deferred.add(result.deferred_deliveries);
-    wasted.add(result.wasted_finds);
+    registry.counter("sim.net.events")
+        .add(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, engine.stats().ticks)));
+    registry.counter("sim.net.blocks_mined").add(found);
+    registry.counter("sim.net.dropped_messages").add(result.dropped_messages);
+    registry.counter("sim.net.duplicated_messages")
+        .add(result.duplicated_messages);
+    registry.counter("sim.net.deferred_deliveries")
+        .add(result.deferred_deliveries);
+    registry.counter("sim.net.wasted_finds").add(result.wasted_finds);
+    registry.counter("sim.net.relayed_messages").add(result.relayed_messages);
   }
 
   // --- final accounting ------------------------------------------------
   // Canonical tip: the tip backed by the most power; deepest on ties.
   std::map<chain::BlockId, double> support;
-  for (std::size_t i = 0; i < n; ++i) {
-    support[views[i].tip()] += config_.miners[i].power;
+  for (std::size_t i = 0; i < num_miners; ++i) {
+    support[views[miner_node(i)].tip()] += config_.miners[i].power;
   }
   chain::BlockId canonical = tree.genesis();
   double best_power = -1.0;

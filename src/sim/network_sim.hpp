@@ -1,13 +1,25 @@
 // Continuous-time, event-driven simulation of a BU mining network with
-// size-dependent block propagation.
+// size-dependent block propagation, lowered onto sim::EventEngine.
 //
 // Mining is a Poisson process over the total hash rate (the next block is
 // found after an exponential interval and attributed to a miner by power).
-// A freshly found block is known to its miner immediately and reaches every
-// other node after  latency + size / bandwidth  seconds (per-node link
-// parameters). Nodes are BuNodeView instances: validity is per-node
-// (EB/AD/sticky gate), ties go to the first-seen block — so both *natural*
-// forks (propagation races) and *validity* forks (EB disagreements) emerge.
+// Two propagation modes share one event loop:
+//
+//   * direct (config.topology empty): a freshly found block is known to its
+//     miner immediately and reaches every other miner after
+//     latency + size / bandwidth seconds (per-miner link parameters) — the
+//     classic all-to-all model used by the paper-facing benches;
+//   * multi-hop relay (config.topology set): miners sit on a generated
+//     graph (sim/topology.hpp) among relay-only nodes, and a block gossips
+//     hop by hop — each node forwards a block to its neighbors the first
+//     time it learns it, with store-and-forward delay
+//     link.latency + wire_bytes / link.bandwidth per hop. The compact-relay
+//     toggle (RelayPolicy) models thin/expedited-style propagation by
+//     shrinking wire_bytes to overhead + fraction * size.
+//
+// Nodes are BuNodeView instances: validity is per-node (EB/AD/sticky gate),
+// ties go to the first-seen block — so both *natural* forks (propagation
+// races) and *validity* forks (EB disagreements) emerge.
 //
 // This is the substrate behind the paper's block-size discussions: larger
 // blocks travel longer, get orphaned more often (Sect. 2.3, Rizun's fee
@@ -24,6 +36,7 @@
 #include "robust/fault_plan.hpp"
 #include "robust/run_control.hpp"
 #include "sim/node_view.hpp"
+#include "sim/topology.hpp"
 #include "util/rng.hpp"
 
 namespace bvc::sim {
@@ -33,10 +46,21 @@ struct NetMiner {
   double power = 0.0;              ///< share of the total hash rate
   chain::BuParams rule;            ///< validity parameters
   chain::ByteSize block_size = chain::kBitcoinBlockLimit;  ///< MG it mines
-  /// Link model: a block of size S reaches this node S / bandwidth +
-  /// latency seconds after publication.
+  /// Direct-mode link model: a block of size S reaches this node
+  /// S / bandwidth + latency seconds after publication. Ignored (per-link
+  /// parameters apply instead) when a topology is set.
   double bandwidth = 1e6;  ///< bytes per second
   double latency = 1.0;    ///< seconds
+};
+
+/// Compact-relay toggle: with `compact` set, a relayed block of size S puts
+/// only overhead_bytes + fraction * S on the wire (thin/expedited blocks
+/// reconstruct the body from the mempool), turning propagation delay mostly
+/// latency-bound. Applies to every hop, in both propagation modes.
+struct RelayPolicy {
+  bool compact = false;
+  double overhead_bytes = 20'000.0;  ///< header + shortid floor
+  double fraction = 0.02;            ///< body bytes still transferred
 };
 
 struct NetworkConfig {
@@ -46,8 +70,24 @@ struct NetworkConfig {
   /// partitions). The default plan is empty: no faults, and the simulation
   /// is bit-identical to one run without any fault machinery. Fault
   /// decisions are drawn from the plan's own seeded stream, never from the
-  /// caller's Rng. Validated at construction.
+  /// caller's Rng. Node indices refer to miners in direct mode and to
+  /// topology nodes in relay mode. Validated at construction.
   robust::FaultPlan faults;
+  /// Multi-hop relay graph; empty = direct all-to-all delivery.
+  Topology topology;
+  /// Where each miner sits in the topology (miner i at node miner_nodes[i];
+  /// empty = miner i at node i). All other nodes relay with `relay_rule`.
+  std::vector<std::uint32_t> miner_nodes;
+  /// Validity parameters of relay-only (non-miner) topology nodes.
+  chain::BuParams relay_rule;
+  RelayPolicy relay;
+
+  /// BVC_REQUIREs every field is well-formed, with per-field messages
+  /// (FaultPlan-style): non-empty miners with positive power / bandwidth /
+  /// latency each, powers summing to 1, a positive block interval, a valid
+  /// fault plan, and — in relay mode — a valid topology with distinct,
+  /// in-range miner placements.
+  void validate() const;
 };
 
 struct NetworkResult {
@@ -69,6 +109,8 @@ struct NetworkResult {
   std::uint64_t duplicated_messages = 0;
   std::uint64_t deferred_deliveries = 0;  ///< crash/partition deferrals
   std::uint64_t wasted_finds = 0;         ///< blocks found by crashed miners
+  /// Gossip copies forwarded node-to-node (zero in direct mode).
+  std::uint64_t relayed_messages = 0;
 
   [[nodiscard]] friend bool operator==(const NetworkResult&,
                                        const NetworkResult&) = default;
@@ -94,8 +136,11 @@ class NetworkSimulation {
   /// in-flight deliveries and computes the final accounting. One guard tick
   /// per event (find or delivery); on budget exhaustion / cancellation the
   /// accounting covers whatever was simulated, with the status set.
+  ///
+  /// const so concurrent replicas (sim::run_replicas) can share one
+  /// simulation object: a run touches only its own local state.
   [[nodiscard]] NetworkResult run(std::uint64_t blocks, Rng& rng,
-                                  const robust::RunControl& control = {});
+                                  const robust::RunControl& control = {}) const;
 
  private:
   NetworkConfig config_;

@@ -2,9 +2,16 @@
 //
 //   bvc-cli submit  --port N [--file spec.json]   POST /v1/jobs (stdin
 //                                                 when --file is absent)
-//   bvc-cli status  <id> --port N                 GET /v1/jobs/<id>
+//   bvc-cli status  <id> --port N [--offset K]    GET /v1/jobs/<id>
+//                   [--limit M]                   (paginated when --offset
+//                                                 is given)
 //   bvc-cli result  <id> --port N [--timeout S]   poll until terminal, then
 //                                                 print the final snapshot
+//   bvc-cli tail    <id> --port N [--timeout S]   stream finished cells as
+//                                                 they complete (one JSON
+//                                                 record per line, via the
+//                                                 ?offset cursor), until
+//                                                 the job is terminal
 //   bvc-cli cancel  <id> --port N                 DELETE /v1/jobs/<id>
 //   bvc-cli list    --port N                      GET /v1/jobs
 //   bvc-cli metrics --port N                      GET /v1/metrics
@@ -92,17 +99,21 @@ int main(int argc, char** argv) {
       {"file", util::ArgType::kString, "PATH",
        "job spec JSON for `submit` (default: stdin)", ""},
       {"timeout", util::ArgType::kDouble, "S",
-       "`result`: give up after S seconds", "600"},
+       "`result`/`tail`: give up after S seconds", "600"},
       {"poll-ms", util::ArgType::kLong, "MS",
-       "`result`: poll interval in milliseconds", "200"},
+       "`result`/`tail`: poll interval in milliseconds", "200"},
+      {"offset", util::ArgType::kLong, "K",
+       "`status`: return records from completion position K onward", ""},
+      {"limit", util::ArgType::kLong, "M",
+       "`status`: page size when --offset is given", ""},
   });
   const CliArgs args = parser.parse(argc, argv);
 
   const std::vector<std::string>& positional = args.positional();
   if (positional.empty()) {
     std::fprintf(stderr,
-                 "bvc-cli: missing verb (submit|status|result|cancel|list|"
-                 "metrics|health|cache); run --help\n");
+                 "bvc-cli: missing verb (submit|status|result|tail|cancel|"
+                 "list|metrics|health|cache); run --help\n");
     return 2;
   }
   const std::string& verb = positional[0];
@@ -145,7 +156,62 @@ int main(int argc, char** argv) {
   }
   const std::string target = "/v1/jobs/" + positional[1];
   if (verb == "status") {
-    return print_response(fetch("GET", target));
+    const long offset = args.get_long("offset", -1);
+    const long limit = args.get_long("limit", -1);
+    std::string paged = target;
+    if (offset >= 0) {
+      paged += "?offset=" + std::to_string(offset);
+      if (limit >= 0) {
+        paged += "&limit=" + std::to_string(limit);
+      }
+    }
+    return print_response(fetch("GET", paged));
+  }
+  if (verb == "tail") {
+    // Follow the job via the pagination cursor: each poll asks for records
+    // from the last seen completion position, so every record is printed
+    // exactly once, as soon as it finishes.
+    const double timeout_seconds = args.get_double("timeout", 600.0);
+    const long poll_ms = args.get_long("poll-ms", 200);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_seconds);
+    long offset = 0;
+    while (true) {
+      const std::optional<svc::HttpResponse> response =
+          fetch("GET", target + "?offset=" + std::to_string(offset));
+      if (!response) {
+        std::fprintf(stderr, "bvc-cli: cannot reach bvcd\n");
+        return 3;
+      }
+      if (response->status >= 300) {
+        std::printf("%s\n", response->body.c_str());
+        return 1;
+      }
+      const std::optional<svc::Json> body = svc::Json::parse(response->body);
+      if (!body) {
+        std::fprintf(stderr, "bvc-cli: malformed response\n");
+        return 1;
+      }
+      if (const svc::Json* records = body->find("records");
+          records != nullptr && records->is_array()) {
+        for (const svc::Json& record : records->items()) {
+          std::printf("%s\n", record.dump().c_str());
+        }
+        std::fflush(stdout);
+      }
+      offset = static_cast<long>(body->number_or(
+          "next_offset", static_cast<double>(offset)));
+      const std::string state = body->string_or("state", "");
+      if (is_terminal_state(state)) {
+        return state == "done" ? 0 : 1;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "bvc-cli: timed out waiting for %s\n",
+                     positional[1].c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
   }
   if (verb == "cancel") {
     return print_response(fetch("DELETE", target));

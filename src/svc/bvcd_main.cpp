@@ -63,6 +63,9 @@ int main(int argc, char** argv) {
        "0"},
       {"max-cells", util::ArgType::kLong, "N",
        "reject jobs that expand to more than N cells", "4096"},
+      {"job-retention", util::ArgType::kLong, "N",
+       "keep at most N finished jobs, evicting the oldest (index entry + "
+       "cell journal); 0 = keep everything", "0"},
       {"max-wall-clock", util::ArgType::kDouble, "S",
        "cap every job's wall-clock budget at S seconds (default: uncapped)", ""},
       {"cache-bytes", util::ArgType::kLong, "N",
@@ -123,6 +126,12 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_long("concurrent-cells", 0));
   config.limits.max_cells =
       static_cast<std::size_t>(args.get_long("max-cells", 4096));
+  const long job_retention = args.get_long("job-retention", 0);
+  if (job_retention < 0) {
+    std::fprintf(stderr, "bvcd: --job-retention must be >= 0\n");
+    return 2;
+  }
+  config.job_retention = static_cast<std::size_t>(job_retention);
   config.limits.max_wall_clock_seconds = args.get_double(
       "max-wall-clock", std::numeric_limits<double>::infinity());
   if (!config.state_dir.empty()) {

@@ -115,12 +115,9 @@ bool read_request(int fd, HttpRequest& request, int& error_status) {
     return false;
   }
   request.method = request_line.substr(0, sp1);
+  // The query string stays in the target; the router splits it off (the
+  // jobs endpoint takes ?offset/&limit pagination parameters).
   request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Strip any query string; the API is path-addressed.
-  if (const std::size_t query = request.target.find('?');
-      query != std::string::npos) {
-    request.target.resize(query);
-  }
 
   // Content-Length (case-insensitive header match, first wins).
   std::size_t content_length = 0;

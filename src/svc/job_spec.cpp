@@ -306,6 +306,134 @@ bool parse_voting_cell(const Json& cell, counter::VotingJob& job,
   return true;
 }
 
+/// Flattened BU rule fields on a miner / relay object (absent = defaults).
+bool parse_bu_rule(const Json& object, chain::BuParams& rule,
+                   std::string& error) {
+  std::uint64_t eb = rule.eb;
+  std::uint64_t mg = rule.mg;
+  unsigned ad = rule.ad;
+  unsigned gate_period = rule.gate_period;
+  if (!read_u64(object, "eb", eb, error) ||
+      !read_u64(object, "mg", mg, error) ||
+      !read_unsigned(object, "ad", ad, error) ||
+      !read_unsigned(object, "gate_period", gate_period, error)) {
+    return false;
+  }
+  rule.eb = static_cast<chain::ByteSize>(eb);
+  rule.mg = static_cast<chain::ByteSize>(mg);
+  rule.ad = ad;
+  rule.gate_period = gate_period;
+  rule.sticky_gate = object.bool_or("sticky_gate", rule.sticky_gate);
+  return true;
+}
+
+/// The `net` object of a net-sim job -> sim::NetworkConfig. Structural
+/// checks here; the per-field semantic validation (positive powers /
+/// bandwidths / latencies, placements, ...) is NetworkConfig::validate(),
+/// surfaced through the API verbatim.
+bool parse_net_config(const Json& net, sim::NetworkConfig& config,
+                      std::string& error) {
+  if (!net.is_object()) {
+    error = "field 'net' must be an object";
+    return false;
+  }
+  if (!read_number(net, "block_interval", config.block_interval, error)) {
+    return false;
+  }
+  const Json* miners = net.find("miners");
+  if (miners == nullptr || !miners->is_array() || miners->size() == 0) {
+    error = "net requires a non-empty 'miners' array";
+    return false;
+  }
+  for (const Json& member : miners->items()) {
+    if (!member.is_object()) {
+      error = "each miner must be an object";
+      return false;
+    }
+    sim::NetMiner miner;
+    miner.name = member.string_or("name", "");
+    std::uint64_t block_size = miner.block_size;
+    if (!read_number(member, "power", miner.power, error) ||
+        !read_u64(member, "block_size", block_size, error) ||
+        !read_number(member, "bandwidth", miner.bandwidth, error) ||
+        !read_number(member, "latency", miner.latency, error) ||
+        !parse_bu_rule(member, miner.rule, error)) {
+      return false;
+    }
+    miner.block_size = static_cast<chain::ByteSize>(block_size);
+    config.miners.push_back(std::move(miner));
+  }
+  if (const Json* topology = net.find("topology"); topology != nullptr) {
+    if (!topology->is_object()) {
+      error = "field 'topology' must be an object";
+      return false;
+    }
+    const std::string type = topology->string_or("type", "random");
+    if (type == "random") {
+      sim::RandomTopologyConfig graph;
+      double nodes = 0.0;
+      double extra_degree = static_cast<double>(graph.extra_degree);
+      if (!read_number(*topology, "nodes", nodes, error) ||
+          !read_number(*topology, "extra_degree", extra_degree, error) ||
+          !read_u64(*topology, "seed", graph.seed, error)) {
+        return false;
+      }
+      if (nodes < 2.0 || nodes != std::floor(nodes) || nodes > 1e6) {
+        error = "topology 'nodes' must be an integer in [2, 1e6]";
+        return false;
+      }
+      graph.nodes = static_cast<std::size_t>(nodes);
+      graph.extra_degree = static_cast<std::size_t>(extra_degree);
+      config.topology = sim::random_topology(graph);
+    } else if (type == "hub-spoke") {
+      sim::HubSpokeConfig graph;
+      double nodes = 0.0;
+      double hubs = static_cast<double>(graph.hubs);
+      if (!read_number(*topology, "nodes", nodes, error) ||
+          !read_number(*topology, "hubs", hubs, error) ||
+          !read_u64(*topology, "seed", graph.seed, error)) {
+        return false;
+      }
+      if (nodes < 2.0 || nodes != std::floor(nodes) || nodes > 1e6) {
+        error = "topology 'nodes' must be an integer in [2, 1e6]";
+        return false;
+      }
+      graph.nodes = static_cast<std::size_t>(nodes);
+      graph.hubs = static_cast<std::size_t>(hubs);
+      config.topology = sim::hub_spoke_topology(graph);
+    } else {
+      error = "unknown topology type '" + type + "' (want random|hub-spoke)";
+      return false;
+    }
+    if (!parse_bu_rule(*topology, config.relay_rule, error)) {
+      return false;
+    }
+  }
+  if (const Json* placements = net.find("miner_nodes");
+      placements != nullptr) {
+    if (!placements->is_array()) {
+      error = "field 'miner_nodes' must be an array";
+      return false;
+    }
+    for (const Json& node : placements->items()) {
+      if (!node.is_number() || node.as_number() < 0.0 ||
+          node.as_number() != std::floor(node.as_number())) {
+        error = "miner_nodes entries must be non-negative integers";
+        return false;
+      }
+      config.miner_nodes.push_back(
+          static_cast<std::uint32_t>(node.as_number()));
+    }
+  }
+  config.relay.compact = net.bool_or("compact", false);
+  if (!read_number(net, "compact_overhead_bytes",
+                   config.relay.overhead_bytes, error) ||
+      !read_number(net, "compact_fraction", config.relay.fraction, error)) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string_view to_string(JobKind kind) noexcept {
@@ -313,6 +441,7 @@ std::string_view to_string(JobKind kind) noexcept {
     case JobKind::kBuAttack: return "bu-attack";
     case JobKind::kBtcSm: return "btc-sm";
     case JobKind::kCounterVoting: return "counter-voting";
+    case JobKind::kNetSim: return "net-sim";
   }
   return "unknown";
 }
@@ -322,6 +451,7 @@ std::size_t JobSpec::cells() const noexcept {
     case JobKind::kBuAttack: return bu_jobs_.size();
     case JobKind::kBtcSm: return sm_jobs_.size();
     case JobKind::kCounterVoting: return voting_jobs_.size();
+    case JobKind::kNetSim: return net_replicas_;
   }
   return 0;
 }
@@ -334,6 +464,8 @@ std::string JobSpec::cell_key(std::size_t i) const {
       return btc::sm_job_key(sm_jobs_[i]);
     case JobKind::kCounterVoting:
       return counter::voting_job_key(voting_jobs_[i]);
+    case JobKind::kNetSim:
+      return sim::replica_key(net_config_, net_blocks_, net_seed_, i);
   }
   return {};
 }
@@ -364,6 +496,12 @@ robust::CheckpointRecord JobSpec::solve(
           counter::run_voting_simulation(job.config, job.epochs, rng, solver);
       return counter::voting_record(cell_key(i), result);
     }
+    case JobKind::kNetSim: {
+      bvc::Rng rng(sim::replica_seed(net_seed_, i));
+      const sim::NetworkResult result =
+          net_sim_->run(net_blocks_, rng, control);
+      return sim::sim_record(cell_key(i), result);
+    }
   }
   return {};
 }
@@ -381,6 +519,10 @@ bool JobSpec::validate_record(const robust::CheckpointRecord& record) const {
     case JobKind::kCounterVoting: {
       counter::VotingSimResult result;
       return counter::voting_restore(record, result);
+    }
+    case JobKind::kNetSim: {
+      sim::NetworkResult result;
+      return sim::sim_restore(record, result);
     }
   }
   return false;
@@ -407,9 +549,11 @@ std::unique_ptr<JobSpec> JobSpec::parse(const Json& body,
     spec->kind_ = JobKind::kBtcSm;
   } else if (kind == "counter-voting") {
     spec->kind_ = JobKind::kCounterVoting;
+  } else if (kind == "net-sim") {
+    spec->kind_ = JobKind::kNetSim;
   } else {
     error = "unknown job kind '" + kind +
-            "' (want bu-attack|btc-sm|counter-voting)";
+            "' (want bu-attack|btc-sm|counter-voting|net-sim)";
     return nullptr;
   }
 
@@ -456,6 +600,61 @@ std::unique_ptr<JobSpec> JobSpec::parse(const Json& body,
       return nullptr;
     }
     spec->bu_options_.tolerance = tolerance;
+  }
+
+  if (spec->kind_ == JobKind::kNetSim) {
+    // net-sim jobs have no cells/grid: the cell list is `replicas`
+    // independent replicas of one `net` configuration.
+    if (body.find("cells") != nullptr || body.find("grid") != nullptr) {
+      error = "net-sim jobs take a 'net' object, not 'cells'/'grid'";
+      return nullptr;
+    }
+    const Json* net = body.find("net");
+    if (net == nullptr) {
+      error = "net-sim job requires a 'net' object";
+      return nullptr;
+    }
+    if (!read_u64(body, "blocks", spec->net_blocks_, error) ||
+        !read_u64(body, "seed", spec->net_seed_, error)) {
+      return nullptr;
+    }
+    if (spec->net_blocks_ == 0) {
+      error = "field 'blocks' must be a positive integer";
+      return nullptr;
+    }
+    double replicas = static_cast<double>(spec->net_replicas_);
+    if (!read_number(body, "replicas", replicas, error)) {
+      return nullptr;
+    }
+    if (replicas < 1.0 || replicas != std::floor(replicas) ||
+        replicas > 1e6) {
+      error = "field 'replicas' must be a positive integer";
+      return nullptr;
+    }
+    spec->net_replicas_ = static_cast<std::size_t>(replicas);
+    if (!parse_net_config(*net, spec->net_config_, error)) {
+      return nullptr;
+    }
+    try {
+      // Constructing the simulation runs NetworkConfig::validate(): its
+      // per-field messages (miners[i].power, topology placements, fault
+      // windows, ...) go back to the client verbatim.
+      spec->net_sim_ = std::make_shared<const sim::NetworkSimulation>(
+          spec->net_config_);
+    } catch (const std::invalid_argument& e) {
+      error = e.what();
+      return nullptr;
+    }
+    if (spec->cells() > limits.max_cells) {
+      status = 413;
+      error = "job expands to " + std::to_string(spec->cells()) +
+              " cells, above the admission limit of " +
+              std::to_string(limits.max_cells);
+      return nullptr;
+    }
+    status = 200;
+    error.clear();
+    return spec;
   }
 
   const Json* cells = body.find("cells");
@@ -511,6 +710,8 @@ std::unique_ptr<JobSpec> JobSpec::parse(const Json& body,
           spec->voting_jobs_.push_back(std::move(job));
           break;
         }
+        case JobKind::kNetSim:
+          break;  // returned above; net-sim has no cells array
       }
     }
   }

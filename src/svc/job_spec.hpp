@@ -1,20 +1,23 @@
 // Wire-level job specifications for the bvcd solve service.
 //
-// A job is a JSON document naming a KIND (one of the repo's three batch
+// A job is a JSON document naming a KIND (one of the repo's four batch
 // families) plus either an explicit `cells` array or a `grid` object that
 // expands into cells; each cell is one independent solve in the batch
-// engine. The three kinds map 1:1 onto the existing batch adapters:
+// engine. The kinds map 1:1 onto the existing batch adapters:
 //
 //   "bu-attack"       -> bu::AnalysisJob    (Tables 2-4 cells)
 //   "btc-sm"          -> btc::SmJob         (Bitcoin baseline cells)
 //   "counter-voting"  -> counter::VotingJob (countermeasure simulations)
+//   "net-sim"         -> sim::run_replicas  (network-simulation replicas;
+//                         one cell per replica, `net` object + blocks/seed/
+//                         replicas, see docs/SIMULATION.md)
 //
 // Results and persistence deliberately REUSE the checkpoint layer's cell
 // serialization (bu::analysis_record / btc::sm_record /
-// counter::voting_record and their *_restore counterparts) as the wire
-// format: a cell's canonical key + named values is exactly what the
-// journal stores, what the API returns, and what a restarted daemon
-// resumes from — one schema, three consumers.
+// counter::voting_record / sim::sim_record and their *_restore
+// counterparts) as the wire format: a cell's canonical key + named values
+// is exactly what the journal stores, what the API returns, and what a
+// restarted daemon resumes from — one schema, four consumers.
 //
 // Parsing is strict: unknown kinds, missing required fields, non-finite
 // numbers, and grids above the admission limit are rejected with an HTTP
@@ -31,11 +34,12 @@
 #include "counter/voting_simulation.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/run_control.hpp"
+#include "sim/replicas.hpp"
 #include "svc/json.hpp"
 
 namespace bvc::svc {
 
-enum class JobKind { kBuAttack, kBtcSm, kCounterVoting };
+enum class JobKind { kBuAttack, kBtcSm, kCounterVoting, kNetSim };
 
 [[nodiscard]] std::string_view to_string(JobKind kind) noexcept;
 
@@ -94,6 +98,13 @@ class JobSpec {
   bu::AnalysisOptions bu_options_;
   std::vector<btc::SmJob> sm_jobs_;
   std::vector<counter::VotingJob> voting_jobs_;
+  // net-sim: one simulation shared by every replica cell (run() is const;
+  // shared_ptr keeps the spec movable). Cell i is replica i of the config.
+  std::shared_ptr<const sim::NetworkSimulation> net_sim_;
+  sim::NetworkConfig net_config_;
+  std::uint64_t net_blocks_ = 1000;
+  std::uint64_t net_seed_ = 42;
+  std::size_t net_replicas_ = 1;
 };
 
 }  // namespace bvc::svc

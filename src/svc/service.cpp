@@ -66,6 +66,36 @@ std::optional<JobState> state_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+/// Value of `name` in a query string ("offset=3&limit=2"), or nullopt.
+/// Values must be plain non-negative integers; anything else is malformed.
+std::optional<std::size_t> query_param(const std::string& query,
+                                       std::string_view name,
+                                       bool& malformed) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string_view pair =
+        std::string_view(query).substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || pair.substr(0, eq) != name) {
+      continue;
+    }
+    const std::string_view value = pair.substr(eq + 1);
+    if (value.empty() || value.size() > 12 ||
+        value.find_first_not_of("0123456789") != std::string_view::npos) {
+      malformed = true;
+      return std::nullopt;
+    }
+    return static_cast<std::size_t>(
+        std::strtoull(std::string(value).c_str(), nullptr, 10));
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view to_string(JobState state) noexcept {
@@ -112,7 +142,14 @@ std::vector<std::string> SolveService::endpoints() {
 }
 
 HttpResponse SolveService::route(const HttpRequest& request) {
-  const std::string& target = request.target;
+  // Split the query string off the path; only GET /v1/jobs/<id> reads it.
+  std::string target = request.target;
+  std::string query;
+  if (const std::size_t mark = target.find('?');
+      mark != std::string::npos) {
+    query = target.substr(mark + 1);
+    target.resize(mark);
+  }
   if (target == "/v1/jobs") {
     if (request.method == "POST") {
       return submit(request);
@@ -128,7 +165,7 @@ HttpResponse SolveService::route(const HttpRequest& request) {
       return error_response(404, "no such job");
     }
     if (request.method == "GET") {
-      return job_status(id);
+      return job_status(id, query);
     }
     if (request.method == "DELETE") {
       return cancel_job(id);
@@ -208,7 +245,19 @@ HttpResponse SolveService::list_jobs() {
   return json_response(200, Json::object().set("jobs", std::move(items)));
 }
 
-HttpResponse SolveService::job_status(const std::string& id) {
+HttpResponse SolveService::job_status(const std::string& id,
+                                      const std::string& query) {
+  bool malformed = false;
+  const std::optional<std::size_t> offset =
+      query_param(query, "offset", malformed);
+  const std::optional<std::size_t> limit =
+      query_param(query, "limit", malformed);
+  if (malformed) {
+    return error_response(400,
+                          "query parameters 'offset'/'limit' must be "
+                          "non-negative integers");
+  }
+
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) {
@@ -225,12 +274,30 @@ HttpResponse SolveService::job_status(const std::string& id) {
   if (!job.failure.empty()) {
     out.set("failure", Json::string(job.failure));
   }
-  // Finished cells in input order — a poll during the run sees a growing
-  // prefix-free subset (whatever has completed), i.e. streamed partials.
   Json records = Json::array();
-  for (std::size_t i = 0; i < job.records.size(); ++i) {
-    if (job.finished[i]) {
-      records.push_back(record_json(job.records[i]));
+  if (offset) {
+    // Paginated: the slice of the append-only completion order starting at
+    // *offset. Positions never shift, so a tailing client resumes exactly
+    // where its last page ended (next_offset).
+    std::size_t end = job.completion_order.size();
+    if (limit && *offset + *limit < end) {
+      end = *offset + *limit;
+    }
+    for (std::size_t pos = *offset;
+         pos < end && pos < job.completion_order.size(); ++pos) {
+      records.push_back(record_json(job.records[job.completion_order[pos]]));
+    }
+    const std::size_t served = std::min(*offset, job.completion_order.size());
+    out.set("offset", Json::number(static_cast<double>(served)));
+    out.set("next_offset",
+            Json::number(static_cast<double>(std::max(served, end))));
+  } else {
+    // Unpaginated (legacy): every finished cell in input order — a poll
+    // during the run sees a growing subset, i.e. streamed partials.
+    for (std::size_t i = 0; i < job.records.size(); ++i) {
+      if (job.finished[i]) {
+        records.push_back(record_json(job.records[i]));
+      }
     }
   }
   out.set("records", std::move(records));
@@ -356,6 +423,7 @@ void SolveService::run_job(Job* job) {
         const std::lock_guard<std::mutex> lock(mutex_);
         job->records[i] = record;
         job->finished[i] = true;
+        job->completion_order.push_back(i);
         ++job->completed;
         ++job->resumed;
         return true;
@@ -386,6 +454,7 @@ void SolveService::run_job(Job* job) {
       const std::lock_guard<std::mutex> lock(mutex_);
       job->records[i] = std::move(record);
       job->finished[i] = true;
+      job->completion_order.push_back(i);
       ++job->completed;
       return status;
     };
@@ -412,7 +481,64 @@ void SolveService::run_job(Job* job) {
     job->failure = e.what();
     persist_index_locked();
   }
+  // This job just went terminal: trim older terminal jobs beyond the
+  // retention cap. `job` itself is protected (the newest terminal job must
+  // survive, and a worker cannot join itself).
+  enforce_retention(job->id);
   idle_cv_.notify_all();
+}
+
+void SolveService::enforce_retention(const std::string& protect_id) {
+  if (config_.job_retention == 0) {
+    return;
+  }
+  const std::size_t keep = std::max<std::size_t>(1, config_.job_retention);
+  // Evicted jobs are MOVED out (not destroyed) under the lock, their worker
+  // threads joined outside it, and the Job objects destroyed only after the
+  // join — a just-finished worker may still be in its run_job tail, so
+  // destroying its Job before the join would be a use-after-free.
+  std::vector<std::unique_ptr<Job>> evicted;
+  std::vector<std::string> journals;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t terminal = 0;
+    for (const std::string& id : order_) {
+      if (is_terminal(jobs_.at(id)->state)) {
+        ++terminal;
+      }
+    }
+    if (terminal <= keep) {
+      return;
+    }
+    std::size_t to_evict = terminal - keep;
+    std::vector<std::string> kept;
+    kept.reserve(order_.size());
+    for (const std::string& id : order_) {
+      const auto it = jobs_.find(id);
+      if (to_evict > 0 && id != protect_id && is_terminal(it->second->state)) {
+        if (!config_.state_dir.empty()) {
+          journals.push_back(journal_path(id));
+        }
+        evicted.push_back(std::move(it->second));
+        jobs_.erase(it);
+        --to_evict;
+      } else {
+        kept.push_back(id);
+      }
+    }
+    order_ = std::move(kept);
+    persist_index_locked();
+  }
+  for (const std::unique_ptr<Job>& job : evicted) {
+    if (job->worker.joinable()) {
+      job->worker.join();
+    }
+  }
+  evicted.clear();
+  for (const std::string& path : journals) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
 }
 
 void SolveService::persist_index_locked() {
@@ -502,6 +628,7 @@ void SolveService::restore_jobs() {
         if (record != nullptr && owned->spec->validate_record(*record)) {
           owned->records[i] = *record;
           owned->finished[i] = true;
+          owned->completion_order.push_back(i);
           ++owned->completed;
           ++owned->resumed;
         }
@@ -543,6 +670,7 @@ void SolveService::restore_jobs() {
       job->completed = 0;
       job->resumed = 0;
       job->finished.assign(job->spec->cells(), false);
+      job->completion_order.clear();
       for (robust::CheckpointRecord& record : job->records) {
         record = robust::CheckpointRecord{};
       }
@@ -550,6 +678,9 @@ void SolveService::restore_jobs() {
       job->worker = std::thread([this, job] { run_job(job); });
     }
   }
+  // A restarted daemon may load more terminal jobs than its own retention
+  // allows (e.g. the cap was lowered): trim immediately.
+  enforce_retention();
 }
 
 void SolveService::acquire_cell_slot() {

@@ -14,6 +14,14 @@
 //                         the records of every FINISHED cell so far —
 //                         polling this while the job runs streams partial
 //                         results in completion order
+//   GET    /v1/jobs/<id>?offset=K
+//                         paginated results: the records that finished at
+//                         completion positions [K, K+limit) plus a
+//                         "next_offset" cursor. Completion positions are
+//                         append-only and stable across polls, so a client
+//                         can TAIL a running job (bvc-cli result --follow)
+//                         without re-downloading earlier records. An
+//                         optional &limit=N bounds the page size.
 //   DELETE /v1/jobs/<id>  cancel: fires the job's root CancelToken; the
 //                         batch engine stops picking up cells and
 //                         in-flight solves observe the linked token
@@ -64,6 +72,12 @@ struct ServiceConfig {
   int threads = 1;
   /// Cells solving concurrently across ALL jobs; 0 = unlimited.
   int max_concurrent_cells = 0;
+  /// Keep at most N terminal jobs (bounded index/journal growth on a
+  /// long-running daemon): when a job reaches a terminal state, the OLDEST
+  /// terminal jobs beyond the newest N are evicted — dropped from the
+  /// index and their journals deleted. 0 = keep everything. Values are
+  /// clamped to >= 1 so a job can never evict itself as it finishes.
+  std::size_t job_retention = 0;
   JobLimits limits;
 };
 
@@ -106,6 +120,9 @@ class SolveService {
     /// Input-ordered finished-cell records; empty slots = not finished.
     std::vector<robust::CheckpointRecord> records;
     std::vector<bool> finished;
+    /// Cell indices in the order they finished — append-only, so
+    /// ?offset=K pagination positions stay stable across polls.
+    std::vector<std::size_t> completion_order;
     std::size_t completed = 0;
     std::size_t resumed = 0;
     std::string failure;  ///< what() of the exception that failed the job
@@ -115,13 +132,19 @@ class SolveService {
   // Endpoint handlers (called with mutex_ NOT held).
   HttpResponse submit(const HttpRequest& request);
   HttpResponse list_jobs();
-  HttpResponse job_status(const std::string& id);
+  HttpResponse job_status(const std::string& id, const std::string& query);
   HttpResponse cancel_job(const std::string& id);
   HttpResponse healthz();
   HttpResponse metrics();
   HttpResponse cache_stats();
 
   void run_job(Job* job);
+  /// Retention GC: evicts the oldest terminal jobs beyond
+  /// config_.job_retention (index entry + journal file). The evicted
+  /// workers' threads are joined OUTSIDE the lock (a worker epilogue takes
+  /// mutex_, so joining under it would deadlock), and `protect_id` — the
+  /// job whose own worker is calling — is never evicted (self-join).
+  void enforce_retention(const std::string& protect_id = "");
   /// Rewrites the job index (jobs.jsonl) atomically. Caller holds mutex_.
   void persist_index_locked();
   /// Loads the index + journals and restarts incomplete jobs.

@@ -247,20 +247,23 @@ TEST(ModelCacheEviction, HitRefreshRescuesEntryFromEviction) {
   // GreedyDual-Size recency: once an eviction advances the clock, touching
   // an entry re-bases its priority on the new clock. Costs (in ms busy-wait)
   // are ordered so every victim choice is deterministic:
-  //   insert a=5, b=20, c=10; cap forces one eviction -> a (min H = 5),
-  //   clock becomes 5. Touch c: H_c = 5 + 10 = 15. Insert d=7: H_d = 12,
-  //   the new minimum -> d evicts itself, the touched c survives. Without
-  //   the touch c (H = 10) would have been the victim.
+  //   insert a=50, b=200, c=100; cap forces one eviction -> a (min H = 50),
+  //   clock becomes 50. Touch c: H_c = 50 + 100 = 150. Insert d=70:
+  //   H_d = 120, the new minimum -> d evicts itself, the touched c
+  //   survives. Without the touch c (H = 100) would have been the victim.
+  //   The gaps are tens of ms so scheduler preemption of the busy-wait
+  //   (the costs are wall-clock-measured) cannot reorder the victims
+  //   when the suite runs under full parallel load.
   mdp::ModelCache cache;
   const std::size_t per_model =
       mdp::CompiledModel::compile_shared(chain_model(8))->bytes_resident();
   cache.set_capacity_bytes(2 * per_model);
-  (void)cache.get_or_compile("a", costing(5));
-  (void)cache.get_or_compile("b", costing(20));
-  (void)cache.get_or_compile("c", costing(10));
+  (void)cache.get_or_compile("a", costing(50));
+  (void)cache.get_or_compile("b", costing(200));
+  (void)cache.get_or_compile("c", costing(100));
   EXPECT_EQ(cache.find("a"), nullptr);  // cheapest of the first generation
-  (void)cache.get_or_compile("c", costing(10));  // hit: re-base on the clock
-  (void)cache.get_or_compile("d", costing(7));
+  (void)cache.get_or_compile("c", costing(100));  // hit: re-base on the clock
+  (void)cache.get_or_compile("d", costing(70));
   EXPECT_EQ(cache.find("d"), nullptr);
   EXPECT_NE(cache.find("b"), nullptr);
   EXPECT_NE(cache.find("c"), nullptr);

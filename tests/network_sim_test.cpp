@@ -157,11 +157,30 @@ TEST(NetworkSimValidation, RejectsPowersNotSummingToOne) {
   EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
 }
 
-TEST(NetworkSimValidation, AcceptsZeroPowerMiner) {
+TEST(NetworkSimValidation, RejectsNonPositivePower) {
+  // A zero-power miner would never mine yet still occupy a categorical
+  // slot; the validation names the offending miner.
   NetworkConfig config = valid_pair();
   config.miners[0].power = 0.0;
   config.miners[1].power = 1.0;
-  EXPECT_NO_THROW(NetworkSimulation{config});
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  try {
+    NetworkSimulation simulation(config);
+    FAIL() << "zero power must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("miners[0].power"),
+              std::string::npos);
+  }
+}
+
+TEST(NetworkSimValidation, RejectsEmptyMinerList) {
+  NetworkConfig config;
+  try {
+    NetworkSimulation simulation(config);
+    FAIL() << "an empty miner list must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("miners"), std::string::npos);
+  }
 }
 
 TEST(NetworkSimValidation, RejectsNonPositiveBandwidth) {
@@ -169,12 +188,20 @@ TEST(NetworkSimValidation, RejectsNonPositiveBandwidth) {
   config.miners[1].bandwidth = 0.0;
   EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
   config.miners[1].bandwidth = -1e6;
-  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  try {
+    NetworkSimulation simulation(config);
+    FAIL() << "negative bandwidth must be rejected";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("miners[1].bandwidth"),
+              std::string::npos);
+  }
 }
 
-TEST(NetworkSimValidation, RejectsNegativeLatency) {
+TEST(NetworkSimValidation, RejectsNonPositiveLatency) {
   NetworkConfig config = valid_pair();
   config.miners[0].latency = -0.5;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.miners[0].latency = 0.0;
   EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
 }
 
@@ -189,6 +216,91 @@ TEST(NetworkSimValidation, RejectsNonPositiveBlockInterval) {
 TEST(NetworkSimValidation, RejectsInvalidFaultPlan) {
   NetworkConfig config = valid_pair();
   config.faults.link.drop_probability = 1.5;
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+}
+
+// ------------------------------------------------- multi-hop relay mode ---
+
+NetworkConfig relay_config(std::size_t nodes) {
+  NetworkConfig config = valid_pair();
+  RandomTopologyConfig graph;
+  graph.nodes = nodes;
+  graph.seed = 99;
+  config.topology = random_topology(graph);
+  return config;
+}
+
+TEST(NetworkSimRelay, ConservesBlocksAndGossips) {
+  NetworkConfig config = relay_config(24);
+  NetworkSimulation simulation(config);
+  Rng rng(21);
+  const NetworkResult result = simulation.run(500, rng);
+  EXPECT_EQ(result.blocks_mined, 500u);
+  EXPECT_EQ(result.canonical_length + result.orphaned_blocks, 500u);
+  // Multi-hop gossip must actually relay: strictly more copies than the
+  // direct mode's (n-1) per block.
+  EXPECT_GT(result.relayed_messages, 500u * 2);
+  EXPECT_EQ(result.status, robust::RunStatus::kConverged);
+}
+
+TEST(NetworkSimRelay, HubSpokeRuns) {
+  NetworkConfig config = valid_pair();
+  HubSpokeConfig graph;
+  graph.nodes = 30;
+  graph.hubs = 3;
+  config.topology = hub_spoke_topology(graph);
+  config.miner_nodes = {5, 17};  // miners on spokes, not hubs
+  NetworkSimulation simulation(config);
+  Rng rng(22);
+  const NetworkResult result = simulation.run(400, rng);
+  EXPECT_EQ(result.blocks_mined, 400u);
+  EXPECT_EQ(result.canonical_length + result.orphaned_blocks, 400u);
+}
+
+TEST(NetworkSimRelay, CompactRelayReducesOrphans) {
+  // Thin/expedited-style relay shrinks wire bytes, so large blocks
+  // propagate mostly latency-bound and orphan less.
+  NetworkConfig slow = valid_pair();
+  slow.miners[0].block_size = 8 * kMegabyte;
+  slow.miners[1].block_size = 8 * kMegabyte;
+  RandomTopologyConfig graph;
+  graph.nodes = 16;
+  graph.bandwidth = {5e4, 1e5};  // thin pipes: full blocks take ~100 s/hop
+  graph.seed = 7;
+  slow.topology = random_topology(graph);
+  NetworkConfig compact = slow;
+  compact.relay.compact = true;
+
+  Rng rng_full(23);
+  Rng rng_compact(23);
+  const NetworkResult full =
+      NetworkSimulation(slow).run(3000, rng_full);
+  const NetworkResult thin =
+      NetworkSimulation(compact).run(3000, rng_compact);
+  EXPECT_LT(thin.orphan_rate(), full.orphan_rate());
+}
+
+TEST(NetworkSimRelay, ValidatesTopologyPlacement) {
+  NetworkConfig config = relay_config(8);
+  config.miner_nodes = {1};  // must name one node per miner
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.miner_nodes = {1, 1};  // distinct nodes
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.miner_nodes = {1, 9};  // out of range
+  EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
+  config.miner_nodes = {1, 7};
+  EXPECT_NO_THROW(NetworkSimulation{config});
+
+  NetworkConfig direct = valid_pair();
+  direct.miner_nodes = {0, 1};  // placements require a topology
+  EXPECT_THROW(NetworkSimulation{direct}, std::invalid_argument);
+}
+
+TEST(NetworkSimRelay, FaultPlanIndicesCoverTopologyNodes) {
+  NetworkConfig config = relay_config(8);
+  config.faults.crashes.push_back({7, 0.0, 100.0});  // node 7 exists
+  EXPECT_NO_THROW(NetworkSimulation{config});
+  config.faults.crashes.back().node = 8;  // out of range
   EXPECT_THROW(NetworkSimulation{config}, std::invalid_argument);
 }
 

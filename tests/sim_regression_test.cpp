@@ -1,0 +1,207 @@
+// Fixed-seed regression vectors for the discrete-event simulation layer.
+//
+// These values were captured from the pre-engine (hand-rolled loop)
+// simulators and must stay bit-identical: the EventEngine lowering preserves
+// the legacy draw order, event ordering, and tie-breaking exactly, and the
+// post-run `rng.next_u64()` probes pin the RNG stream position too.
+#include <gtest/gtest.h>
+
+#include "bu/attack_analysis.hpp"
+#include "sim/attack_scenario.hpp"
+#include "sim/fork_simulation.hpp"
+#include "sim/network_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bvc;
+using namespace bvc::sim;
+
+void expect_miner(const NetworkResult& result, std::size_t i,
+                  std::uint64_t mined, std::uint64_t locked,
+                  std::uint64_t orphaned) {
+  EXPECT_EQ(result.mined_per_miner[i], mined) << "miner " << i;
+  EXPECT_EQ(result.locked_per_miner[i], locked) << "miner " << i;
+  EXPECT_EQ(result.orphaned_per_miner[i], orphaned) << "miner " << i;
+}
+
+TEST(SimRegression, NetworkHeterogeneousNoFaults) {
+  NetworkConfig config;
+  config.miners.push_back({"a", 0.3, {}, 1 * chain::kMegabyte, 1e6, 0.5});
+  config.miners.push_back({"b", 0.5, {}, 8 * chain::kMegabyte, 2e5, 2.0});
+  config.miners.push_back({"c", 0.2, {}, 4 * chain::kMegabyte, 5e5, 1.0});
+  for (auto& m : config.miners) {
+    m.rule.eb = 32 * chain::kMegabyte;
+    m.rule.mg = 32 * chain::kMegabyte;
+    m.rule.ad = 6;
+  }
+  NetworkSimulation net(config);
+  Rng rng(123);
+  const NetworkResult r = net.run(4000, rng);
+  EXPECT_EQ(r.blocks_mined, 4000u);
+  EXPECT_DOUBLE_EQ(r.duration, 2400121.5124724312);
+  EXPECT_EQ(r.canonical_length, 3967u);
+  EXPECT_EQ(r.orphaned_blocks, 33u);
+  EXPECT_EQ(r.status, robust::RunStatus::kConverged);
+  EXPECT_EQ(r.dropped_messages, 0u);
+  EXPECT_EQ(r.duplicated_messages, 0u);
+  EXPECT_EQ(r.deferred_deliveries, 0u);
+  EXPECT_EQ(r.wasted_finds, 0u);
+  expect_miner(r, 0, 1201, 1194, 7);
+  expect_miner(r, 1, 1974, 1957, 17);
+  expect_miner(r, 2, 825, 816, 9);
+  EXPECT_EQ(rng.next_u64(), 5977496327026379970ull);
+}
+
+TEST(SimRegression, NetworkWithFaultPlan) {
+  NetworkConfig config;
+  config.miners.push_back({"a", 0.25, {}, 1 * chain::kMegabyte, 1e6, 0.5});
+  config.miners.push_back({"b", 0.25, {}, 2 * chain::kMegabyte, 4e5, 1.5});
+  config.miners.push_back({"c", 0.5, {}, 4 * chain::kMegabyte, 6e5, 1.0});
+  for (auto& m : config.miners) {
+    m.rule.eb = 32 * chain::kMegabyte;
+    m.rule.mg = 32 * chain::kMegabyte;
+    m.rule.ad = 6;
+  }
+  config.faults.link.drop_probability = 0.10;
+  config.faults.link.duplicate_probability = 0.05;
+  config.faults.link.jitter_seconds = 3.0;
+  config.faults.crashes.push_back({1, 50'000.0, 120'000.0});
+  config.faults.partitions.push_back({{2}, 300'000.0, 360'000.0});
+  NetworkSimulation net(config);
+  Rng rng(7);
+  const NetworkResult r = net.run(3000, rng);
+  EXPECT_EQ(r.blocks_mined, 3000u);
+  EXPECT_DOUBLE_EQ(r.duration, 1773032.7366326537);
+  EXPECT_EQ(r.canonical_length, 1446u);
+  EXPECT_EQ(r.orphaned_blocks, 1554u);
+  EXPECT_EQ(r.dropped_messages, 595u);
+  EXPECT_EQ(r.duplicated_messages, 260u);
+  EXPECT_EQ(r.deferred_deliveries, 224u);
+  EXPECT_EQ(r.wasted_finds, 28u);
+  expect_miner(r, 0, 806, 3, 803);
+  expect_miner(r, 1, 751, 0, 751);
+  expect_miner(r, 2, 1443, 1443, 0);
+  EXPECT_EQ(rng.next_u64(), 18010593262761697117ull);
+}
+
+TEST(SimRegression, NetworkValidityFork) {
+  NetworkConfig config;
+  NetMiner small;
+  small.power = 0.5;
+  small.rule.eb = 1 * chain::kMegabyte;
+  small.rule.mg = 32 * chain::kMegabyte;
+  small.rule.ad = 4;
+  small.block_size = 1 * chain::kMegabyte;
+  small.bandwidth = 1e6;
+  small.latency = 0.01;
+  NetMiner big = small;
+  big.rule.eb = 8 * chain::kMegabyte;
+  big.block_size = 8 * chain::kMegabyte;
+  config.miners = {small, big};
+  NetworkSimulation net(config);
+  Rng rng(77);
+  const NetworkResult r = net.run(2000, rng);
+  EXPECT_EQ(r.blocks_mined, 2000u);
+  EXPECT_DOUBLE_EQ(r.duration, 1249654.554313689);
+  EXPECT_EQ(r.canonical_length, 1994u);
+  EXPECT_EQ(r.orphaned_blocks, 6u);
+  expect_miner(r, 0, 994, 988, 6);
+  expect_miner(r, 1, 1006, 1006, 0);
+  EXPECT_EQ(rng.next_u64(), 1508597469776837043ull);
+}
+
+TEST(SimRegression, ForkSimulation) {
+  ForkSimConfig config;
+  const auto add = [&](double power, chain::ByteSize eb,
+                       chain::ByteSize size) {
+    SimMiner m;
+    m.power = power;
+    m.rule.eb = eb;
+    m.rule.mg = 8 * chain::kMegabyte;
+    m.rule.ad = 3;
+    m.block_size = size;
+    config.miners.push_back(m);
+  };
+  add(0.4, 1 * chain::kMegabyte, 1 * chain::kMegabyte);
+  add(0.3, 1 * chain::kMegabyte, 1 * chain::kMegabyte);
+  add(0.2, 8 * chain::kMegabyte, 8 * chain::kMegabyte);
+  add(0.1, 8 * chain::kMegabyte, 8 * chain::kMegabyte);
+  ForkSimulation fork(config);
+  Rng rng(11);
+  const ForkSimResult r = fork.run(20'000, rng);
+  EXPECT_EQ(r.blocks_mined, 20000u);
+  EXPECT_EQ(r.fork_episodes, 1u);
+  EXPECT_EQ(r.steps_disagreeing, 2u);
+  EXPECT_EQ(r.max_fork_depth, 2u);
+  EXPECT_EQ(r.orphaned_blocks, 0u);
+  EXPECT_EQ(r.status, robust::RunStatus::kConverged);
+  const std::vector<std::uint64_t> locked = {7979, 6020, 4006, 1995};
+  EXPECT_EQ(r.locked_per_miner, locked);
+  EXPECT_EQ(rng.next_u64(), 7770806051643308127ull);
+}
+
+TEST(SimRegression, AttackScenarioRandomPolicy) {
+  bu::AttackParams params;
+  params.alpha = 0.2;
+  params.beta = 0.4;
+  params.gamma = 0.4;
+  params.setting = bu::Setting::kStickyGate;
+  params.ad = 4;
+  params.gate_period = 6;
+  const bu::AttackModel model =
+      bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+  mdp::Policy policy;
+  policy.action.resize(model.space.size());
+  Rng prng(5);
+  for (mdp::StateId id = 0; id < model.space.size(); ++id) {
+    policy.action[id] = static_cast<std::uint32_t>(
+        prng.next_below(model.model.num_actions(id)));
+  }
+  ScenarioOptions options;
+  options.check_against_model = true;
+  options.reroot_threshold = 16;
+  AttackScenarioSim simulator(model, options);
+  Rng rng(31337);
+  const ScenarioResult r = simulator.run(policy, 40'000, rng);
+  EXPECT_EQ(r.steps, 40000u);
+  EXPECT_DOUBLE_EQ(r.utility_estimate, 0.20022499999999999);
+  EXPECT_DOUBLE_EQ(r.totals.alice_locked, 8009.0);
+  EXPECT_DOUBLE_EQ(r.totals.others_locked, 31991.0);
+  EXPECT_DOUBLE_EQ(r.totals.alice_orphaned, 0.0);
+  EXPECT_DOUBLE_EQ(r.totals.others_orphaned, 0.0);
+  EXPECT_EQ(r.forks_started, 0u);
+  EXPECT_EQ(r.status, robust::RunStatus::kConverged);
+  EXPECT_EQ(rng.next_u64(), 3728820717351235316ull);
+}
+
+TEST(SimRegression, AttackScenarioOptimalPolicy) {
+  bu::AttackParams params;
+  params.alpha = 0.25;
+  params.beta = 0.375;
+  params.gamma = 0.375;
+  params.setting = bu::Setting::kNoStickyGate;
+  params.ad = 6;
+  const bu::AttackModel model =
+      bu::build_attack_model(params, bu::Utility::kRelativeRevenue);
+  const bu::AnalysisResult analysis = bu::analyze(model);
+  ScenarioOptions options;
+  options.check_against_model = true;
+  AttackScenarioSim simulator(model, options);
+  Rng rng(20170417);
+  const ScenarioResult r = simulator.run(analysis.policy, 100'000, rng);
+  EXPECT_EQ(r.steps, 100000u);
+  EXPECT_DOUBLE_EQ(r.utility_estimate, 0.26102895178039687);
+  EXPECT_DOUBLE_EQ(r.totals.alice_locked, 20863.0);
+  EXPECT_DOUBLE_EQ(r.totals.others_locked, 59063.0);
+  EXPECT_DOUBLE_EQ(r.totals.alice_orphaned, 4103.0);
+  EXPECT_DOUBLE_EQ(r.totals.others_orphaned, 15971.0);
+  EXPECT_DOUBLE_EQ(r.totals.double_spend, 20690.0);
+  EXPECT_EQ(r.forks_started, 9789u);
+  EXPECT_EQ(r.chain1_wins, 2846u);
+  EXPECT_EQ(r.chain2_wins, 6943u);
+  EXPECT_EQ(r.double_spend_events, 1580u);
+  EXPECT_EQ(rng.next_u64(), 838368486849157976ull);
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "btc/selfish_mining.hpp"
 #include "bu/attack_analysis.hpp"
 #include "counter/voting_simulation.hpp"
+#include "sim/replicas.hpp"
 #include "svc/http.hpp"
 #include "svc/json.hpp"
 #include "util/rng.hpp"
@@ -342,6 +344,230 @@ TEST(SvcServicePersistence, RestartResumesIncompleteJobs) {
     EXPECT_EQ(snapshot.string_or("state", ""), "done");
     EXPECT_EQ(snapshot.number_or("completed", 0), 2.0);
     EXPECT_EQ(snapshot.number_or("resumed", 0), 1.0);
+  }
+}
+
+// ----------------------------------------------------- net-sim job kind ---
+
+constexpr const char* kNetSimJob =
+    R"({"kind":"net-sim","blocks":400,"seed":99,"replicas":3,"net":{)"
+    R"("block_interval":600,"miners":[)"
+    R"({"name":"a","power":0.6,"block_size":1000000,"bandwidth":1000000,)"
+    R"("latency":0.5,"eb":32000000,"mg":32000000,"ad":6},)"
+    R"({"name":"b","power":0.4,"block_size":8000000,"bandwidth":200000,)"
+    R"("latency":2.0,"eb":32000000,"mg":32000000,"ad":6}]}})";
+
+TEST(SvcServiceNetSim, ReplicasMatchDirectRunReplicas) {
+  // The service cells must be bit-identical to sim::run_replicas on the
+  // same config: same replica keys, same record values.
+  sim::NetworkConfig config;
+  config.miners.push_back({"a", 0.6, {}, 1'000'000, 1e6, 0.5});
+  config.miners.push_back({"b", 0.4, {}, 8'000'000, 2e5, 2.0});
+  for (auto& m : config.miners) {
+    m.rule.eb = 32'000'000;
+    m.rule.mg = 32'000'000;
+    m.rule.ad = 6;
+  }
+  sim::ReplicaOptions options;
+  options.replicas = 3;
+  options.blocks = 400;
+  options.seed = 99;
+  options.batch.threads = 1;
+  const sim::ReplicaSetResult direct = sim::run_replicas(config, options);
+
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(service, kNetSimJob);
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  EXPECT_EQ(snapshot.string_or("state", ""), "done");
+  EXPECT_EQ(snapshot.string_or("kind", ""), "net-sim");
+  EXPECT_EQ(snapshot.number_or("completed", 0), 3.0);
+  const Json* records = snapshot.find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(records->at(i).string_or("key", ""),
+              sim::replica_key(config, 400, 99, i));
+    EXPECT_EQ(record_value(snapshot, i, "blocks_mined"), 400.0);
+    EXPECT_EQ(record_value(snapshot, i, "duration"),
+              direct.replicas[i].duration);
+    EXPECT_EQ(record_value(snapshot, i, "orphaned_blocks"),
+              static_cast<double>(direct.replicas[i].orphaned_blocks));
+    EXPECT_EQ(record_value(snapshot, i, "canonical_length"),
+              static_cast<double>(direct.replicas[i].canonical_length));
+  }
+}
+
+TEST(SvcServiceNetSim, InvalidNetworkConfigIs400WithFieldMessage) {
+  SolveService service{ServiceConfig{}};
+  const HttpResponse response = service.route(make_request(
+      "POST", "/v1/jobs",
+      R"({"kind":"net-sim","blocks":100,"replicas":1,"net":{"miners":[)"
+      R"({"name":"a","power":0.5,"bandwidth":1000000,"latency":0.5},)"
+      R"({"name":"b","power":0.5,"bandwidth":-1,"latency":0.5}]}})"));
+  EXPECT_EQ(response.status, 400) << response.body;
+  // NetworkConfig::validate()'s per-field message travels to the client.
+  EXPECT_NE(response.body.find("miners[1].bandwidth"), std::string::npos)
+      << response.body;
+}
+
+TEST(SvcServiceNetSim, NetSimRejectsCellsArray) {
+  SolveService service{ServiceConfig{}};
+  const HttpResponse response = service.route(make_request(
+      "POST", "/v1/jobs", R"({"kind":"net-sim","cells":[{}]})"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("'net' object"), std::string::npos);
+}
+
+TEST(SvcServiceNetSim, RestartRestoresNetSimRecords) {
+  const std::string state_dir = fresh_dir("netsim_restart");
+  std::string id;
+  std::string first_records;
+  {
+    ServiceConfig config;
+    config.state_dir = state_dir;
+    SolveService service{config};
+    id = submit_job(service, kNetSimJob);
+    service.wait_idle();
+    const Json snapshot = job_snapshot(service, id);
+    EXPECT_EQ(snapshot.string_or("state", ""), "done");
+    first_records = snapshot.find("records")->dump();
+  }
+  {
+    ServiceConfig config;
+    config.state_dir = state_dir;
+    SolveService restarted{config};
+    const Json snapshot = job_snapshot(restarted, id);
+    EXPECT_EQ(snapshot.string_or("state", ""), "done");
+    EXPECT_EQ(snapshot.number_or("resumed", 0), 3.0);
+    EXPECT_EQ(snapshot.find("records")->dump(), first_records);
+  }
+}
+
+// --------------------------------------------------- result pagination ---
+
+TEST(SvcServicePagination, OffsetPagesThroughCompletionOrder) {
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(service, kNetSimJob);
+  service.wait_idle();
+
+  // Full snapshot (legacy shape, no cursor fields).
+  const Json full = job_snapshot(service, id);
+  EXPECT_EQ(full.find("next_offset"), nullptr);
+  ASSERT_EQ(full.find("records")->size(), 3u);
+
+  // Page through with limit 2: [0,2) then [2,3), then an empty page.
+  const HttpResponse page1 = service.route(
+      make_request("GET", "/v1/jobs/" + id + "?offset=0&limit=2"));
+  EXPECT_EQ(page1.status, 200);
+  const Json body1 = Json::parse(page1.body).value();
+  EXPECT_EQ(body1.find("records")->size(), 2u);
+  EXPECT_EQ(body1.number_or("next_offset", -1), 2.0);
+
+  const HttpResponse page2 = service.route(
+      make_request("GET", "/v1/jobs/" + id + "?offset=2&limit=2"));
+  const Json body2 = Json::parse(page2.body).value();
+  EXPECT_EQ(body2.find("records")->size(), 1u);
+  EXPECT_EQ(body2.number_or("next_offset", -1), 3.0);
+
+  const HttpResponse page3 = service.route(
+      make_request("GET", "/v1/jobs/" + id + "?offset=3"));
+  const Json body3 = Json::parse(page3.body).value();
+  EXPECT_EQ(body3.find("records")->size(), 0u);
+  EXPECT_EQ(body3.number_or("next_offset", -1), 3.0);
+
+  // The concatenation of the pages is exactly the completion-ordered set:
+  // every full-snapshot record key appears exactly once across pages.
+  std::vector<std::string> paged_keys;
+  for (const Json& record : body1.find("records")->items()) {
+    paged_keys.push_back(record.string_or("key", ""));
+  }
+  for (const Json& record : body2.find("records")->items()) {
+    paged_keys.push_back(record.string_or("key", ""));
+  }
+  std::vector<std::string> full_keys;
+  for (const Json& record : full.find("records")->items()) {
+    full_keys.push_back(record.string_or("key", ""));
+  }
+  std::sort(paged_keys.begin(), paged_keys.end());
+  std::sort(full_keys.begin(), full_keys.end());
+  EXPECT_EQ(paged_keys, full_keys);
+}
+
+TEST(SvcServicePagination, MalformedOffsetIs400) {
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(service, kNetSimJob);
+  service.wait_idle();
+  const HttpResponse response = service.route(
+      make_request("GET", "/v1/jobs/" + id + "?offset=banana"));
+  EXPECT_EQ(response.status, 400);
+}
+
+// -------------------------------------------------------- job retention ---
+
+TEST(SvcServiceRetention, OldTerminalJobsAreEvicted) {
+  const std::string state_dir = fresh_dir("retention");
+  ServiceConfig config;
+  config.state_dir = state_dir;
+  config.job_retention = 2;
+  SolveService service{config};
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(submit_job(
+        service, R"({"kind":"btc-sm","cells":[{"alpha":0.25,"max_len":6}]})"));
+    service.wait_idle();
+  }
+  // Only the newest two survive; the evicted ids 404 and their journals
+  // are gone.
+  EXPECT_EQ(service.route(make_request("GET", "/v1/jobs/" + ids[0])).status,
+            404);
+  EXPECT_EQ(service.route(make_request("GET", "/v1/jobs/" + ids[1])).status,
+            404);
+  EXPECT_EQ(service.route(make_request("GET", "/v1/jobs/" + ids[2])).status,
+            200);
+  EXPECT_EQ(service.route(make_request("GET", "/v1/jobs/" + ids[3])).status,
+            200);
+  EXPECT_FALSE(std::filesystem::exists(state_dir + "/job-" + ids[0] +
+                                       ".cells.jsonl"));
+  EXPECT_TRUE(std::filesystem::exists(state_dir + "/job-" + ids[3] +
+                                      ".cells.jsonl"));
+
+  const Json list =
+      Json::parse(service.route(make_request("GET", "/v1/jobs")).body)
+          .value();
+  EXPECT_EQ(list.find("jobs")->size(), 2u);
+}
+
+TEST(SvcServiceRetention, RestartHonorsRetention) {
+  const std::string state_dir = fresh_dir("retention_restart");
+  std::vector<std::string> ids;
+  {
+    ServiceConfig config;
+    config.state_dir = state_dir;  // no retention on the first daemon
+    SolveService service{config};
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back(submit_job(
+          service,
+          R"({"kind":"btc-sm","cells":[{"alpha":0.25,"max_len":6}]})"));
+      service.wait_idle();
+    }
+  }
+  {
+    ServiceConfig config;
+    config.state_dir = state_dir;
+    config.job_retention = 1;  // lowered cap: restart trims the backlog
+    SolveService restarted{config};
+    EXPECT_EQ(
+        restarted.route(make_request("GET", "/v1/jobs/" + ids[0])).status,
+        404);
+    EXPECT_EQ(
+        restarted.route(make_request("GET", "/v1/jobs/" + ids[1])).status,
+        404);
+    const Json snapshot = job_snapshot(restarted, ids[2]);
+    EXPECT_EQ(snapshot.string_or("state", ""), "done");
+    // The survivor still serves its journaled records after the restart.
+    EXPECT_EQ(snapshot.find("records")->size(), 1u);
   }
 }
 
