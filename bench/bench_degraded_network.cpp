@@ -17,7 +17,9 @@
 // Flags: --blocks N (default 20000), --seed S (fault-plan seed),
 // --replicas N (default 1), plus the shared budget/batch flags
 // (--wall-clock-ms / --max-ticks / --threads) and the sweep-session family.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -103,6 +105,10 @@ int main(int argc, char** argv) {
       {"nodes", util::ArgType::kLong, "N",
        "gossip the campaign over an N-node random topology "
        "(0 = direct miner mesh)", "0"},
+      {"timeline-out", util::ArgType::kString, "FILE",
+       "after the campaign, run one fault-free simulation (seed 42, at "
+       "most 500 blocks) with a sim-clock recorder and write a per-node "
+       "Chrome trace to FILE", ""},
   });
   const CliArgs args = parser.parse(argc, argv);
   bench::ObsSession obs(argc, argv);
@@ -238,6 +244,28 @@ int main(int argc, char** argv) {
   run_plan("40/60 partition for ~100 intervals", split);
 
   std::printf("\n%s\n", structural.to_string().c_str());
+
+  // Sim-clock timeline: one dedicated fault-free run with the recorder
+  // attached (identical config and seed as the baseline cell, capped at
+  // 500 blocks so the trace stays viewer-sized). Workers skip it — the
+  // timeline is a whole-run artifact the parent owns.
+  const std::string timeline_out = args.get_string("timeline-out", "");
+  if (!timeline_out.empty() && !sweep.is_worker()) {
+    sim::Timeline timeline;
+    sim::NetworkSimulation simulation(make_network(nodes));
+    Rng timeline_rng(42);
+    (void)simulation.run(std::min<std::uint64_t>(blocks, 500), timeline_rng,
+                         {}, &timeline);
+    std::ofstream out(timeline_out, std::ios::trunc);
+    if (out) {
+      timeline.write_chrome_trace(out);
+      obs.note_output("timeline", timeline_out);
+    } else {
+      std::fprintf(stderr, "error: cannot write --timeline-out %s\n",
+                   timeline_out.c_str());
+    }
+  }
+
   std::printf(
       "Reading: losing block announcements is qualitatively worse than\n"
       "delaying them — a dropped message permanently forks the receiver\n"

@@ -30,6 +30,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -200,14 +201,18 @@ class SweepSession {
  private:
   /// Flags that must NOT propagate to shard workers: the sharding flags
   /// themselves, the artifact sinks (the parent's render pass owns those —
-  /// a worker writing the same CSV would clobber it), and --threads (the
-  /// parent divides it across workers).
+  /// a worker writing the same CSV would clobber it), --threads (the
+  /// parent divides it across workers), and the telemetry flags (the
+  /// parent re-issues per-worker --telemetry-dir/--telemetry-label so each
+  /// worker flushes into its own lane of one shared directory).
   [[nodiscard]] static bool strip_for_worker(std::string_view name) {
     return name == "shards" || name == "shard" || name == "checkpoint" ||
            name == "resume" || name == "worker-retries" ||
            name == "stall-timeout-ms" || name == "threads" || name == "csv" ||
            name == "manifest-out" || name == "metrics-out" ||
-           name == "trace-out" || name == "trace-jsonl";
+           name == "metrics-prom-out" || name == "trace-out" ||
+           name == "trace-jsonl" || name == "log-out" ||
+           name == "telemetry-dir" || name == "telemetry-label";
   }
 
   void run_supervisor(int argc, char** argv, int shards, const CliArgs& args) {
@@ -247,6 +252,35 @@ class SweepSession {
       }
     }
 
+    // Telemetry plane: whenever the run wants any aggregate artifact (or
+    // an explicit --telemetry-dir), the workers flush periodic metrics/
+    // trace deltas into one shared directory; the parent merges them into
+    // ONE snapshot and ONE multi-pid Chrome trace, and the supervisor
+    // reads the same directory for live progress reports.
+    const bool wants_telemetry = !args.get_string("trace-out", "").empty() ||
+                                 !args.get_string("metrics-out", "").empty() ||
+                                 !args.get_string("metrics-prom-out", "")
+                                      .empty() ||
+                                 !args.get_string("manifest-out", "").empty() ||
+                                 !args.get_string("telemetry-dir", "").empty();
+    std::string telemetry_dir = args.get_string("telemetry-dir", "");
+    if (wants_telemetry) {
+      if (telemetry_dir.empty()) {
+        telemetry_dir = checkpoint_path_ + ".telemetry";
+      }
+      // Fresh directory per supervised run: stale flushes from a previous
+      // run must not leak into this run's merge.
+      std::error_code ec;
+      std::filesystem::remove_all(telemetry_dir, ec);
+      std::filesystem::create_directories(telemetry_dir, ec);
+      if (ec) {
+        obs::log_warn("supervisor", "cannot create telemetry dir; live "
+                      "aggregation disabled for this run",
+                      {{"dir", telemetry_dir}, {"error", ec.message()}});
+        telemetry_dir.clear();
+      }
+    }
+
     const std::string exe = robust::self_executable_path(argv[0]);
     std::vector<robust::WorkerSpawn> workers;
     workers.reserve(static_cast<std::size_t>(shards));
@@ -268,6 +302,10 @@ class SweepSession {
       // the roll-up in write_merged_manifest links back to these.
       worker.argv.push_back("--manifest-out=" + worker.journal_path +
                             ".manifest.json");
+      if (!telemetry_dir.empty()) {
+        worker.argv.push_back("--telemetry-dir=" + telemetry_dir);
+        worker.argv.push_back("--telemetry-label=shard-" + std::to_string(s));
+      }
       workers.push_back(std::move(worker));
     }
 
@@ -276,6 +314,10 @@ class SweepSession {
         static_cast<int>(args.get_long("worker-retries", 2));
     options.stall_timeout_seconds =
         static_cast<double>(args.get_long("stall-timeout-ms", 0)) * 1e-3;
+    if (!telemetry_dir.empty()) {
+      options.telemetry_dir = telemetry_dir;
+      options.progress_interval_seconds = 2.0;
+    }
     std::fprintf(stderr, "[%s] supervising %d shard workers (journals at "
                  "%s.shard-*)\n",
                  bench_name_, shards, checkpoint_path_.c_str());
@@ -299,6 +341,9 @@ class SweepSession {
                  bench_name_, merge_.inputs, merge_.records, merge_.duplicates,
                  merge_.malformed_lines, report_.total_restarts,
                  degraded_ ? " — DEGRADED (a shard gave up)" : "");
+    if (!telemetry_dir.empty()) {
+      obs_.merge_telemetry_from(telemetry_dir);
+    }
   }
 
   /// `<checkpoint>.merged.json`: the supervised run's provenance — per-shard

@@ -31,6 +31,13 @@ ctest --test-dir "$repo/$build" --output-on-failure "$@"
 # enabled must produce loadable artifacts with spans from >= 3 subsystems.
 "$repo/scripts/check_trace.sh" "$repo/$build"
 
+# Telemetry-plane gate, surfaced as its own named step: the obs-labeled
+# suite (event log, Prometheus exposition, cross-process telemetry merge,
+# plus the check_trace and check_prometheus end-to-end scripts — live bvcd
+# scrape, bvc-cli merge, 2-shard merged trace/metrics, byte-stable bench
+# stdout) must pass in isolation, not just inside the full suite above.
+ctest --test-dir "$repo/$build" --output-on-failure -L obs
+
 # Crash-safety gate, surfaced as its own named step: the shard-labeled
 # tests (journal/supervisor unit tests + scripts/check_resume.sh, which
 # SIGKILLs bench_table2 mid-sweep and demands a byte-identical recovery)

@@ -54,7 +54,11 @@ ctest --test-dir "$build" --output-on-failure -j"$(nproc)" "$@"
 
 # Thread tier: re-run the sim-labeled suite in isolation so the replica
 # fan-out (sim::run_replicas at --threads 8 in test_sim_replicas) and the
-# event-engine tests get an explicit, named TSan pass.
+# event-engine tests get an explicit, named TSan pass. The obs-labeled
+# suite follows for the same reason: test_event_log hammers the global
+# EventLog from concurrent writers, and the telemetry/trace tests exercise
+# the flusher's background thread against the metrics registry.
 if [ "$tier" = "thread" ]; then
   ctest --test-dir "$build" --output-on-failure -L sim
+  ctest --test-dir "$build" --output-on-failure -L obs
 fi

@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "util/cpu_features.hpp"
 
@@ -65,10 +66,10 @@ Request request_from_env() noexcept {
   if (const auto parsed = parse_request(env)) {
     return *parsed;
   }
-  std::fprintf(stderr,
-               "bvc: ignoring BVC_KERNEL=%s (expected auto|scalar|avx2|"
-               "avx512), using auto\n",
-               env);
+  obs::log_warn("kernel",
+                "ignoring BVC_KERNEL (expected auto|scalar|avx2|avx512); "
+                "using auto",
+                {{"value", env}});
   return Request::kAuto;
 }
 

@@ -1,0 +1,225 @@
+#include "obs/event_log.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace bvc::obs {
+namespace {
+
+/// Monotonic seconds for rate-limit windows (cheap, never goes backwards).
+double steady_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Wall-clock milliseconds since the Unix epoch for record timestamps.
+std::uint64_t wall_ms() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+void write_json_string(std::FILE* out, std::string_view text) {
+  std::fputc('"', out);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        std::fputs("\\\"", out);
+        break;
+      case '\\':
+        std::fputs("\\\\", out);
+        break;
+      case '\n':
+        std::fputs("\\n", out);
+        break;
+      case '\r':
+        std::fputs("\\r", out);
+        break;
+      case '\t':
+        std::fputs("\\t", out);
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(out, "\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          std::fputc(c, out);
+        }
+    }
+  }
+  std::fputc('"', out);
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+bool EventLog::configure(LogConfig config) {
+  std::FILE* file = nullptr;
+  if (!config.path.empty()) {
+    file = std::fopen(config.path.c_str(), "w");
+    if (file == nullptr) return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (owns_sink_ && sink_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(sink_));
+  }
+  sink_ = file;
+  owns_sink_ = file != nullptr;
+  config_ = std::move(config);
+  min_level_.store(static_cast<int>(config_.min_level),
+                   std::memory_order_relaxed);
+  windows_.clear();
+  emitted_.store(0, std::memory_order_relaxed);
+  suppressed_.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+void EventLog::write(LogLevel level, const char* subsystem,
+                     std::string_view message,
+                     std::initializer_list<LogField> fields) noexcept {
+  if (!enabled(level)) return;
+  try {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.rate_limit_per_sec > 0) {
+      Window& window = windows_[std::string(subsystem)];
+      const double now = steady_seconds();
+      if (now - window.start >= 1.0) {
+        if (window.suppressed > 0) {
+          char summary[96];
+          std::snprintf(summary, sizeof(summary),
+                        "rate limit: suppressed %" PRIu64
+                        " records in the last window",
+                        window.suppressed);
+          emit_locked(LogLevel::kWarn, subsystem, summary, {});
+        }
+        window.start = now;
+        window.count = 0;
+        window.suppressed = 0;
+      }
+      if (window.count >= config_.rate_limit_per_sec) {
+        ++window.suppressed;
+        suppressed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      ++window.count;
+    }
+    emit_locked(level, subsystem, message, fields);
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Logging must never take the process down; drop the record.
+  }
+}
+
+void EventLog::emit_locked(LogLevel level, const char* subsystem,
+                           std::string_view message,
+                           std::initializer_list<LogField> fields) {
+  std::FILE* out =
+      sink_ != nullptr ? static_cast<std::FILE*>(sink_) : stderr;
+  if (config_.path.empty()) {
+    // Human-readable: `[subsystem] message key=value ...`
+    std::fprintf(out, "[%s] %.*s", subsystem,
+                 static_cast<int>(message.size()), message.data());
+    for (const LogField& field : fields) {
+      std::fprintf(out, " %s=", field.key_);
+      switch (field.kind_) {
+        case LogField::Kind::kString:
+          std::fprintf(out, "%s", field.text_.c_str());
+          break;
+        case LogField::Kind::kDouble:
+          std::fprintf(out, "%g", field.number_);
+          break;
+        case LogField::Kind::kInt:
+          std::fprintf(out, "%" PRId64, field.int_);
+          break;
+        case LogField::Kind::kUint:
+          std::fprintf(out, "%" PRIu64, field.uint_);
+          break;
+        case LogField::Kind::kBool:
+          std::fputs(field.flag_ ? "true" : "false", out);
+          break;
+      }
+    }
+    std::fputc('\n', out);
+  } else {
+    // Structured JSONL.
+    std::fprintf(out, "{\"ts_ms\":%" PRIu64 ",\"level\":\"%.*s\"",
+                 wall_ms(), static_cast<int>(to_string(level).size()),
+                 to_string(level).data());
+    std::fputs(",\"subsystem\":", out);
+    write_json_string(out, subsystem);
+    std::fputs(",\"msg\":", out);
+    write_json_string(out, message);
+    if (fields.size() > 0) {
+      std::fputs(",\"fields\":{", out);
+      bool first = true;
+      for (const LogField& field : fields) {
+        if (!first) std::fputc(',', out);
+        first = false;
+        write_json_string(out, field.key_);
+        std::fputc(':', out);
+        switch (field.kind_) {
+          case LogField::Kind::kString:
+            write_json_string(out, field.text_);
+            break;
+          case LogField::Kind::kDouble:
+            // NaN/Inf are not valid JSON numbers; quote them.
+            if (!std::isfinite(field.number_)) {
+              char buffer[32];
+              std::snprintf(buffer, sizeof(buffer), "%g", field.number_);
+              write_json_string(out, buffer);
+            } else {
+              std::fprintf(out, "%.17g", field.number_);
+            }
+            break;
+          case LogField::Kind::kInt:
+            std::fprintf(out, "%" PRId64, field.int_);
+            break;
+          case LogField::Kind::kUint:
+            std::fprintf(out, "%" PRIu64, field.uint_);
+            break;
+          case LogField::Kind::kBool:
+            std::fputs(field.flag_ ? "true" : "false", out);
+            break;
+        }
+      }
+      std::fputc('}', out);
+    }
+    std::fputs("}\n", out);
+  }
+  // Flush per record: these are rare operational events and must survive a
+  // crash (the checkpoint layer logs right before a deliberate SIGKILL).
+  std::fflush(out);
+}
+
+EventLog& EventLog::global() {
+  // Leaked on purpose: log sites run during static destruction.
+  static EventLog* instance = new EventLog();
+  return *instance;
+}
+
+}  // namespace bvc::obs

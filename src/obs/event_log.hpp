@@ -1,0 +1,162 @@
+// Structured, leveled, rate-limited event logging — the one front door for
+// everything the process used to fprintf(stderr) ad hoc.
+//
+// Two sink modes:
+//
+//   * Default (unconfigured, or LogConfig.path empty): human-readable lines
+//     on stderr, `[subsystem] message key=value ...` — the same shape the
+//     legacy call sites printed, so operators lose nothing.
+//   * Structured (LogConfig.path set, e.g. via `--log-out FILE`): one JSON
+//     object per line — {"ts_ms":...,"level":...,"subsystem":...,
+//     "msg":...,"fields":{...}} — for log pipelines.
+//
+// Discipline:
+//
+//   * Levels gate cheaply: write() returns after one relaxed atomic load
+//     when the record's level is below the configured threshold
+//     (`--log-level`), so debug-level sites cost a predictable branch.
+//   * Rate limiting is per subsystem: at most LogConfig.rate_limit_per_sec
+//     records per subsystem per one-second window; excess records are
+//     dropped and summarized once when the window rolls, so a crash loop
+//     cannot flood the sink.
+//   * write() never throws and never touches stdout — bench tables stay
+//     byte-stable whatever the logging configuration.
+//
+// docs/OBSERVABILITY.md §"Event log" documents the schema.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace bvc::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+/// Parses "debug" | "info" | "warn" | "error" (also "warning").
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view text) noexcept;
+
+/// One key=value attachment. The key must be a string literal (or otherwise
+/// outlive the write() call); values are copied.
+class LogField {
+ public:
+  LogField(const char* key, std::string_view value)
+      : key_(key), kind_(Kind::kString), text_(value) {}
+  LogField(const char* key, const char* value)
+      : LogField(key, std::string_view(value != nullptr ? value : "")) {}
+  LogField(const char* key, const std::string& value)
+      : LogField(key, std::string_view(value)) {}
+  LogField(const char* key, double value)
+      : key_(key), kind_(Kind::kDouble), number_(value) {}
+  LogField(const char* key, bool value)
+      : key_(key), kind_(Kind::kBool), flag_(value) {}
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  LogField(const char* key, T value)
+      : key_(key) {
+    if constexpr (std::is_signed_v<T>) {
+      kind_ = Kind::kInt;
+      int_ = static_cast<std::int64_t>(value);
+    } else {
+      kind_ = Kind::kUint;
+      uint_ = static_cast<std::uint64_t>(value);
+    }
+  }
+
+ private:
+  friend class EventLog;
+  enum class Kind { kString, kDouble, kInt, kUint, kBool };
+
+  const char* key_;
+  Kind kind_ = Kind::kString;
+  std::string text_;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  bool flag_ = false;
+};
+
+struct LogConfig {
+  LogLevel min_level = LogLevel::kInfo;
+  /// "" = human-readable stderr; otherwise a JSONL file (truncated).
+  std::string path;
+  /// Max records per subsystem per one-second window; overflow is dropped
+  /// and summarized when the window rolls. 0 = unlimited.
+  std::uint32_t rate_limit_per_sec = 200;
+};
+
+class EventLog {
+ public:
+  /// Installs a new configuration (sink, threshold, rate limit) and resets
+  /// the rate-limit windows and counters. Returns false — keeping the
+  /// previous sink — when the file cannot be opened.
+  bool configure(LogConfig config);
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits one record (or drops it: below threshold / over the subsystem's
+  /// rate limit). Never throws; sink errors are swallowed.
+  void write(LogLevel level, const char* subsystem, std::string_view message,
+             std::initializer_list<LogField> fields = {}) noexcept;
+
+  /// Records emitted to the sink (rate-limit summaries excluded).
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  /// Records dropped by the per-subsystem rate limiter.
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static EventLog& global();
+
+ private:
+  struct Window {
+    double start = 0.0;
+    std::uint32_t count = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  void emit_locked(LogLevel level, const char* subsystem,
+                   std::string_view message,
+                   std::initializer_list<LogField> fields);
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  mutable std::mutex mutex_;
+  LogConfig config_;
+  void* sink_ = nullptr;  ///< FILE*; stderr when no path is configured
+  bool owns_sink_ = false;
+  std::map<std::string, Window, std::less<>> windows_;
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+// Convenience fronts over EventLog::global().
+inline void log_debug(const char* subsystem, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) noexcept {
+  EventLog::global().write(LogLevel::kDebug, subsystem, message, fields);
+}
+inline void log_info(const char* subsystem, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) noexcept {
+  EventLog::global().write(LogLevel::kInfo, subsystem, message, fields);
+}
+inline void log_warn(const char* subsystem, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) noexcept {
+  EventLog::global().write(LogLevel::kWarn, subsystem, message, fields);
+}
+inline void log_error(const char* subsystem, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) noexcept {
+  EventLog::global().write(LogLevel::kError, subsystem, message, fields);
+}
+
+}  // namespace bvc::obs

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/event_log.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
@@ -85,16 +87,34 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = histograms_.find(name);
-  if (it != histograms_.end()) {
-    return *it->second;
+  Histogram* found = nullptr;
+  bool mismatch = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      found = it->second.get();
+      const std::vector<double>& existing = found->bounds();
+      mismatch = !std::equal(existing.begin(), existing.end(),
+                             upper_bounds.begin(), upper_bounds.end());
+    } else {
+      found = histograms_
+                  .emplace(std::string(name),
+                           std::make_unique<Histogram>(std::vector<double>(
+                               upper_bounds.begin(), upper_bounds.end())))
+                  .first->second.get();
+    }
   }
-  return *histograms_
-              .emplace(std::string(name),
-                       std::make_unique<Histogram>(std::vector<double>(
-                           upper_bounds.begin(), upper_bounds.end())))
-              .first->second;
+  // Conflict handling happens after the lock is released: counter() takes
+  // the same (non-recursive) mutex.
+  if (mismatch) {
+    counter("obs.metrics.histogram_bound_conflicts").add();
+    log_warn("obs",
+             "histogram re-registered with different bounds; keeping the "
+             "original buckets",
+             {{"name", name}});
+  }
+  return *found;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

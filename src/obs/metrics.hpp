@@ -128,6 +128,10 @@ class Histogram {
   };
   [[nodiscard]] Snapshot snapshot() const;
 
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
   void reset() noexcept;
 
  private:
@@ -155,7 +159,10 @@ class MetricsRegistry {
   /// lifetime; the global registry is never destroyed before exit.
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
-  /// The bounds are consulted only on first registration of `name`.
+  /// The bounds are consulted only on first registration of `name`; a
+  /// re-registration with different bounds keeps the original histogram,
+  /// bumps the `obs.metrics.histogram_bound_conflicts` counter, and warns
+  /// through obs::EventLog so the clash is never silent.
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::span<const double> upper_bounds);
 

@@ -1,0 +1,121 @@
+#include "obs/prometheus.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "obs/event_log.hpp"
+
+namespace bvc::obs {
+namespace {
+
+/// Sample values: `%.17g` round-trips doubles; NaN/±Inf use the exposition
+/// format's spellings.
+void write_value(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+/// `le` labels: `%.12g` keeps human-chosen bounds (0.001, 10, 1e6) short
+/// while still distinguishing any bounds the registry accepts as distinct.
+void write_le(std::ostream& out, double bound) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", bound);
+  out << buffer;
+}
+
+/// HELP text carries the original dotted name; escape per the format
+/// (backslash and newline only).
+void write_help_text(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '\\') {
+      out << "\\\\";
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
+/// Emits the HELP/TYPE preamble; returns false (skipping the family) when
+/// the sanitized name was already used by an earlier family this dump.
+bool open_family(std::ostream& out, std::set<std::string>& used,
+                 const std::string& sanitized, std::string_view original,
+                 const char* type) {
+  if (!used.insert(sanitized).second) {
+    log_warn("obs",
+             "metric name collides after Prometheus sanitization; skipping",
+             {{"name", original}, {"sanitized", sanitized}});
+    return false;
+  }
+  out << "# HELP " << sanitized << ' ';
+  write_help_text(out, original);
+  out << '\n';
+  out << "# TYPE " << sanitized << ' ' << type << '\n';
+  return true;
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  std::set<std::string> used;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string sanitized = prometheus_metric_name(name);
+    if (!open_family(out, used, sanitized, name, "counter")) continue;
+    out << sanitized << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string sanitized = prometheus_metric_name(name);
+    if (!open_family(out, used, sanitized, name, "gauge")) continue;
+    out << sanitized << ' ';
+    write_value(out, value);
+    out << '\n';
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string sanitized = prometheus_metric_name(name);
+    if (!open_family(out, used, sanitized, name, "histogram")) continue;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative += i < histogram.counts.size() ? histogram.counts[i] : 0;
+      out << sanitized << "_bucket{le=\"";
+      write_le(out, histogram.bounds[i]);
+      out << "\"} " << cumulative << '\n';
+    }
+    // The +Inf bucket is the total observation count by definition — use
+    // the histogram's own count so the invariant holds even if a
+    // concurrent writer landed between the per-bucket loads.
+    out << sanitized << "_bucket{le=\"+Inf\"} " << histogram.count << '\n';
+    out << sanitized << "_sum ";
+    write_value(out, histogram.sum);
+    out << '\n';
+    out << sanitized << "_count " << histogram.count << '\n';
+  }
+}
+
+}  // namespace bvc::obs

@@ -1,0 +1,463 @@
+#include "obs/telemetry.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/trace.hpp"
+
+namespace bvc::obs {
+namespace {
+
+// --------------------------------------------------------- minimal JSON in
+//
+// Just enough of a recursive-descent parser to read back what
+// write_metrics_json emits (obs cannot depend on svc::Json — layering).
+
+struct JsonIn {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    failed = true;
+    return false;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  std::string parse_string() {
+    if (!consume('"')) return {};
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char escaped = text[pos++];
+        switch (escaped) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            // \uXXXX: metric names never need it; map to '?'.
+            pos = std::min(pos + 4, text.size());
+            c = '?';
+            break;
+          default: c = escaped;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos >= text.size()) {
+      failed = true;
+      return {};
+    }
+    ++pos;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == 'i' ||
+            text[pos] == 'n' || text[pos] == 'f' || text[pos] == 'a')) {
+      ++pos;  // the letter set tolerates inf/-inf/nan from %.17g
+    }
+    if (pos == start) {
+      failed = true;
+      return 0.0;
+    }
+    return std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                       nullptr);
+  }
+};
+
+/// Parses `{"name": <number>, ...}` into `sink(name, value)`.
+template <typename Sink>
+void parse_number_object(JsonIn& in, Sink&& sink) {
+  if (!in.consume('{')) return;
+  if (in.peek('}')) {
+    in.consume('}');
+    return;
+  }
+  while (!in.failed) {
+    const std::string name = in.parse_string();
+    if (in.failed || !in.consume(':')) return;
+    sink(name, in.parse_number());
+    if (in.peek(',')) {
+      in.consume(',');
+      continue;
+    }
+    in.consume('}');
+    return;
+  }
+}
+
+void parse_number_array(JsonIn& in, std::vector<double>& out) {
+  if (!in.consume('[')) return;
+  if (in.peek(']')) {
+    in.consume(']');
+    return;
+  }
+  while (!in.failed) {
+    out.push_back(in.parse_number());
+    if (in.peek(',')) {
+      in.consume(',');
+      continue;
+    }
+    in.consume(']');
+    return;
+  }
+}
+
+void parse_histograms(JsonIn& in, MetricsSnapshot& snapshot) {
+  if (!in.consume('{')) return;
+  if (in.peek('}')) {
+    in.consume('}');
+    return;
+  }
+  while (!in.failed) {
+    const std::string name = in.parse_string();
+    if (in.failed || !in.consume(':') || !in.consume('{')) return;
+    Histogram::Snapshot histogram;
+    while (!in.failed) {
+      const std::string key = in.parse_string();
+      if (in.failed || !in.consume(':')) return;
+      if (key == "bounds") {
+        parse_number_array(in, histogram.bounds);
+      } else if (key == "counts") {
+        std::vector<double> counts;
+        parse_number_array(in, counts);
+        histogram.counts.reserve(counts.size());
+        for (const double c : counts) {
+          histogram.counts.push_back(static_cast<std::uint64_t>(c));
+        }
+      } else if (key == "sum") {
+        histogram.sum = in.parse_number();
+      } else if (key == "count") {
+        histogram.count = static_cast<std::uint64_t>(in.parse_number());
+      } else {
+        in.failed = true;
+        return;
+      }
+      if (in.peek(',')) {
+        in.consume(',');
+        continue;
+      }
+      in.consume('}');
+      break;
+    }
+    snapshot.histograms.emplace(name, std::move(histogram));
+    if (in.peek(',')) {
+      in.consume(',');
+      continue;
+    }
+    in.consume('}');
+    return;
+  }
+}
+
+// ------------------------------------------------------------- file naming
+
+/// "<label>.<pid>.metrics.json" → pid, or -1 when the name doesn't parse.
+long pid_from_filename(const std::string& stem_name, std::string* label) {
+  // stem_name is the filename with the ".metrics.json"/".trace.jsonl"
+  // suffix already removed, e.g. "shard-0.12345".
+  const std::size_t dot = stem_name.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= stem_name.size()) return -1;
+  const std::string digits = stem_name.substr(dot + 1);
+  if (!std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    return -1;
+  }
+  if (label != nullptr) *label = stem_name.substr(0, dot);
+  return std::strtol(digits.c_str(), nullptr, 10);
+}
+
+constexpr std::string_view kMetricsSuffix = ".metrics.json";
+constexpr std::string_view kTraceSuffix = ".trace.jsonl";
+
+bool ends_with(const std::string& text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- TelemetryFlusher
+
+TelemetryFlusher::TelemetryFlusher(TelemetryConfig config)
+    : config_(std::move(config)),
+      pid_(static_cast<std::uint32_t>(::getpid())) {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) {
+    log_error("obs", "cannot create telemetry dir",
+              {{"dir", config_.dir}, {"error", ec.message()}});
+  }
+  const std::string base = config_.dir + "/" + config_.label + "." +
+                           std::to_string(pid_);
+  metrics_path_ = base + std::string(kMetricsSuffix);
+  trace_path_ = base + std::string(kTraceSuffix);
+  if (config_.enable_metrics) {
+    set_metrics_enabled(true);
+  }
+  if (config_.enable_tracing) {
+    Tracer::global().enable();
+  }
+  // Fresh incarnation, fresh trace file (the pid in the name separates
+  // incarnations of a restarted shard).
+  std::ofstream(trace_path_, std::ios::trunc);
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(config_.interval_seconds),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      flush();
+      lock.lock();
+    }
+  });
+}
+
+TelemetryFlusher::~TelemetryFlusher() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  flush();
+}
+
+void TelemetryFlusher::flush() {
+  // Metrics: full snapshot, atomically published via tmp + rename so a
+  // merging parent never reads a half-written file.
+  {
+    std::ostringstream body;
+    write_metrics_json(body, MetricsRegistry::global().snapshot());
+    const std::string tmp = metrics_path_ + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      out << body.str();
+      out.close();
+      std::error_code ec;
+      std::filesystem::rename(tmp, metrics_path_, ec);
+      if (ec) {
+        log_error("obs", "cannot publish telemetry metrics",
+                  {{"path", metrics_path_}, {"error", ec.message()}});
+      }
+    }
+  }
+  // Trace: append only the events published since the previous flush.
+  {
+    std::ofstream out(trace_path_, std::ios::app);
+    if (out) {
+      Tracer::global().write_jsonl_delta(out, trace_cursor_, pid_);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- merge
+
+std::optional<MetricsSnapshot> read_metrics_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string body = buffer.str();
+
+  JsonIn json{body};
+  MetricsSnapshot snapshot;
+  if (!json.consume('{')) return std::nullopt;
+  while (!json.failed) {
+    const std::string section = json.parse_string();
+    if (json.failed || !json.consume(':')) return std::nullopt;
+    if (section == "counters") {
+      parse_number_object(json, [&](const std::string& name, double value) {
+        snapshot.counters.emplace(name, static_cast<std::uint64_t>(value));
+      });
+    } else if (section == "gauges") {
+      parse_number_object(json, [&](const std::string& name, double value) {
+        snapshot.gauges.emplace(name, value);
+      });
+    } else if (section == "histograms") {
+      parse_histograms(json, snapshot);
+    } else {
+      return std::nullopt;
+    }
+    if (json.failed) return std::nullopt;
+    if (json.peek(',')) {
+      json.consume(',');
+      continue;
+    }
+    json.consume('}');
+    break;
+  }
+  if (json.failed) return std::nullopt;
+  return snapshot;
+}
+
+void merge_metrics(MetricsSnapshot& into, const MetricsSnapshot& from) {
+  for (const auto& [name, value] : from.counters) {
+    into.counters[name] += value;
+  }
+  for (const auto& [name, value] : from.gauges) {
+    const auto [it, inserted] = into.gauges.emplace(name, value);
+    if (!inserted) {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, histogram] : from.histograms) {
+    const auto [it, inserted] = into.histograms.emplace(name, histogram);
+    if (inserted) continue;
+    Histogram::Snapshot& target = it->second;
+    if (target.bounds != histogram.bounds ||
+        target.counts.size() != histogram.counts.size()) {
+      log_warn("obs",
+               "histogram bounds differ across processes; keeping the "
+               "first seen",
+               {{"name", name}});
+      continue;
+    }
+    for (std::size_t i = 0; i < target.counts.size(); ++i) {
+      target.counts[i] += histogram.counts[i];
+    }
+    target.sum += histogram.sum;
+    target.count += histogram.count;
+  }
+}
+
+TelemetryMergeReport merge_telemetry_dir(const std::string& dir,
+                                         long skip_pid) {
+  TelemetryMergeReport report;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    report.errors.push_back(dir + ": " + ec.message());
+    return report;
+  }
+  std::vector<std::string> metrics_files;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (ends_with(name, kMetricsSuffix)) {
+      const std::string stem =
+          name.substr(0, name.size() - kMetricsSuffix.size());
+      if (skip_pid >= 0 && pid_from_filename(stem, nullptr) == skip_pid) {
+        continue;
+      }
+      metrics_files.push_back(entry.path().string());
+    } else if (ends_with(name, kTraceSuffix)) {
+      const std::string stem =
+          name.substr(0, name.size() - kTraceSuffix.size());
+      if (skip_pid >= 0 && pid_from_filename(stem, nullptr) == skip_pid) {
+        continue;
+      }
+      report.trace_files.push_back(entry.path().string());
+    }
+  }
+  std::sort(metrics_files.begin(), metrics_files.end());
+  std::sort(report.trace_files.begin(), report.trace_files.end());
+  for (const std::string& path : metrics_files) {
+    std::optional<MetricsSnapshot> snapshot = read_metrics_json(path);
+    if (!snapshot.has_value()) {
+      report.errors.push_back(path + ": unreadable or malformed");
+      continue;
+    }
+    merge_metrics(report.metrics, *snapshot);
+    ++report.metrics_files;
+  }
+  return report;
+}
+
+bool write_merged_chrome_trace(std::ostream& out, const std::string& dir,
+                               const Tracer* own,
+                               const std::string& own_label) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return false;
+  std::vector<std::string> trace_files;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (ends_with(name, kTraceSuffix)) {
+      trace_files.push_back(entry.path().string());
+    }
+  }
+  std::sort(trace_files.begin(), trace_files.end());
+
+  const auto own_pid = static_cast<std::uint32_t>(::getpid());
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_process_name = [&](std::uint32_t pid,
+                                     const std::string& label) {
+    out << (first ? "\n" : ",\n");
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << label << "\"}}";
+    first = false;
+  };
+
+  if (own != nullptr) {
+    emit_process_name(own_pid,
+                      own_label.empty() ? "supervisor" : own_label);
+    own->write_events_body(out, own_pid, first);
+  }
+  for (const std::string& path : trace_files) {
+    const std::string name = std::filesystem::path(path).filename().string();
+    const std::string stem = name.substr(0, name.size() - kTraceSuffix.size());
+    std::string label;
+    const long pid = pid_from_filename(stem, &label);
+    if (pid >= 0 && static_cast<std::uint32_t>(pid) == own_pid &&
+        own != nullptr) {
+      continue;  // own flushes would duplicate the live export above
+    }
+    if (pid >= 0) {
+      emit_process_name(static_cast<std::uint32_t>(pid),
+                        label + " (pid " + std::to_string(pid) + ")");
+    }
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      out << (first ? "\n" : ",\n") << line;
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n") << "]}\n";
+  return true;
+}
+
+}  // namespace bvc::obs

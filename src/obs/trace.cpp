@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
 namespace bvc::obs {
 
 namespace {
@@ -50,7 +53,7 @@ void write_json_string(std::ostream& out, std::string_view text) {
 }
 
 void write_event_json(std::ostream& out, const TraceEvent& event,
-                      std::uint32_t tid) {
+                      std::uint32_t tid, std::uint32_t pid = 0) {
   char buffer[64];
   out << "{\"name\":";
   write_json_string(out, event.name != nullptr ? event.name : "?");
@@ -63,11 +66,33 @@ void write_event_json(std::ostream& out, const TraceEvent& event,
                   static_cast<double>(event.duration_ns) * 1e-3);
     out << buffer;
   }
-  std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f,\"pid\":0,\"tid\":%u",
-                static_cast<double>(event.start_ns) * 1e-3, tid);
+  std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f,\"pid\":%u,\"tid\":%u",
+                static_cast<double>(event.start_ns) * 1e-3, pid, tid);
   out << buffer << ",\"args\":{";
   out.write(event.args, event.args_len);
   out << "}}";
+}
+
+/// Satellite: ring-buffer drops must never be silent. Bumps the
+/// `obs.trace.dropped_spans` counter and warns ONCE per process through
+/// the EventLog. Called from record(), which is noexcept — everything that
+/// can throw (first-time counter registration) is contained here.
+void note_drop() noexcept {
+  try {
+    if (metrics_enabled()) {
+      static Counter& dropped =
+          MetricsRegistry::global().counter("obs.trace.dropped_spans");
+      dropped.add();
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      log_warn("obs",
+               "trace ring buffer full; further spans on this thread are "
+               "being dropped — the exported trace is truncated");
+    }
+  } catch (...) {
+    // Never let accounting for a dropped span take down a recording thread.
+  }
 }
 
 }  // namespace
@@ -116,6 +141,7 @@ void Tracer::record(const TraceEvent& event) noexcept {
   const std::size_t size = ring.size.load(std::memory_order_relaxed);
   if (size >= ring.slots.size()) {
     ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    note_drop();
     return;
   }
   ring.slots[size] = event;
@@ -125,28 +151,51 @@ void Tracer::record(const TraceEvent& event) noexcept {
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  write_events_body(out, /*pid=*/0, first);
+  out << (first ? "" : "\n") << "]}\n";
+}
+
+void Tracer::write_events_body(std::ostream& out, std::uint32_t pid,
+                               bool& first) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& ring : rings_) {
     const std::size_t n = ring->size.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       out << (first ? "\n" : ",\n");
-      write_event_json(out, ring->slots[i], ring->tid);
+      write_event_json(out, ring->slots[i], ring->tid, pid);
       first = false;
     }
   }
-  out << (first ? "" : "\n") << "]}\n";
 }
 
-void Tracer::write_jsonl(std::ostream& out) const {
+void Tracer::write_jsonl(std::ostream& out, std::uint32_t pid) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& ring : rings_) {
     const std::size_t n = ring->size.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
-      write_event_json(out, ring->slots[i], ring->tid);
+      write_event_json(out, ring->slots[i], ring->tid, pid);
       out << "\n";
     }
+  }
+}
+
+void Tracer::write_jsonl_delta(std::ostream& out,
+                               std::vector<std::size_t>& cursor,
+                               std::uint32_t pid) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cursor.size() < rings_.size()) {
+    cursor.resize(rings_.size(), 0);
+  }
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    const Ring& ring = *rings_[r];
+    const std::size_t n = ring.size.load(std::memory_order_acquire);
+    for (std::size_t i = cursor[r]; i < n; ++i) {
+      write_event_json(out, ring.slots[i], ring.tid, pid);
+      out << "\n";
+    }
+    cursor[r] = n;
   }
 }
 

@@ -79,8 +79,22 @@ class Tracer {
   /// exports the events published so far.
   void write_chrome_trace(std::ostream& out) const;
 
-  /// The same events as newline-delimited JSON objects.
-  void write_jsonl(std::ostream& out) const;
+  /// The same events as newline-delimited JSON objects, stamped with `pid`
+  /// (0 for a standalone process; telemetry flushers pass the real pid so
+  /// merged traces get one lane per process).
+  void write_jsonl(std::ostream& out, std::uint32_t pid = 0) const;
+
+  /// Appends every published event as comma-separated JSON objects —
+  /// no enclosing array — for callers assembling a multi-process trace.
+  /// `first` carries comma state across calls.
+  void write_events_body(std::ostream& out, std::uint32_t pid,
+                         bool& first) const;
+
+  /// Incremental JSONL export: writes only events published since the last
+  /// call with the same `cursor` (one consumed-index per ring, grown as
+  /// threads appear). What the telemetry flusher appends every interval.
+  void write_jsonl_delta(std::ostream& out, std::vector<std::size_t>& cursor,
+                         std::uint32_t pid) const;
 
   [[nodiscard]] std::size_t recorded_events() const;
   [[nodiscard]] std::uint64_t dropped_events() const;

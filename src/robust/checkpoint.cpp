@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 
@@ -375,9 +376,8 @@ std::size_t CheckpointJournal::load() {
     ++loaded;
   }
   if (skipped_lines_ > 0) {
-    std::fprintf(stderr,
-                 "[checkpoint] WARNING: skipped %zu malformed line(s) in %s\n",
-                 skipped_lines_, path_.c_str());
+    obs::log_warn("checkpoint", "skipped malformed journal line(s)",
+                  {{"lines", skipped_lines_}, {"path", path_}});
   }
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry::global()
@@ -438,10 +438,9 @@ void CheckpointJournal::append(CheckpointRecord record) {
     // making "exactly N journaled cells" nondeterministic (the resume
     // tests assert the exact count, and TSan's slowdown makes the
     // unlocked window wide enough to hit in practice).
-    std::fprintf(stderr,
-                 "[checkpoint] crash injection: SIGKILL after %zu cells\n",
-                 appended_);
-    std::fflush(stderr);
+    // EventLog flushes per record, so this survives the raise below.
+    obs::log_warn("checkpoint", "crash injection: SIGKILL",
+                  {{"cells_appended", appended_}});
     ::raise(SIGKILL);  // simulate an external hard kill (OOM killer)
   }
   if (obs::metrics_enabled()) {
@@ -471,10 +470,9 @@ bool CheckpointJournal::flush_locked() {
   }
   if (!write_file_atomically(path_, content)) {
     if (!write_failed_) {
-      std::fprintf(stderr,
-                   "[checkpoint] WARNING: cannot write journal %s (%s); "
-                   "continuing without durability\n",
-                   path_.c_str(), std::strerror(errno));
+      obs::log_error("checkpoint",
+                     "cannot write journal; continuing without durability",
+                     {{"path", path_}, {"error", std::strerror(errno)}});
       write_failed_ = true;
     }
     return false;
@@ -529,8 +527,8 @@ MergeReport merge_journals(std::span<const std::string> shard_paths,
     }
   }
   if (!write_file_atomically(out_path, content)) {
-    std::fprintf(stderr, "[checkpoint] WARNING: cannot write merged journal %s\n",
-                 out_path.c_str());
+    obs::log_error("checkpoint", "cannot write merged journal",
+                   {{"path", out_path}});
   }
   return report;
 }

@@ -13,7 +13,9 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace bvc::robust {
@@ -138,8 +140,8 @@ SupervisorReport supervise_shards(std::span<const WorkerSpawn> workers,
     shards[i].last_heartbeat = journal_size(workers[i].journal_path);
     shards[i].last_progress = start;
     if (shards[i].pid < 0) {
-      std::fprintf(stderr, "[supervisor] fork failed for shard %zu: %s\n", i,
-                   std::strerror(errno));
+      obs::log_error("supervisor", "fork failed for shard",
+                     {{"shard", i}, {"error", std::strerror(errno)}});
       shards[i].gave_up = true;
       shards[i].outcome.gave_up = true;
     }
@@ -163,10 +165,11 @@ SupervisorReport supervise_shards(std::span<const WorkerSpawn> workers,
     if (shard.outcome.restarts >= options.backoff.max_retries) {
       shard.gave_up = true;
       shard.outcome.gave_up = true;
-      std::fprintf(stderr,
-                   "[supervisor] shard %d: retry budget exhausted after %d "
-                   "restart(s); degrading to in-process recovery\n",
-                   shard.outcome.index, shard.outcome.restarts);
+      obs::log_error(
+          "supervisor",
+          "retry budget exhausted; degrading to in-process recovery",
+          {{"shard", shard.outcome.index},
+           {"restarts", shard.outcome.restarts}});
       return;
     }
     const double delay =
@@ -175,15 +178,61 @@ SupervisorReport supervise_shards(std::span<const WorkerSpawn> workers,
     shard.restart_at =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(delay));
-    std::fprintf(
-        stderr,
-        "[supervisor] shard %d died (%s %d)%s; restart %d/%d in %.2fs\n",
-        shard.outcome.index,
-        shard.outcome.last_signal != 0 ? "signal" : "exit",
-        shard.outcome.last_signal != 0 ? shard.outcome.last_signal
-                                       : shard.outcome.last_exit_code,
-        stalled ? " [stalled heartbeat]" : "", shard.outcome.restarts + 1,
-        options.backoff.max_retries, delay);
+    obs::log_warn(
+        "supervisor", stalled ? "shard stalled; restarting" : "shard died; "
+        "restarting",
+        {{"shard", shard.outcome.index},
+         {"cause", shard.outcome.last_signal != 0 ? "signal" : "exit"},
+         {"code", shard.outcome.last_signal != 0
+                      ? shard.outcome.last_signal
+                      : shard.outcome.last_exit_code},
+         {"restart", shard.outcome.restarts + 1},
+         {"budget", options.backoff.max_retries},
+         {"backoff_seconds", delay}});
+  };
+
+  // Live progress: merge the workers' periodic telemetry flushes and log
+  // one line per interval — cells journaled so far, throughput, cache
+  // totals, and which workers are alive — so an hours-long sweep is
+  // observable without waiting for the terminal merge.
+  Clock::time_point last_report = start;
+  const auto report_progress = [&]() {
+    if (options.progress_interval_seconds <= 0.0 ||
+        options.telemetry_dir.empty()) {
+      return;
+    }
+    const Clock::time_point now = Clock::now();
+    if (std::chrono::duration<double>(now - last_report).count() <
+        options.progress_interval_seconds) {
+      return;
+    }
+    last_report = now;
+    std::size_t alive = 0;
+    std::size_t done = 0;
+    for (const ShardState& shard : shards) {
+      if (shard.pid > 0) ++alive;
+      if (shard.done) ++done;
+    }
+    const obs::TelemetryMergeReport merged =
+        obs::merge_telemetry_dir(options.telemetry_dir);
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const auto it = merged.metrics.counters.find(name);
+      return it == merged.metrics.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t cells = counter("robust.checkpoint.cells_appended");
+    const double elapsed =
+        std::chrono::duration<double>(now - start).count();
+    obs::log_info("supervisor", "sweep progress",
+                  {{"cells", cells},
+                   {"cells_per_sec",
+                    elapsed > 0.0 ? static_cast<double>(cells) / elapsed
+                                  : 0.0},
+                   {"cache_hits", counter("mdp.cache.hits")},
+                   {"cache_misses", counter("mdp.cache.misses")},
+                   {"workers_alive", alive},
+                   {"workers_done", done},
+                   {"workers", shards.size()},
+                   {"restarts", report.total_restarts}});
   };
 
   while (true) {
@@ -243,6 +292,7 @@ SupervisorReport supervise_shards(std::span<const WorkerSpawn> workers,
       }
     }
 
+    report_progress();
     if (!any_pending) {
       break;
     }

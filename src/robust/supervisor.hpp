@@ -75,6 +75,14 @@ struct SupervisorOptions {
   double stall_timeout_seconds = 0.0;
   /// Child / heartbeat poll cadence.
   double poll_interval_seconds = 0.05;
+  /// Live progress reporting through obs::EventLog: every this-many
+  /// seconds the supervisor merges the workers' telemetry flushes from
+  /// `telemetry_dir` and logs cells journaled, cells/sec, cache hit/miss
+  /// totals, and worker liveness. <= 0 (the default) disables.
+  double progress_interval_seconds = 0.0;
+  /// Directory the workers' TelemetryFlushers write into (see
+  /// obs/telemetry.hpp); consulted only for progress reports.
+  std::string telemetry_dir;
   /// Fired token: SIGTERM all workers and return early.
   CancelToken cancel;
 };

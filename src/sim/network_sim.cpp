@@ -94,7 +94,8 @@ NetworkSimulation::NetworkSimulation(NetworkConfig config)
 }
 
 NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
-                                     const robust::RunControl& control) const {
+                                     const robust::RunControl& control,
+                                     Timeline* timeline) const {
   const std::size_t num_miners = config_.miners.size();
   const bool relay_mode = !config_.topology.empty();
   const std::size_t num_nodes =
@@ -133,9 +134,20 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
   result.locked_per_miner.assign(num_miners, 0);
   result.orphaned_per_miner.assign(num_miners, 0);
 
+  if (timeline != nullptr) {
+    for (std::size_t node = 0; node < num_nodes; ++node) {
+      const std::size_t who = miner_at[node];
+      timeline->set_node_label(
+          node, who < num_miners
+                    ? "miner " + config_.miners[who].name + " @ node-" +
+                          std::to_string(node)
+                    : "node-" + std::to_string(node));
+    }
+  }
+
   // Delivers `block` and any descendants that were waiting on it, appending
   // every newly learned id to `learned` (relay mode forwards them).
-  const auto deliver = [&](std::size_t node, chain::BlockId block,
+  const auto deliver = [&](std::size_t node, chain::BlockId block, double now,
                            std::vector<chain::BlockId>* learned) {
     std::vector<chain::BlockId> ready = {block};
     while (!ready.empty()) {
@@ -149,7 +161,20 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
         waiting[node].emplace(parent, id);
         continue;
       }
-      views[node].learn(id);
+      const chain::BlockId tip_before = views[node].tip();
+      const bool tip_changed = views[node].learn(id);
+      if (timeline != nullptr) {
+        timeline->record_accept(now, node, id);
+        // A tip move to anything but a child of the old tip is a reorg:
+        // the node abandoned its branch (propagation race or an EB/AD
+        // validity fork resolving).
+        if (tip_changed) {
+          const chain::BlockId new_tip = views[node].tip();
+          if (tree.block(new_tip).parent != tip_before) {
+            timeline->record_fork_switch(now, node, tip_before, new_tip);
+          }
+        }
+      }
       if (learned != nullptr) {
         learned->push_back(id);
       }
@@ -190,6 +215,9 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
     while (faults.crashed_at(peer, arrival, &up_at)) {
       arrival = up_at;
       ++result.deferred_deliveries;
+    }
+    if (timeline != nullptr) {
+      timeline->record_relay(now, arrival, peer, from, block);
     }
     engine.schedule(arrival, kDelivery, NetEvent{peer, block, from});
   };
@@ -260,12 +288,16 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
     const chain::BlockId block =
         tree.add_block(views[origin].tip(), miner.block_size,
                        static_cast<chain::MinerId>(who));
+    if (timeline != nullptr) {
+      timeline->record_find(now, origin, who, block, miner.block_size);
+    }
     ++found;
     ++result.mined_per_miner[who];
     if (found < blocks) {
       engine.schedule(next_find, kFind, NetEvent{});
     }
-    deliver(origin, block, nullptr);  // the miner knows its block instantly
+    // the miner knows its block instantly
+    deliver(origin, block, now, nullptr);
     if (relay_mode) {
       forward_block(origin, block, origin, now);
       return;
@@ -285,14 +317,14 @@ NetworkResult NetworkSimulation::run(std::uint64_t blocks, Rng& rng,
   std::vector<chain::BlockId> learned;
   const auto on_delivery = [&](const NetEvent& event, double now) {
     if (!relay_mode) {
-      deliver(event.node, event.block, nullptr);
+      deliver(event.node, event.block, now, nullptr);
       return;
     }
     if (views[event.node].knows(event.block)) {
       return;  // redundant gossip copy
     }
     learned.clear();
-    deliver(event.node, event.block, &learned);
+    deliver(event.node, event.block, now, &learned);
     for (const chain::BlockId id : learned) {
       // Suppress the echo only for the copy that just arrived; unparked
       // descendants came from older senders and go to every neighbor.

@@ -36,6 +36,7 @@
 #include "robust/fault_plan.hpp"
 #include "robust/run_control.hpp"
 #include "sim/node_view.hpp"
+#include "sim/timeline.hpp"
 #include "sim/topology.hpp"
 #include "util/rng.hpp"
 
@@ -137,10 +138,15 @@ class NetworkSimulation {
   /// per event (find or delivery); on budget exhaustion / cancellation the
   /// accounting covers whatever was simulated, with the status set.
   ///
+  /// A non-null `timeline` records every find / relay flight / acceptance
+  /// / fork switch on the SIMULATED clock (see sim/timeline.hpp) without
+  /// perturbing the run: no extra RNG draws, identical results.
+  ///
   /// const so concurrent replicas (sim::run_replicas) can share one
   /// simulation object: a run touches only its own local state.
   [[nodiscard]] NetworkResult run(std::uint64_t blocks, Rng& rng,
-                                  const robust::RunControl& control = {}) const;
+                                  const robust::RunControl& control = {},
+                                  Timeline* timeline = nullptr) const;
 
  private:
   NetworkConfig config_;

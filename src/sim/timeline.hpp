@@ -1,0 +1,74 @@
+// Simulated-clock timeline for NetworkSimulation runs.
+//
+// The obs::Tracer records WALL-clock spans of this process; a network run
+// instead unfolds on the simulation's own clock, across many virtual
+// nodes. Timeline is a single-threaded recorder the simulation fills as
+// events dispatch — block finds, per-link relay flights, per-node
+// validation/acceptance, and fork switches — and exports as a Chrome
+// trace with ONE TRACK PER NODE: pid 1 is the simulated network,
+// tid = node index, with thread_name metadata labeling miners by name.
+// Timestamps are simulated seconds scaled to microseconds (the trace
+// format's native unit), so chrome://tracing / Perfetto show the
+// propagation races and validity forks on the simulation's own timeline.
+//
+// Passing a Timeline to NetworkSimulation::run never perturbs the run:
+// no RNG draws, no event reordering — only observations of decisions the
+// simulation already made.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chain/block_tree.hpp"
+
+namespace bvc::sim {
+
+class Timeline {
+ public:
+  /// Track label for `node` ("miner alpha @ node-3"); unlabeled nodes
+  /// render as "node-<i>".
+  void set_node_label(std::size_t node, std::string label);
+
+  /// A block found by `miner` at `node` (instant on the node's track).
+  void record_find(double now, std::size_t node, std::size_t miner,
+                   chain::BlockId block, chain::ByteSize size);
+  /// One copy of `block` in flight from `from`, landing on `to` at
+  /// `arrival` (a duration event on the RECEIVER's track: the flight is
+  /// that node's wait for the block).
+  void record_relay(double sent, double arrival, std::size_t to,
+                    std::size_t from, chain::BlockId block);
+  /// `node` validated and accepted `block` into its view.
+  void record_accept(double now, std::size_t node, chain::BlockId block);
+  /// `node`'s mining tip jumped to a different branch (a reorg — not the
+  /// plain parent -> child extension).
+  void record_fork_switch(double now, std::size_t node,
+                          chain::BlockId from_tip, chain::BlockId to_tip);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Chrome trace JSON ({"displayTimeUnit":"ms","traceEvents":[...]}):
+  /// thread_name metadata rows first, then every event in record order.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  enum class Kind : std::uint8_t { kFind, kRelay, kAccept, kForkSwitch };
+
+  struct Event {
+    Kind kind;
+    double ts_us = 0.0;   ///< simulated microseconds
+    double dur_us = 0.0;  ///< kRelay only
+    std::uint32_t node = 0;
+    std::uint64_t block = 0;  ///< kForkSwitch: the new tip
+    std::uint64_t extra = 0;  ///< kFind: miner+size via aux; kRelay: sender;
+                              ///< kForkSwitch: the previous tip
+    std::uint64_t aux = 0;    ///< kFind: block size in bytes
+  };
+
+  std::vector<Event> events_;
+  std::vector<std::string> labels_;  ///< indexed by node; "" = default
+};
+
+}  // namespace bvc::sim

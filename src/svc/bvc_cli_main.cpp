@@ -14,12 +14,24 @@
 //                                                 the job is terminal
 //   bvc-cli cancel  <id> --port N                 DELETE /v1/jobs/<id>
 //   bvc-cli list    --port N                      GET /v1/jobs
-//   bvc-cli metrics --port N                      GET /v1/metrics
+//   bvc-cli metrics --port N [--format=prometheus]
+//                                                 GET /v1/metrics; with
+//                                                 --format the body is
+//                                                 printed VERBATIM (the
+//                                                 exposition text is not
+//                                                 JSON)
 //   bvc-cli health  --port N                      GET /v1/healthz
 //   bvc-cli cache   --port N                      GET /v1/cache
+//   bvc-cli merge   <dir> --metrics-out PATH      offline: merge a
+//                   [--prom-out PATH]             telemetry directory (as
+//                   [--trace-out PATH]            written by --telemetry-dir
+//                                                 workers) into one metrics
+//                                                 snapshot / Chrome trace —
+//                                                 no daemon needed
 //
 // Every verb prints the response body (JSON) on stdout. Exit codes:
-// 0 = 2xx, 1 = HTTP error / job did not finish, 3 = cannot reach bvcd.
+// 0 = 2xx, 1 = HTTP error / job did not finish, 3 = cannot reach bvcd,
+// 4 = the server answered a --format metrics request with a non-200.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +40,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/http.hpp"
 #include "svc/json.hpp"
 #include "util/arg_spec.hpp"
@@ -106,6 +121,17 @@ int main(int argc, char** argv) {
        "`status`: return records from completion position K onward", ""},
       {"limit", util::ArgType::kLong, "M",
        "`status`: page size when --offset is given", ""},
+      {"format", util::ArgType::kString, "FMT",
+       "`metrics`: ask the server for FMT (json|prometheus) and print the "
+       "body verbatim", ""},
+      {"metrics-out", util::ArgType::kString, "PATH",
+       "`merge`: write the merged metrics snapshot (JSON) to PATH", ""},
+      {"prom-out", util::ArgType::kString, "PATH",
+       "`merge`: write the merged snapshot in Prometheus exposition format "
+       "to PATH", ""},
+      {"trace-out", util::ArgType::kString, "PATH",
+       "`merge`: write the merged Chrome trace (one pid lane per worker) "
+       "to PATH", ""},
   });
   const CliArgs args = parser.parse(argc, argv);
 
@@ -113,10 +139,67 @@ int main(int argc, char** argv) {
   if (positional.empty()) {
     std::fprintf(stderr,
                  "bvc-cli: missing verb (submit|status|result|tail|cancel|"
-                 "list|metrics|health|cache); run --help\n");
+                 "list|metrics|health|cache|merge); run --help\n");
     return 2;
   }
   const std::string& verb = positional[0];
+
+  // `merge` is the one offline verb: it reads a telemetry directory
+  // directly, so it must not demand a port.
+  if (verb == "merge") {
+    if (positional.size() < 2) {
+      std::fprintf(stderr, "bvc-cli: merge needs a telemetry directory\n");
+      return 2;
+    }
+    const std::string& dir = positional[1];
+    const std::string metrics_out = args.get_string("metrics-out", "");
+    const std::string prom_out = args.get_string("prom-out", "");
+    const std::string trace_out = args.get_string("trace-out", "");
+    if (metrics_out.empty() && prom_out.empty() && trace_out.empty()) {
+      std::fprintf(stderr,
+                   "bvc-cli: merge needs at least one of --metrics-out, "
+                   "--prom-out, --trace-out\n");
+      return 2;
+    }
+    const obs::TelemetryMergeReport report = obs::merge_telemetry_dir(dir);
+    for (const std::string& error : report.errors) {
+      std::fprintf(stderr, "bvc-cli: %s\n", error.c_str());
+    }
+    if (report.metrics_files == 0 && report.trace_files.empty()) {
+      std::fprintf(stderr, "bvc-cli: no telemetry files under %s\n",
+                   dir.c_str());
+      return 1;
+    }
+    bool ok = true;
+    const auto write_file = [&ok](const std::string& path,
+                                  const auto& writer) {
+      std::ofstream out(path, std::ios::trunc);
+      if (out) {
+        writer(out);
+      }
+      if (!out) {
+        std::fprintf(stderr, "bvc-cli: cannot write %s\n", path.c_str());
+        ok = false;
+      }
+    };
+    if (!metrics_out.empty()) {
+      write_file(metrics_out, [&report](std::ostream& out) {
+        obs::write_metrics_json(out, report.metrics);
+      });
+    }
+    if (!prom_out.empty()) {
+      write_file(prom_out, [&report](std::ostream& out) {
+        obs::write_prometheus(out, report.metrics);
+      });
+    }
+    if (!trace_out.empty()) {
+      write_file(trace_out, [&dir](std::ostream& out) {
+        (void)obs::write_merged_chrome_trace(out, dir, nullptr, "");
+      });
+    }
+    return ok ? 0 : 1;
+  }
+
   const long port = resolve_port(args);
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "bvc-cli: need --port or --port-file\n");
@@ -140,7 +223,20 @@ int main(int argc, char** argv) {
     return print_response(fetch("GET", "/v1/jobs"));
   }
   if (verb == "metrics") {
-    return print_response(fetch("GET", "/v1/metrics"));
+    const std::string format = args.get_string("format", "");
+    if (format.empty()) {
+      return print_response(fetch("GET", "/v1/metrics"));
+    }
+    const std::optional<svc::HttpResponse> response =
+        fetch("GET", "/v1/metrics?format=" + format);
+    if (!response) {
+      std::fprintf(stderr, "bvc-cli: cannot reach bvcd\n");
+      return 3;
+    }
+    // Verbatim: the Prometheus exposition text is newline-terminated
+    // already, and a scrape relay must not alter the body.
+    std::fputs(response->body.c_str(), stdout);
+    return response->status == 200 ? 0 : 4;
   }
   if (verb == "health") {
     return print_response(fetch("GET", "/v1/healthz"));

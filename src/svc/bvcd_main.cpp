@@ -6,13 +6,16 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "mdp/kernel.hpp"
 #include "mdp/model_cache.hpp"
+#include "obs/event_log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/http.hpp"
 #include "svc/service.hpp"
 #include "util/arg_spec.hpp"
@@ -80,8 +83,45 @@ int main(int argc, char** argv) {
       {"kernel", util::ArgType::kString, "ISA",
        "sweep kernel ISA: auto|scalar|avx2|avx512 (overrides BVC_KERNEL)",
        "auto"},
+      {"log-out", util::ArgType::kString, "PATH",
+       "write structured JSONL event-log records to PATH instead of "
+       "human-readable stderr", ""},
+      {"log-level", util::ArgType::kString, "LEVEL",
+       "minimum event-log level: debug|info|warn|error", "info"},
+      {"telemetry-dir", util::ArgType::kString, "PATH",
+       "periodically flush metrics + trace deltas into PATH (one "
+       "bvcd.<pid>.* file pair) for cross-process aggregation", ""},
+      {"telemetry-interval-ms", util::ArgType::kLong, "MS",
+       "telemetry flush cadence in milliseconds", "500"},
   });
   const CliArgs args = parser.parse(argc, argv);
+
+  // Event log first: every later failure (and the service's own warnings)
+  // goes through it.
+  {
+    obs::LogConfig log_config;
+    const std::string level_name = args.get_string("log-level", "info");
+    const std::optional<obs::LogLevel> level =
+        obs::parse_log_level(level_name);
+    if (!level) {
+      std::fprintf(stderr,
+                   "bvcd: invalid --log-level value '%s' "
+                   "(expected debug|info|warn|error)\n",
+                   level_name.c_str());
+      return 2;
+    }
+    log_config.min_level = *level;
+    log_config.path = args.get_string("log-out", "");
+    if (!obs::EventLog::global().configure(log_config)) {
+      std::fprintf(stderr, "bvcd: cannot open --log-out file: %s\n",
+                   log_config.path.c_str());
+      return 2;
+    }
+  }
+
+  // A daemon is always observable: /v1/metrics must serve live counters
+  // without a restart-with-flags round trip.
+  obs::set_metrics_enabled(true);
 
   const long port = args.get_long("port", 0);
   if (port < 0 || port > 65535) {
@@ -112,8 +152,8 @@ int main(int argc, char** argv) {
     std::error_code ec;
     std::filesystem::create_directories(cache_dir, ec);
     if (ec) {
-      std::fprintf(stderr, "bvcd: cannot create --cache-dir %s: %s\n",
-                   cache_dir.c_str(), ec.message().c_str());
+      obs::log_error("bvcd", "cannot create --cache-dir",
+                     {{"path", cache_dir}, {"error", ec.message()}});
       return 1;
     }
     mdp::ModelCache::global().set_disk_tier(cache_dir);
@@ -138,10 +178,25 @@ int main(int argc, char** argv) {
     std::error_code ec;
     std::filesystem::create_directories(config.state_dir, ec);
     if (ec) {
-      std::fprintf(stderr, "bvcd: cannot create --state-dir %s: %s\n",
-                   config.state_dir.c_str(), ec.message().c_str());
+      obs::log_error("bvcd", "cannot create --state-dir",
+                     {{"path", config.state_dir}, {"error", ec.message()}});
       return 1;
     }
+  }
+
+  // Periodic metrics/trace flushes into a shared directory: a supervisor
+  // (or `bvc-cli merge`) aggregates them with any other process writing
+  // into the same dir.
+  std::optional<obs::TelemetryFlusher> flusher;
+  const std::string telemetry_dir = args.get_string("telemetry-dir", "");
+  if (!telemetry_dir.empty()) {
+    obs::TelemetryConfig telemetry;
+    telemetry.dir = telemetry_dir;
+    telemetry.label = "bvcd";
+    telemetry.interval_seconds =
+        static_cast<double>(args.get_long("telemetry-interval-ms", 500)) /
+        1000.0;
+    flusher.emplace(telemetry);
   }
 
   obs::RunManifest manifest = obs::make_run_manifest(argc, argv);
@@ -170,8 +225,7 @@ int main(int argc, char** argv) {
   const std::string port_file = args.get_string("port-file", "");
   if (!port_file.empty() &&
       !write_text_file(port_file, std::to_string(server.port()) + "\n")) {
-    std::fprintf(stderr, "bvcd: cannot write --port-file %s\n",
-                 port_file.c_str());
+    obs::log_error("bvcd", "cannot write --port-file", {{"path", port_file}});
     server.stop();
     return 1;
   }
@@ -196,8 +250,8 @@ int main(int argc, char** argv) {
       obs::write_manifest_json(out, manifest,
                                obs::MetricsRegistry::global().snapshot());
     } else {
-      std::fprintf(stderr, "bvcd: cannot write --manifest-out %s\n",
-                   manifest_out.c_str());
+      obs::log_error("bvcd", "cannot write --manifest-out",
+                     {{"path", manifest_out}});
     }
   }
   return 0;

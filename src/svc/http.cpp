@@ -1,5 +1,7 @@
 #include "svc/http.hpp"
 
+#include "obs/event_log.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -249,8 +251,8 @@ void HttpServer::spawn_connection(int fd) {
     // Out of threads: serve this one connection inline instead of
     // dropping it. The accept loop stalls for its duration — acceptable
     // in an rlimit-starved corner the cap normally prevents.
-    std::fprintf(stderr, "bvcd: connection thread spawn failed: %s\n",
-                 e.what());
+    obs::log_error("svc", "connection thread spawn failed; serving inline",
+                   {{"error", e.what()}});
     handle_connection(fd);
     ::close(fd);
     const std::lock_guard<std::mutex> lock(connection_mutex_);
@@ -276,7 +278,8 @@ void HttpServer::handle_connection(int fd) {
   } catch (const std::exception& e) {
     response.status = 500;
     response.body = "{\"error\":\"internal\"}";
-    std::fprintf(stderr, "bvcd: handler threw: %s\n", e.what());
+    obs::log_error("svc", "request handler threw",
+                   {{"error", e.what()}});
   }
   write_response(fd, response);
 }

@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "mdp/model_cache.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "util/check.hpp"
 
 namespace bvc::svc {
@@ -66,11 +68,26 @@ std::optional<JobState> state_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+/// Relaxed-counter bump guarded by the global metrics toggle — the same
+/// idiom the solver hot paths use, so a daemon with metrics disabled pays
+/// one relaxed load.
+void count_job_event(const char* name) {
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global().counter(name).add();
+  }
+}
+
+void gauge_active_jobs(std::size_t active) {
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .gauge("svc.jobs.active")
+        .set(static_cast<double>(active));
+  }
+}
+
 /// Value of `name` in a query string ("offset=3&limit=2"), or nullopt.
-/// Values must be plain non-negative integers; anything else is malformed.
-std::optional<std::size_t> query_param(const std::string& query,
-                                       std::string_view name,
-                                       bool& malformed) {
+std::optional<std::string> query_value(const std::string& query,
+                                       std::string_view name) {
   std::size_t pos = 0;
   while (pos < query.size()) {
     std::size_t end = query.find('&', pos);
@@ -81,19 +98,29 @@ std::optional<std::size_t> query_param(const std::string& query,
         std::string_view(query).substr(pos, end - pos);
     pos = end + 1;
     const std::size_t eq = pair.find('=');
-    if (eq == std::string_view::npos || pair.substr(0, eq) != name) {
-      continue;
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
     }
-    const std::string_view value = pair.substr(eq + 1);
-    if (value.empty() || value.size() > 12 ||
-        value.find_first_not_of("0123456789") != std::string_view::npos) {
-      malformed = true;
-      return std::nullopt;
-    }
-    return static_cast<std::size_t>(
-        std::strtoull(std::string(value).c_str(), nullptr, 10));
   }
   return std::nullopt;
+}
+
+/// Like query_value, but the value must be a plain non-negative integer;
+/// anything else is malformed.
+std::optional<std::size_t> query_param(const std::string& query,
+                                       std::string_view name,
+                                       bool& malformed) {
+  const std::optional<std::string> value = query_value(query, name);
+  if (!value) {
+    return std::nullopt;
+  }
+  if (value->empty() || value->size() > 12 ||
+      value->find_first_not_of("0123456789") != std::string::npos) {
+    malformed = true;
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(
+      std::strtoull(value->c_str(), nullptr, 10));
 }
 
 }  // namespace
@@ -177,7 +204,7 @@ HttpResponse SolveService::route(const HttpRequest& request) {
                                    : error_response(405, "method not allowed");
   }
   if (target == "/v1/metrics") {
-    return request.method == "GET" ? metrics()
+    return request.method == "GET" ? metrics(query)
                                    : error_response(405, "method not allowed");
   }
   if (target == "/v1/cache") {
@@ -201,6 +228,7 @@ HttpResponse SolveService::submit(const HttpRequest& request) {
   }
 
   Job* job = nullptr;
+  std::size_t active = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     auto owned = std::make_unique<Job>();
@@ -218,7 +246,18 @@ HttpResponse SolveService::submit(const HttpRequest& request) {
     // No deadlock: run_job takes mutex_ itself, so the worker just blocks
     // until this section releases it.
     job->worker = std::thread([this, job] { run_job(job); });
+    for (const auto& [jid, entry] : jobs_) {
+      if (!is_terminal(entry->state)) {
+        ++active;
+      }
+    }
   }
+  count_job_event("svc.jobs.submitted");
+  gauge_active_jobs(active);
+  obs::log_info("svc", "job submitted",
+                {{"id", job->id},
+                 {"kind", to_string(job->spec->kind())},
+                 {"cells", job->spec->cells()}});
 
   Json response = Json::object();
   response.set("id", Json::string(job->id));
@@ -273,6 +312,42 @@ HttpResponse SolveService::job_status(const std::string& id,
   out.set("resumed", Json::number(static_cast<double>(job.resumed)));
   if (!job.failure.empty()) {
     out.set("failure", Json::string(job.failure));
+  }
+  if (job.state != JobState::kQueued) {
+    // Live telemetry: progress rate and an ETA while the worker runs, the
+    // final wall-clock once terminal, plus the process-wide model-cache
+    // stats this job is drawing on. `resumed` cells restored from the
+    // journal in microseconds are excluded from the rate so the ETA
+    // reflects real solve throughput.
+    const bool running = job.state == JobState::kRunning;
+    const double elapsed =
+        running ? std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - job.started_at)
+                      .count()
+                : job.run_seconds;
+    const double solved =
+        static_cast<double>(job.completed) - static_cast<double>(job.resumed);
+    const double rate = elapsed > 0.0 ? solved / elapsed : 0.0;
+    Json telemetry = Json::object();
+    telemetry.set("elapsed_seconds", Json::number(elapsed));
+    telemetry.set("cells_per_second", Json::number(rate));
+    if (running && rate > 0.0) {
+      const double remaining =
+          static_cast<double>(job.spec->cells()) -
+          static_cast<double>(job.completed);
+      telemetry.set("eta_seconds", Json::number(remaining / rate));
+    }
+    telemetry.set("worker_alive", Json::boolean(running));
+    const mdp::ModelCache::Stats cache = mdp::ModelCache::global().stats();
+    Json cache_json = Json::object();
+    cache_json.set("hits", Json::number(static_cast<double>(cache.hits)));
+    cache_json.set("misses", Json::number(static_cast<double>(cache.misses)));
+    cache_json.set("entries",
+                   Json::number(static_cast<double>(cache.entries)));
+    cache_json.set("bytes_resident",
+                   Json::number(static_cast<double>(cache.bytes_resident)));
+    telemetry.set("cache", std::move(cache_json));
+    out.set("telemetry", std::move(telemetry));
   }
   Json records = Json::array();
   if (offset) {
@@ -335,10 +410,19 @@ HttpResponse SolveService::healthz() {
   return json_response(200, out);
 }
 
-HttpResponse SolveService::metrics() {
+HttpResponse SolveService::metrics(const std::string& query) {
+  const std::string format = query_value(query, "format").value_or("json");
   std::ostringstream out;
-  obs::MetricsRegistry::global().write_json(out);
   HttpResponse response;
+  if (format == "prometheus") {
+    obs::write_prometheus(out, obs::MetricsRegistry::global().snapshot());
+    response.content_type = std::string(obs::kPrometheusContentType);
+  } else if (format == "json") {
+    obs::MetricsRegistry::global().write_json(out);
+  } else {
+    return error_response(
+        400, "unknown metrics format (expected json or prometheus)");
+  }
   response.body = out.str();
   return response;
 }
@@ -391,6 +475,7 @@ void SolveService::run_job(Job* job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job->state = JobState::kRunning;
+    job->started_at = std::chrono::steady_clock::now();
   }
   try {
     const std::size_t count = job->spec->cells();
@@ -481,6 +566,36 @@ void SolveService::run_job(Job* job) {
     job->failure = e.what();
     persist_index_locked();
   }
+  {
+    std::size_t active = 0;
+    JobState terminal_state = JobState::kDone;
+    double run_seconds = 0.0;
+    std::size_t completed = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->run_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - job->started_at)
+                             .count();
+      run_seconds = job->run_seconds;
+      terminal_state = job->state;
+      completed = job->completed;
+      for (const auto& [jid, entry] : jobs_) {
+        if (!is_terminal(entry->state)) {
+          ++active;
+        }
+      }
+    }
+    count_job_event(terminal_state == JobState::kDone       ? "svc.jobs.done"
+                    : terminal_state == JobState::kCancelled
+                        ? "svc.jobs.cancelled"
+                        : "svc.jobs.failed");
+    gauge_active_jobs(active);
+    obs::log_info("svc", "job finished",
+                  {{"id", job->id},
+                   {"state", to_string(terminal_state)},
+                   {"completed", completed},
+                   {"run_seconds", run_seconds}});
+  }
   // This job just went terminal: trim older terminal jobs beyond the
   // retention cap. `job` itself is protected (the newest terminal job must
   // survive, and a worker cannot join itself).
@@ -565,7 +680,7 @@ void SolveService::persist_index_locked() {
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
-      std::fprintf(stderr, "bvcd: cannot write job index %s\n", tmp.c_str());
+      obs::log_error("svc", "cannot write job index", {{"path", tmp}});
       return;
     }
     out << content;
@@ -573,8 +688,8 @@ void SolveService::persist_index_locked() {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    std::fprintf(stderr, "bvcd: cannot publish job index %s: %s\n",
-                 path.c_str(), ec.message().c_str());
+    obs::log_error("svc", "cannot publish job index",
+                   {{"path", path}, {"error", ec.message()}});
   }
 }
 
@@ -593,7 +708,7 @@ void SolveService::restore_jobs() {
       }
       const std::optional<Json> entry = Json::parse(line);
       if (!entry || !entry->is_object()) {
-        std::fprintf(stderr, "bvcd: skipping malformed job index line\n");
+        obs::log_warn("svc", "skipping malformed job index line", {});
         continue;
       }
       const std::string id = entry->string_or("id", "");
@@ -606,8 +721,8 @@ void SolveService::restore_jobs() {
       std::unique_ptr<JobSpec> spec =
           JobSpec::parse(*spec_body, config_.limits, status, error);
       if (spec == nullptr) {
-        std::fprintf(stderr, "bvcd: dropping job %s from index: %s\n",
-                     id.c_str(), error.c_str());
+        obs::log_warn("svc", "dropping job from index",
+                      {{"id", id}, {"error", error}});
         continue;
       }
       auto owned = std::make_unique<Job>();

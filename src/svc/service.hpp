@@ -26,7 +26,10 @@
 //                         batch engine stops picking up cells and
 //                         in-flight solves observe the linked token
 //   GET    /v1/healthz    liveness + job counts
-//   GET    /v1/metrics    the obs::MetricsRegistry snapshot (JSON)
+//   GET    /v1/metrics    the obs::MetricsRegistry snapshot (JSON by
+//                         default; ?format=prometheus returns the
+//                         Prometheus text exposition, content type
+//                         text/plain; version=0.0.4)
 //   GET    /v1/cache      mdp::ModelCache::global() stats snapshot
 //
 // Persistence (state_dir != ""): the job index (`jobs.jsonl`, one line per
@@ -46,6 +49,7 @@
 // its own cells; the gate is the cross-job backpressure).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -126,6 +130,11 @@ class SolveService {
     std::size_t completed = 0;
     std::size_t resumed = 0;
     std::string failure;  ///< what() of the exception that failed the job
+    /// When the worker started solving (valid once state left kQueued);
+    /// feeds the live telemetry block in job_status.
+    std::chrono::steady_clock::time_point started_at{};
+    /// Wall-clock seconds from start to terminal state (0 until terminal).
+    double run_seconds = 0.0;
     std::thread worker;
   };
 
@@ -135,7 +144,7 @@ class SolveService {
   HttpResponse job_status(const std::string& id, const std::string& query);
   HttpResponse cancel_job(const std::string& id);
   HttpResponse healthz();
-  HttpResponse metrics();
+  HttpResponse metrics(const std::string& query);
   HttpResponse cache_stats();
 
   void run_job(Job* job);

@@ -307,4 +307,34 @@ TEST(Manifest, JsonEmbedsMetricsSnapshotAndOutputs) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+// Regression: re-registering a histogram under the same name with
+// DIFFERENT bounds must keep the original buckets (stable addresses, no
+// silent re-bucketing) and surface the clash as a counter.
+TEST(Metrics, HistogramBoundMismatchKeepsOriginalAndCountsConflict) {
+  ObsQuiescer quiesce;
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::array<double, 2> bounds{1.0, 2.0};
+  obs::Histogram& original =
+      registry.histogram("test.obs.bound_mismatch", bounds);
+  const std::uint64_t before =
+      registry.counter("obs.metrics.histogram_bound_conflicts").value();
+
+  const std::array<double, 3> other{0.5, 1.5, 9.0};
+  obs::Histogram& clashed =
+      registry.histogram("test.obs.bound_mismatch", other);
+  EXPECT_EQ(&original, &clashed);
+  ASSERT_EQ(clashed.bounds().size(), 2u);
+  EXPECT_EQ(clashed.bounds()[0], 1.0);
+  EXPECT_EQ(registry.counter("obs.metrics.histogram_bound_conflicts").value(),
+            before + 1);
+
+  // Identical bounds are a plain lookup, not a conflict.
+  obs::Histogram& same = registry.histogram("test.obs.bound_mismatch", bounds);
+  EXPECT_EQ(&original, &same);
+  EXPECT_EQ(registry.counter("obs.metrics.histogram_bound_conflicts").value(),
+            before + 1);
+  registry.reset();
+}
+
 }  // namespace

@@ -1,0 +1,115 @@
+// Tests of the Prometheus text exposition (src/obs/prometheus.cpp): metric
+// name sanitization, HELP/TYPE families, cumulative histogram buckets with
+// a +Inf bucket equal to _count, and non-finite value tokens.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace {
+
+using namespace bvc;
+
+/// Exposition of a hand-built snapshot, split into lines.
+std::vector<std::string> expose(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  obs::write_prometheus(out, snapshot);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(out.str());
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool contains_line(const std::vector<std::string>& lines,
+                   const std::string& needle) {
+  for (const std::string& line : lines) {
+    if (line == needle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Prometheus, SanitizesMetricNames) {
+  EXPECT_EQ(obs::prometheus_metric_name("mdp.cache.hits"), "mdp_cache_hits");
+  EXPECT_EQ(obs::prometheus_metric_name("already_fine:name"),
+            "already_fine:name");
+  EXPECT_EQ(obs::prometheus_metric_name("dash-and space"), "dash_and_space");
+  EXPECT_EQ(obs::prometheus_metric_name("9abc"), "_9abc");
+  EXPECT_EQ(obs::prometheus_metric_name(""), "_");
+}
+
+TEST(Prometheus, CountersAndGaugesGetHelpAndTypeLines) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["mdp.cache.hits"] = 12;
+  snapshot.gauges["svc.jobs.active"] = 3.0;
+  const std::vector<std::string> lines = expose(snapshot);
+
+  EXPECT_TRUE(contains_line(lines, "# HELP mdp_cache_hits mdp.cache.hits"));
+  EXPECT_TRUE(contains_line(lines, "# TYPE mdp_cache_hits counter"));
+  EXPECT_TRUE(contains_line(lines, "mdp_cache_hits 12"));
+  EXPECT_TRUE(contains_line(lines, "# TYPE svc_jobs_active gauge"));
+  EXPECT_TRUE(contains_line(lines, "svc_jobs_active 3"));
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeWithInfEqualToCount) {
+  obs::MetricsSnapshot snapshot;
+  obs::Histogram::Snapshot histogram;
+  histogram.bounds = {0.001, 0.01};
+  histogram.counts = {2, 3, 4};  // per-bucket, overflow last
+  histogram.sum = 0.5;
+  histogram.count = 9;
+  snapshot.histograms["mdp.solve.seconds"] = histogram;
+  const std::vector<std::string> lines = expose(snapshot);
+
+  EXPECT_TRUE(contains_line(lines, "# TYPE mdp_solve_seconds histogram"));
+  // Cumulative: 2, then 2+3, then everything.
+  EXPECT_TRUE(
+      contains_line(lines, "mdp_solve_seconds_bucket{le=\"0.001\"} 2"));
+  EXPECT_TRUE(
+      contains_line(lines, "mdp_solve_seconds_bucket{le=\"0.01\"} 5"));
+  EXPECT_TRUE(
+      contains_line(lines, "mdp_solve_seconds_bucket{le=\"+Inf\"} 9"));
+  EXPECT_TRUE(contains_line(lines, "mdp_solve_seconds_sum 0.5"));
+  EXPECT_TRUE(contains_line(lines, "mdp_solve_seconds_count 9"));
+}
+
+TEST(Prometheus, NonFiniteGaugesUseExpositionTokens) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.gauges["weird.nan"] = std::numeric_limits<double>::quiet_NaN();
+  snapshot.gauges["weird.pos"] = std::numeric_limits<double>::infinity();
+  snapshot.gauges["weird.neg"] = -std::numeric_limits<double>::infinity();
+  const std::vector<std::string> lines = expose(snapshot);
+  EXPECT_TRUE(contains_line(lines, "weird_nan NaN"));
+  EXPECT_TRUE(contains_line(lines, "weird_pos +Inf"));
+  EXPECT_TRUE(contains_line(lines, "weird_neg -Inf"));
+}
+
+TEST(Prometheus, LiveRegistrySnapshotExposesEverySection) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").add(5);
+  registry.gauge("b.gauge").set(1.5);
+  const std::vector<double> bounds{1.0, 2.0};
+  registry.histogram("c.hist", bounds).observe(0.5);
+  std::ostringstream out;
+  obs::write_prometheus(out, registry.snapshot());
+  obs::set_metrics_enabled(false);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a_count 5"), std::string::npos);
+  EXPECT_NE(text.find("b_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("c_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("c_hist_count 1"), std::string::npos);
+  // The exposition ends with a newline (required by the format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace

@@ -24,6 +24,7 @@
 #include "btc/selfish_mining.hpp"
 #include "bu/attack_analysis.hpp"
 #include "counter/voting_simulation.hpp"
+#include "obs/metrics.hpp"
 #include "sim/replicas.hpp"
 #include "svc/http.hpp"
 #include "svc/json.hpp"
@@ -591,6 +592,63 @@ TEST(SvcServiceEndpoints, HealthMetricsAndCacheAreServed) {
   ASSERT_TRUE(cache_body.has_value());
   EXPECT_NE(cache_body->find("bytes_resident"), nullptr);
   EXPECT_NE(cache_body->find("evictions"), nullptr);
+}
+
+TEST(SvcServiceEndpoints, MetricsExposePrometheusFormatOnRequest) {
+  SolveService service{ServiceConfig{}};
+  // Solve one cell so the registry has job counters to expose (each ctest
+  // case runs in its own process, so the registry starts empty).
+  obs::set_metrics_enabled(true);
+  submit_job(service,
+             R"({"kind":"btc-sm","cells":[{"alpha":0.25,"max_len":6}]})");
+  service.wait_idle();
+  const HttpResponse prom =
+      service.route(make_request("GET", "/v1/metrics?format=prometheus"));
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_EQ(prom.content_type, "text/plain; version=0.0.4");
+  EXPECT_NE(prom.body.find("# HELP svc_jobs_submitted svc.jobs.submitted"),
+            std::string::npos)
+      << prom.body;
+  EXPECT_NE(prom.body.find("# TYPE svc_jobs_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("svc_jobs_done 1"), std::string::npos);
+  obs::set_metrics_enabled(false);
+
+  // The explicit JSON spelling matches the default.
+  const HttpResponse json =
+      service.route(make_request("GET", "/v1/metrics?format=json"));
+  EXPECT_EQ(json.status, 200);
+  EXPECT_TRUE(Json::parse(json.body).has_value());
+
+  const HttpResponse bogus =
+      service.route(make_request("GET", "/v1/metrics?format=bogus"));
+  EXPECT_EQ(bogus.status, 400);
+}
+
+TEST(SvcServiceEndpoints, JobStatusCarriesLiveTelemetryBlock) {
+  SolveService service{ServiceConfig{}};
+  const std::string id = submit_job(
+      service,
+      R"({"kind":"bu-attack","cells":[{"alpha":0.2,"beta":0.4,"gamma":0.4,)"
+      R"("ad":2,"utility":"relative-revenue"}]})");
+  service.wait_idle();
+
+  const Json snapshot = job_snapshot(service, id);
+  ASSERT_EQ(snapshot.string_or("state", ""), "done");
+  const Json* telemetry = snapshot.find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_GE(telemetry->number_or("elapsed_seconds", -1.0), 0.0);
+  EXPECT_NE(telemetry->find("cells_per_second"), nullptr);
+  // The job is terminal, so the worker is gone and there is no ETA.
+  const Json* alive = telemetry->find("worker_alive");
+  ASSERT_NE(alive, nullptr);
+  EXPECT_TRUE(alive->is_bool());
+  EXPECT_FALSE(alive->as_bool(true));
+  EXPECT_EQ(telemetry->find("eta_seconds"), nullptr);
+  const Json* cache = telemetry->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_NE(cache->find("hits"), nullptr);
+  EXPECT_NE(cache->find("bytes_resident"), nullptr);
 }
 
 TEST(SvcServiceHttp, RealSocketRoundTrip) {

@@ -1,0 +1,203 @@
+// Tests of cross-process telemetry aggregation (src/obs/telemetry.cpp):
+// metrics-JSON roundtrip through the self-contained reader, the merge
+// rules (counters sum, gauges max, histograms bucket-sum on matching
+// bounds), the TelemetryFlusher's on-disk files, and the merged Chrome
+// trace with one pid lane per worker.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "svc/json.hpp"
+
+namespace {
+
+using namespace bvc;
+
+struct ObsQuiescer {
+  ~ObsQuiescer() {
+    obs::set_metrics_enabled(false);
+    obs::Tracer::global().disable();
+  }
+};
+
+/// A fresh scratch directory, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* tag) {
+    path = std::filesystem::temp_directory_path() /
+           (std::string("bvc_telemetry_test_") + tag + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+TEST(Telemetry, MetricsJsonRoundTripsThroughTheReader) {
+  TempDir dir("roundtrip");
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["a.hits"] = 7;
+  snapshot.gauges["b.level"] = 2.5;
+  obs::Histogram::Snapshot histogram;
+  histogram.bounds = {1.0, 2.0};
+  histogram.counts = {1, 2, 3};
+  histogram.sum = 4.5;
+  histogram.count = 6;
+  snapshot.histograms["c.lat"] = histogram;
+
+  const std::filesystem::path file = dir.path / "w.1.metrics.json";
+  {
+    std::ofstream out(file);
+    obs::write_metrics_json(out, snapshot);
+  }
+  const std::optional<obs::MetricsSnapshot> read =
+      obs::read_metrics_json(file.string());
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->counters.at("a.hits"), 7u);
+  EXPECT_EQ(read->gauges.at("b.level"), 2.5);
+  const obs::Histogram::Snapshot& h = read->histograms.at("c.lat");
+  EXPECT_EQ(h.bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(h.sum, 4.5);
+  EXPECT_EQ(h.count, 6u);
+}
+
+TEST(Telemetry, ReaderRejectsGarbage) {
+  TempDir dir("garbage");
+  const std::filesystem::path file = dir.path / "w.1.metrics.json";
+  write_file(file, "{\"counters\":{\"x\": }");
+  EXPECT_FALSE(obs::read_metrics_json(file.string()).has_value());
+  EXPECT_FALSE(obs::read_metrics_json((dir.path / "nope.json").string())
+                   .has_value());
+}
+
+TEST(Telemetry, MergeSumsCountersMaxesGaugesSumsMatchingHistograms) {
+  obs::MetricsSnapshot into;
+  into.counters["cells"] = 10;
+  into.gauges["rss"] = 5.0;
+  obs::Histogram::Snapshot h1;
+  h1.bounds = {1.0};
+  h1.counts = {2, 3};
+  h1.sum = 1.0;
+  h1.count = 5;
+  into.histograms["lat"] = h1;
+
+  obs::MetricsSnapshot from;
+  from.counters["cells"] = 4;
+  from.counters["other"] = 1;
+  from.gauges["rss"] = 9.0;
+  obs::Histogram::Snapshot h2 = h1;
+  h2.counts = {1, 1};
+  h2.sum = 0.5;
+  h2.count = 2;
+  from.histograms["lat"] = h2;
+  // Mismatched bounds keep `into`'s data.
+  obs::Histogram::Snapshot clash;
+  clash.bounds = {9.0};
+  clash.counts = {1, 0};
+  clash.count = 1;
+  into.histograms["clash"] = h1;
+  from.histograms["clash"] = clash;
+
+  obs::merge_metrics(into, from);
+  EXPECT_EQ(into.counters["cells"], 14u);
+  EXPECT_EQ(into.counters["other"], 1u);
+  EXPECT_EQ(into.gauges["rss"], 9.0);
+  EXPECT_EQ(into.histograms["lat"].counts,
+            (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(into.histograms["lat"].sum, 1.5);
+  EXPECT_EQ(into.histograms["lat"].count, 7u);
+  EXPECT_EQ(into.histograms["clash"].counts, h1.counts);
+}
+
+TEST(Telemetry, FlusherWritesPidStampedFilesAndMergeFindsThem) {
+  ObsQuiescer quiesce;
+  TempDir dir("flusher");
+  obs::MetricsRegistry::global().reset();
+  {
+    obs::TelemetryConfig config;
+    config.dir = dir.str();
+    config.label = "unit";
+    config.interval_seconds = 3600.0;  // only the explicit/final flushes
+    obs::TelemetryFlusher flusher(config);
+    EXPECT_TRUE(obs::metrics_enabled());
+    obs::MetricsRegistry::global().counter("test.flush.cells").add(3);
+    {
+      obs::Span span("test.flush.span", "test");
+    }
+    flusher.flush();
+    EXPECT_TRUE(std::filesystem::exists(flusher.metrics_path()));
+    EXPECT_TRUE(std::filesystem::exists(flusher.trace_path()));
+    const std::string expected_stem =
+        "unit." + std::to_string(::getpid());
+    EXPECT_NE(flusher.metrics_path().find(expected_stem), std::string::npos);
+  }
+
+  // Merge sees the worker's flush (no skip: we are "the parent of nobody").
+  const obs::TelemetryMergeReport report =
+      obs::merge_telemetry_dir(dir.str());
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_EQ(report.metrics_files, 1u);
+  ASSERT_EQ(report.trace_files.size(), 1u);
+  EXPECT_EQ(report.metrics.counters.at("test.flush.cells"), 3u);
+
+  // Self-exclusion: skipping our own pid leaves nothing to merge.
+  const obs::TelemetryMergeReport skipped =
+      obs::merge_telemetry_dir(dir.str(), static_cast<long>(::getpid()));
+  EXPECT_EQ(skipped.metrics_files, 0u);
+  EXPECT_TRUE(skipped.trace_files.empty());
+  obs::MetricsRegistry::global().reset();
+}
+
+TEST(Telemetry, MergedChromeTraceHasOnePidLanePerWorker) {
+  TempDir dir("trace");
+  // Two fake workers, pid 111 and 222, one event each (the flusher's JSONL
+  // delta format: complete event objects, one per line, pid stamped).
+  write_file(dir.path / "shard-0.111.trace.jsonl",
+             "{\"name\":\"solve\",\"cat\":\"mdp\",\"ph\":\"X\",\"ts\":1.0,"
+             "\"dur\":2.0,\"pid\":111,\"tid\":1}\n");
+  write_file(dir.path / "shard-1.222.trace.jsonl",
+             "{\"name\":\"solve\",\"cat\":\"mdp\",\"ph\":\"X\",\"ts\":1.5,"
+             "\"dur\":2.5,\"pid\":222,\"tid\":1}\n");
+
+  std::ostringstream out;
+  ASSERT_TRUE(obs::write_merged_chrome_trace(out, dir.str(), nullptr, ""));
+  const std::string text = out.str();
+  const std::optional<svc::Json> parsed = svc::Json::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  const svc::Json* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int process_names = 0;
+  int worker_events = 0;
+  for (const svc::Json& event : events->items()) {
+    const std::string name = event.string_or("name", "");
+    if (name == "process_name") {
+      ++process_names;
+    } else if (name == "solve") {
+      ++worker_events;
+    }
+  }
+  EXPECT_EQ(process_names, 2);
+  EXPECT_EQ(worker_events, 2);
+  EXPECT_NE(text.find("shard-0"), std::string::npos);
+  EXPECT_NE(text.find("shard-1"), std::string::npos);
+}
+
+}  // namespace
